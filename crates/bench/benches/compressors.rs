@@ -1,0 +1,91 @@
+//! Codec throughput on page-like data classes.
+//!
+//! Measures the real (host) speed of the from-scratch codecs per data
+//! class. These numbers justify the `CostProfile` scale factors in
+//! `cc-compress` (LZSS ~4x slower than LZRW1; RLE ~4x faster) — the
+//! virtual-time model uses the *paper's* DECstation bandwidths, but the
+//! relative shape comes from here.
+
+use cc_compress::{Compressor, Lzrw1, Lzss, Null, Rle};
+use cc_util::SplitMix64;
+use cc_workloads::datagen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const PAGE: usize = 4096;
+
+fn data_classes() -> Vec<(&'static str, Vec<u8>)> {
+    let mut page = vec![0u8; PAGE];
+    let zero = vec![0u8; PAGE];
+    datagen::fill_4to1(&mut page, 7);
+    let four_to_one = page.clone();
+    let mut dp = vec![0u8; PAGE];
+    datagen::fill_dp_values(&mut dp, 3);
+    let text = datagen::repetitive_text(PAGE, 5);
+    let mut rng = SplitMix64::new(9);
+    let noise: Vec<u8> = (0..PAGE).map(|_| rng.next_u64() as u8).collect();
+    vec![
+        ("zero", zero),
+        ("4to1", four_to_one),
+        ("dp", dp),
+        ("text", text),
+        ("noise", noise),
+    ]
+}
+
+fn codecs() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(Lzrw1::new()),
+        Box::new(Lzss::new()),
+        Box::new(Rle::new()),
+        Box::new(Null::new()),
+    ]
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_page");
+    group.throughput(Throughput::Bytes(PAGE as u64));
+    for (class, data) in data_classes() {
+        for codec in codecs().iter_mut() {
+            let mut out = Vec::with_capacity(PAGE + 16);
+            group.bench_with_input(
+                BenchmarkId::new(codec.name(), class),
+                &data,
+                |b, data| {
+                    b.iter(|| codec.compress(std::hint::black_box(data), &mut out));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress_page");
+    group.throughput(Throughput::Bytes(PAGE as u64));
+    for (class, data) in data_classes() {
+        for codec in codecs().iter_mut() {
+            let mut packed = Vec::new();
+            codec.compress(&data, &mut packed);
+            let mut out = Vec::with_capacity(PAGE);
+            group.bench_with_input(
+                BenchmarkId::new(codec.name(), class),
+                &packed,
+                |b, packed| {
+                    b.iter(|| {
+                        codec
+                            .decompress(std::hint::black_box(packed), &mut out, data.len())
+                            .unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1200));
+    targets = bench_compress, bench_decompress
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Micro-benchmarks of the cache mechanism's hot paths (host wall-time).
+//!
+//! These measure the *mechanism overhead* of the reproduction itself:
+//! insert (compress + place), fault-from-cache (locate + decompress),
+//! clean-batch assembly, and the System access fast path. They guard
+//! against performance regressions that would make the figure harnesses
+//! impractically slow — the simulator runs millions of these per
+//! experiment.
+
+use cc_compress::Lzrw1;
+use cc_core::{cache::CpuCosts, CacheConfig, CompressionCache, MemBacking, PageKey};
+use cc_mem::FramePool;
+use cc_sim::{Mode, SimConfig, System};
+use cc_util::Ns;
+use cc_workloads::datagen;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const PAGE: usize = 4096;
+const MB: usize = 1024 * 1024;
+
+fn cache_setup() -> (CompressionCache, FramePool, MemBacking, Vec<u8>) {
+    let cfg = CacheConfig::paper(512);
+    let cache = CompressionCache::new(
+        cfg,
+        Box::new(Lzrw1::new()),
+        CpuCosts::decstation_5000_200(),
+        64 * MB as u64,
+    );
+    let pool = FramePool::new(520, PAGE);
+    let backing = MemBacking::fast(64 * MB);
+    let mut page = vec![0u8; PAGE];
+    datagen::fill_4to1(&mut page, 3);
+    (cache, pool, backing, page)
+}
+
+fn bench_insert_evicted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Bytes(PAGE as u64));
+    group.bench_function("insert_evicted", |b| {
+        let (mut cache, mut pool, mut backing, page) = cache_setup();
+        let mut clock = Ns::ZERO;
+        let mut n = 0u32;
+        b.iter(|| {
+            let key = PageKey { seg: 0, page: n % 4096 };
+            n += 1;
+            cache.insert_evicted(&mut pool, &mut backing, &mut clock, key, &page, true)
+        });
+    });
+
+    group.bench_function("fault_from_cache", |b| {
+        let (mut cache, mut pool, mut backing, page) = cache_setup();
+        let mut clock = Ns::ZERO;
+        for i in 0..64u32 {
+            cache.insert_evicted(
+                &mut pool,
+                &mut backing,
+                &mut clock,
+                PageKey { seg: 0, page: i },
+                &page,
+                true,
+            );
+        }
+        let mut out = vec![0u8; PAGE];
+        let mut i = 0u32;
+        b.iter(|| {
+            let key = PageKey { seg: 0, page: i % 64 };
+            i += 1;
+            let r = cache.fault(&mut pool, &mut backing, &mut clock, key, &mut out, true);
+            // Reset the shadow so the next fault on this page is legal.
+            cache.evict_clean(key);
+            r
+        });
+    });
+
+    group.bench_function("clean_batch", |b| {
+        b.iter_batched(
+            || {
+                let (mut cache, mut pool, mut backing, page) = cache_setup();
+                let mut clock = Ns::ZERO;
+                for i in 0..32u32 {
+                    cache.insert_evicted(
+                        &mut pool,
+                        &mut backing,
+                        &mut clock,
+                        PageKey { seg: 0, page: i },
+                        &page,
+                        true,
+                    );
+                }
+                (cache, pool, backing, clock)
+            },
+            |(mut cache, mut pool, mut backing, mut clock)| {
+                cache.clean_batch(&mut pool, &mut backing, &mut clock)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_system_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.bench_function("access_hit", |b| {
+        let mut sys = System::new(SimConfig::decstation(4 * MB, Mode::Cc));
+        let seg = sys.create_segment(MB as u64);
+        sys.write_u32(seg, 0, 1);
+        b.iter(|| sys.read_u32(seg, 0));
+    });
+
+    group.bench_function("fault_cycle_cc", |b| {
+        // A 2x-overcommitted cyclic write: every iteration is a fault
+        // through the full compress/decompress machinery.
+        let mut sys = System::new(SimConfig::decstation(MB, Mode::Cc));
+        let seg = sys.create_segment(2 * MB as u64);
+        let npages = 2 * MB as u64 / 4096;
+        for p in 0..npages {
+            sys.write_u32(seg, p * 4096, p as u32);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            let v = sys.read_u32(seg, p * 4096);
+            p = (p + 1) % npages;
+            v
+        });
+    });
+
+    group.bench_function("fault_cycle_std", |b| {
+        let mut sys = System::new(SimConfig::decstation(MB, Mode::Std));
+        let seg = sys.create_segment(2 * MB as u64);
+        let npages = 2 * MB as u64 / 4096;
+        for p in 0..npages {
+            sys.write_u32(seg, p * 4096, p as u32);
+        }
+        let mut p = 0u64;
+        b.iter(|| {
+            let v = sys.read_u32(seg, p * 4096);
+            p = (p + 1) % npages;
+            v
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_insert_evicted, bench_system_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,430 @@
+//! LZRW1 — Ross Williams's "extremely fast Ziv-Lempel" coder (DCC 1991),
+//! reimplemented from the published algorithm description.
+//!
+//! LZRW1 is a byte-oriented LZ77 variant tuned for speed over ratio:
+//!
+//! - a single-probe hash table maps the next three input bytes to the most
+//!   recent position where that trigram was seen;
+//! - matches are 3..=18 bytes at offsets 1..=4095;
+//! - items are emitted in groups of 16 behind a 16-bit control word
+//!   (bit set ⇒ copy item, clear ⇒ literal);
+//! - a copy item is two bytes: the high nibble of the first byte holds the
+//!   top 4 offset bits, the low nibble holds `length - 3`; the second byte
+//!   holds the low 8 offset bits;
+//! - if the "compressed" output would be no smaller than the input, the
+//!   block is emitted stored (the original uses a flag word; we use a
+//!   method byte shared by all codecs in this crate).
+//!
+//! The hash table size is configurable. Williams used 4096 entries; the
+//! paper's Sprite kernel used a 16 KB table (§4.4: "This hash table can be
+//! relatively large (e.g., on the order of 1 Mbyte), which improves
+//! compression at the cost of memory, or be relatively small. In the system
+//! measured for this paper, the hash table is 16 Kbytes."). Modeling entries
+//! as 4-byte pointers, 16 KB ⇒ 4096 entries, which is the default here.
+
+use crate::{
+    load_raw, store_raw, Compressor, CostProfile, DecompressError, METHOD_STORED,
+};
+
+/// Method byte identifying an LZRW1-encoded block.
+const METHOD_LZRW1: u8 = 1;
+
+/// Minimum match length.
+const MIN_MATCH: usize = 3;
+/// Maximum match length (`MIN_MATCH + 15`, one nibble of length).
+const MAX_MATCH: usize = 18;
+/// Maximum back-reference distance (12 bits of offset).
+const MAX_OFFSET: usize = 4095;
+/// Items per control word.
+const GROUP: usize = 16;
+
+/// The LZRW1 codec. Holds its hash table across calls, mirroring the
+/// kernel's one static buffer.
+///
+/// # Examples
+///
+/// ```
+/// use cc_compress::{Compressor, Lzrw1};
+///
+/// let mut lz = Lzrw1::new();
+/// let page = b"hello hello hello hello hello hello".to_vec();
+/// let mut packed = Vec::new();
+/// let n = lz.compress(&page, &mut packed);
+/// assert!(n < page.len());
+/// let mut out = Vec::new();
+/// lz.decompress(&packed, &mut out, page.len()).unwrap();
+/// assert_eq!(out, page);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lzrw1 {
+    /// Hash table: position of the most recent occurrence of each trigram
+    /// hash. `usize::MAX` marks a never-written slot.
+    table: Vec<usize>,
+    /// `table.len() - 1`; table length is always a power of two.
+    mask: usize,
+}
+
+impl Default for Lzrw1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lzrw1 {
+    /// Default table: 4096 entries = 16 KB of 4-byte pointers, the size
+    /// measured in the paper.
+    pub fn new() -> Self {
+        Self::with_entries(4096)
+    }
+
+    /// Construct with a table of `bytes / 4` entries (rounded down to a
+    /// power of two, minimum 256 entries).
+    pub fn with_table_bytes(bytes: usize) -> Self {
+        let entries = (bytes / 4).max(256);
+        let entries = 1usize << (usize::BITS - 1 - entries.leading_zeros());
+        Self::with_entries(entries)
+    }
+
+    /// Construct with an explicit number of hash-table entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is less than 256.
+    pub fn with_entries(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two() && entries >= 256,
+            "hash table entries must be a power of two >= 256"
+        );
+        Lzrw1 {
+            table: vec![usize::MAX; entries],
+            mask: entries - 1,
+        }
+    }
+
+    /// The modeled memory footprint of the hash table in bytes
+    /// (4 bytes per entry, as on the 32-bit DECstation).
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * 4
+    }
+
+    /// Williams's multiplicative trigram hash.
+    #[inline]
+    fn hash(&self, b0: u8, b1: u8, b2: u8) -> usize {
+        let k = ((((b0 as u32) << 4) ^ (b1 as u32)) << 4) ^ (b2 as u32);
+        ((40543u32.wrapping_mul(k)) >> 4) as usize & self.mask
+    }
+}
+
+impl Compressor for Lzrw1 {
+    fn name(&self) -> &'static str {
+        "lzrw1"
+    }
+
+    fn compress(&mut self, src: &[u8], dst: &mut Vec<u8>) -> usize {
+        dst.clear();
+        if src.is_empty() {
+            dst.push(METHOD_STORED);
+            return dst.len();
+        }
+        // Fresh table per block: compressed pages must be independently
+        // decompressible (they are written to backing store individually).
+        self.table.iter_mut().for_each(|e| *e = usize::MAX);
+
+        dst.push(METHOD_LZRW1);
+        let n = src.len();
+        let mut i = 0usize;
+        // Position of the current group's control word within dst.
+        let mut ctrl_pos = dst.len();
+        dst.extend_from_slice(&[0, 0]);
+        let mut ctrl: u16 = 0;
+        let mut items_in_group = 0usize;
+
+        while i < n {
+            if items_in_group == GROUP {
+                dst[ctrl_pos] = (ctrl & 0xFF) as u8;
+                dst[ctrl_pos + 1] = (ctrl >> 8) as u8;
+                ctrl_pos = dst.len();
+                dst.extend_from_slice(&[0, 0]);
+                ctrl = 0;
+                items_in_group = 0;
+            }
+
+            let mut emitted_copy = false;
+            if n - i >= MIN_MATCH {
+                let h = self.hash(src[i], src[i + 1], src[i + 2]);
+                let cand = self.table[h];
+                self.table[h] = i;
+                if cand != usize::MAX && cand < i && i - cand <= MAX_OFFSET {
+                    let offset = i - cand;
+                    // Check and extend the match.
+                    if src[cand] == src[i] && src[cand + 1] == src[i + 1] && src[cand + 2] == src[i + 2]
+                    {
+                        let limit = MAX_MATCH.min(n - i);
+                        let mut len = MIN_MATCH;
+                        while len < limit && src[cand + len] == src[i + len] {
+                            len += 1;
+                        }
+                        ctrl |= 1 << items_in_group;
+                        dst.push((((offset >> 8) as u8) << 4) | ((len - MIN_MATCH) as u8));
+                        dst.push((offset & 0xFF) as u8);
+                        i += len;
+                        emitted_copy = true;
+                    }
+                }
+            }
+            if !emitted_copy {
+                dst.push(src[i]);
+                i += 1;
+            }
+            items_in_group += 1;
+        }
+        // Flush the final (possibly partial) control word.
+        dst[ctrl_pos] = (ctrl & 0xFF) as u8;
+        dst[ctrl_pos + 1] = (ctrl >> 8) as u8;
+
+        if dst.len() > src.len() {
+            // Expansion: fall back to a stored block (original LZRW1 sets a
+            // copy flag and memcpys).
+            return store_raw(src, dst);
+        }
+        dst.len()
+    }
+
+    fn decompress(
+        &mut self,
+        src: &[u8],
+        dst: &mut Vec<u8>,
+        expected_len: usize,
+    ) -> Result<(), DecompressError> {
+        let (&method, body) = src.split_first().ok_or(DecompressError::Truncated)?;
+        match method {
+            METHOD_STORED => return load_raw(body, dst, expected_len),
+            METHOD_LZRW1 => {}
+            other => return Err(DecompressError::BadMethod(other)),
+        }
+        dst.clear();
+        dst.reserve(expected_len);
+        let mut pos = 0usize;
+        while dst.len() < expected_len {
+            if pos + 2 > body.len() {
+                return Err(DecompressError::Truncated);
+            }
+            let ctrl = u16::from_le_bytes([body[pos], body[pos + 1]]);
+            pos += 2;
+            for bit in 0..GROUP {
+                if dst.len() == expected_len {
+                    break;
+                }
+                if ctrl & (1 << bit) != 0 {
+                    if pos + 2 > body.len() {
+                        return Err(DecompressError::Truncated);
+                    }
+                    let b0 = body[pos] as usize;
+                    let b1 = body[pos + 1] as usize;
+                    pos += 2;
+                    let offset = ((b0 & 0xF0) << 4) | b1;
+                    let len = (b0 & 0x0F) + MIN_MATCH;
+                    let at = dst.len();
+                    if offset == 0 || offset > at {
+                        return Err(DecompressError::BadOffset { offset, at });
+                    }
+                    if at + len > expected_len {
+                        return Err(DecompressError::OutputOverrun);
+                    }
+                    // Overlapping copies are the normal case (e.g. RLE-like
+                    // runs with offset 1), so copy byte-by-byte.
+                    for k in 0..len {
+                        let b = dst[at - offset + k];
+                        dst.push(b);
+                    }
+                } else {
+                    if pos >= body.len() {
+                        return Err(DecompressError::Truncated);
+                    }
+                    dst.push(body[pos]);
+                    pos += 1;
+                }
+            }
+        }
+        if pos != body.len() {
+            return Err(DecompressError::TrailingGarbage);
+        }
+        Ok(())
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile {
+            compress_scale: 1.0,
+            decompress_scale: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_util::SplitMix64;
+
+    fn roundtrip(lz: &mut Lzrw1, input: &[u8]) -> usize {
+        let mut packed = Vec::new();
+        let n = lz.compress(input, &mut packed);
+        let mut out = Vec::new();
+        lz.decompress(&packed, &mut out, input.len())
+            .expect("decompress");
+        assert_eq!(out, input);
+        n
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut lz = Lzrw1::new();
+        assert_eq!(roundtrip(&mut lz, &[]), 1);
+    }
+
+    #[test]
+    fn zero_page_compresses_extremely_well() {
+        let mut lz = Lzrw1::new();
+        let n = roundtrip(&mut lz, &[0u8; 4096]);
+        // 4096 zeros: 1 literal + 228 copies of <=18 bytes + 15 control
+        // words = 488 bytes, ~12% of the page.
+        assert!(n <= 492, "zero page compressed to {n}");
+    }
+
+    #[test]
+    fn text_compresses_better_than_half() {
+        let mut lz = Lzrw1::new();
+        let text = b"compression cache compression cache on-line compression ".repeat(70);
+        let n = roundtrip(&mut lz, &text);
+        assert!(n * 2 < text.len(), "{n} vs {}", text.len());
+    }
+
+    #[test]
+    fn random_page_stores_raw() {
+        let mut lz = Lzrw1::new();
+        let mut rng = SplitMix64::new(1);
+        let page: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+        let mut packed = Vec::new();
+        let n = lz.compress(&page, &mut packed);
+        assert_eq!(n, 4097, "random page should fall back to stored");
+        assert_eq!(packed[0], METHOD_STORED);
+    }
+
+    #[test]
+    fn run_uses_overlapping_copies() {
+        let mut lz = Lzrw1::new();
+        // "aaaa..." forces offset-1 overlapping copies.
+        let n = roundtrip(&mut lz, &[b'a'; 100]);
+        assert!(n < 20, "run of 100 compressed to {n}");
+    }
+
+    #[test]
+    fn offsets_beyond_window_are_not_used() {
+        // Two identical 64-byte blocks separated by > 4095 incompressible
+        // bytes: the second block cannot reference the first, but the codec
+        // must still roundtrip.
+        let mut lz = Lzrw1::new();
+        let mut rng = SplitMix64::new(2);
+        let block: Vec<u8> = (0..64).map(|i| (i * 7) as u8).collect();
+        let mut input = block.clone();
+        input.extend((0..5000).map(|_| rng.next_u64() as u8));
+        input.extend_from_slice(&block);
+        roundtrip(&mut lz, &input);
+    }
+
+    #[test]
+    fn max_match_length_boundary() {
+        let mut lz = Lzrw1::new();
+        // A run exactly MAX_MATCH + MIN_MATCH long exercises the length cap.
+        for len in [
+            MIN_MATCH,
+            MAX_MATCH - 1,
+            MAX_MATCH,
+            MAX_MATCH + 1,
+            2 * MAX_MATCH,
+            2 * MAX_MATCH + 1,
+        ] {
+            let input: Vec<u8> = std::iter::repeat_n(b'z', len + 1).collect();
+            roundtrip(&mut lz, &input);
+        }
+    }
+
+    #[test]
+    fn all_table_sizes_roundtrip() {
+        let text = b"the boy stood on the burning deck ".repeat(200);
+        for entries in [256, 1024, 4096, 65536] {
+            let mut lz = Lzrw1::with_entries(entries);
+            roundtrip(&mut lz, &text);
+        }
+    }
+
+    #[test]
+    fn bigger_table_never_much_worse() {
+        // A larger hash table means fewer trigram collisions, which should
+        // not systematically hurt ratio on text.
+        let text: Vec<u8> = {
+            let mut rng = SplitMix64::new(7);
+            let words = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+            let mut t = Vec::new();
+            while t.len() < 16384 {
+                t.extend_from_slice(words[rng.gen_index(words.len())].as_bytes());
+                t.push(b' ');
+            }
+            t
+        };
+        let mut small = Lzrw1::with_entries(256);
+        let mut large = Lzrw1::with_entries(65536);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let ns = small.compress(&text, &mut a);
+        let nl = large.compress(&text, &mut b);
+        assert!(
+            nl as f64 <= ns as f64 * 1.05,
+            "large table ratio {nl} much worse than small {ns}"
+        );
+    }
+
+    #[test]
+    fn with_table_bytes_rounds_to_power_of_two() {
+        assert_eq!(Lzrw1::with_table_bytes(16 * 1024).table_bytes(), 16 * 1024);
+        assert_eq!(Lzrw1::with_table_bytes(5000).table_bytes(), 4096);
+        assert_eq!(Lzrw1::with_table_bytes(1).table_bytes(), 1024);
+    }
+
+    #[test]
+    fn truncated_inputs_error() {
+        let mut lz = Lzrw1::new();
+        let text = b"abcabcabcabcabcabc".to_vec();
+        let mut packed = Vec::new();
+        lz.compress(&text, &mut packed);
+        for cut in 0..packed.len() {
+            let mut out = Vec::new();
+            let r = lz.decompress(&packed[..cut], &mut out, text.len());
+            assert!(r.is_err(), "accepted truncation at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_offset_detected() {
+        // Hand-craft: method byte, control word with bit0 set (copy), copy
+        // item referencing offset 5 at output position 0.
+        let packed = [METHOD_LZRW1, 0x01, 0x00, 0x00, 0x05];
+        let mut out = Vec::new();
+        let err = Lzrw1::new().decompress(&packed, &mut out, 10).unwrap_err();
+        assert!(matches!(err, DecompressError::BadOffset { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut a = Lzrw1::new();
+        let mut b = Lzrw1::new();
+        let text = b"determinism matters for simulation ".repeat(50);
+        let mut pa = Vec::new();
+        let mut pb = Vec::new();
+        a.compress(&text, &mut pa);
+        // Interleave an unrelated compression to confirm the table reset.
+        let mut scratch = Vec::new();
+        b.compress(&[1, 2, 3, 4, 5, 6, 7, 8], &mut scratch);
+        b.compress(&text, &mut pb);
+        assert_eq!(pa, pb);
+    }
+}

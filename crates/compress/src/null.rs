@@ -1,0 +1,73 @@
+//! The identity codec — "no compression" as a first-class [`Compressor`].
+//!
+//! Having the baseline behind the same trait lets the simulator's code path
+//! be identical for the modified and unmodified systems, which keeps the
+//! comparison honest: the only difference between `std` and `cc`
+//! configurations is the codec and the cache policy, not the plumbing.
+
+use crate::{load_raw, store_raw, Compressor, CostProfile, DecompressError, METHOD_STORED};
+
+/// The identity codec: output = method byte + input.
+#[derive(Debug, Clone, Default)]
+pub struct Null;
+
+impl Null {
+    /// Create the codec.
+    pub fn new() -> Self {
+        Null
+    }
+}
+
+impl Compressor for Null {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn compress(&mut self, src: &[u8], dst: &mut Vec<u8>) -> usize {
+        store_raw(src, dst)
+    }
+
+    fn decompress(
+        &mut self,
+        src: &[u8],
+        dst: &mut Vec<u8>,
+        expected_len: usize,
+    ) -> Result<(), DecompressError> {
+        let (&method, body) = src.split_first().ok_or(DecompressError::Truncated)?;
+        if method != METHOD_STORED {
+            return Err(DecompressError::BadMethod(method));
+        }
+        load_raw(body, dst, expected_len)
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        // A stored "compression" is a memcpy: ~16x an LZRW1 pass.
+        CostProfile {
+            compress_scale: 16.0,
+            decompress_scale: 8.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let mut c = Null::new();
+        let input = b"anything at all".to_vec();
+        let mut packed = Vec::new();
+        assert_eq!(c.compress(&input, &mut packed), input.len() + 1);
+        let mut out = Vec::new();
+        c.decompress(&packed, &mut out, input.len()).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn never_shrinks() {
+        let mut c = Null::new();
+        let mut packed = Vec::new();
+        assert_eq!(c.compress(&[0u8; 4096], &mut packed), 4097);
+    }
+}

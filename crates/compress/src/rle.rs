@@ -1,0 +1,219 @@
+//! PackBits-style run-length codec.
+//!
+//! Far weaker than LZRW1 on text, but nearly free to run; it exists as the
+//! low-effort point on the compression-speed-versus-ratio curve that §3 of
+//! the paper analyzes, and it is very effective on zero-filled pages.
+
+use crate::{load_raw, store_raw, Compressor, CostProfile, DecompressError, METHOD_STORED};
+
+/// Method byte identifying an RLE-encoded block.
+const METHOD_RLE: u8 = 2;
+
+/// Maximum literal-run length per control byte.
+const MAX_LITERAL: usize = 128;
+/// Maximum repeat-run length per control byte.
+const MAX_REPEAT: usize = 130;
+/// Minimum repeat worth encoding (shorter runs ride in literal runs).
+const MIN_REPEAT: usize = 3;
+
+/// The run-length codec.
+///
+/// Encoding: control byte `c`; `c <= 127` ⇒ copy the next `c + 1` bytes
+/// verbatim; `c >= 128` ⇒ repeat the following byte `c - 125` times
+/// (3..=130). Falls back to a stored block on expansion.
+///
+/// # Examples
+///
+/// ```
+/// use cc_compress::{Compressor, Rle};
+///
+/// let mut rle = Rle::new();
+/// let mut packed = Vec::new();
+/// let n = rle.compress(&[0u8; 4096], &mut packed);
+/// assert!(n < 80);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rle;
+
+impl Rle {
+    /// Create the codec (stateless).
+    pub fn new() -> Self {
+        Rle
+    }
+}
+
+impl Compressor for Rle {
+    fn name(&self) -> &'static str {
+        "rle"
+    }
+
+    fn compress(&mut self, src: &[u8], dst: &mut Vec<u8>) -> usize {
+        dst.clear();
+        dst.push(METHOD_RLE);
+        let n = src.len();
+        let mut i = 0;
+        let mut lit_start = 0;
+
+        let flush_literals = |dst: &mut Vec<u8>, src: &[u8], from: usize, to: usize| {
+            let mut s = from;
+            while s < to {
+                let chunk = (to - s).min(MAX_LITERAL);
+                dst.push((chunk - 1) as u8);
+                dst.extend_from_slice(&src[s..s + chunk]);
+                s += chunk;
+            }
+        };
+
+        while i < n {
+            // Measure the run starting at i.
+            let b = src[i];
+            let mut run = 1;
+            while i + run < n && src[i + run] == b && run < MAX_REPEAT {
+                run += 1;
+            }
+            if run >= MIN_REPEAT {
+                flush_literals(dst, src, lit_start, i);
+                dst.push((128 + (run - MIN_REPEAT)) as u8);
+                dst.push(b);
+                i += run;
+                lit_start = i;
+            } else {
+                i += run;
+            }
+        }
+        flush_literals(dst, src, lit_start, n);
+
+        if dst.len() > src.len() && !src.is_empty() {
+            return store_raw(src, dst);
+        }
+        dst.len()
+    }
+
+    fn decompress(
+        &mut self,
+        src: &[u8],
+        dst: &mut Vec<u8>,
+        expected_len: usize,
+    ) -> Result<(), DecompressError> {
+        let (&method, body) = src.split_first().ok_or(DecompressError::Truncated)?;
+        match method {
+            METHOD_STORED => return load_raw(body, dst, expected_len),
+            METHOD_RLE => {}
+            other => return Err(DecompressError::BadMethod(other)),
+        }
+        dst.clear();
+        dst.reserve(expected_len);
+        let mut pos = 0;
+        while dst.len() < expected_len {
+            if pos >= body.len() {
+                return Err(DecompressError::Truncated);
+            }
+            let c = body[pos] as usize;
+            pos += 1;
+            if c <= 127 {
+                let count = c + 1;
+                if pos + count > body.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                if dst.len() + count > expected_len {
+                    return Err(DecompressError::OutputOverrun);
+                }
+                dst.extend_from_slice(&body[pos..pos + count]);
+                pos += count;
+            } else {
+                let count = c - 128 + MIN_REPEAT;
+                if pos >= body.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                if dst.len() + count > expected_len {
+                    return Err(DecompressError::OutputOverrun);
+                }
+                let b = body[pos];
+                pos += 1;
+                dst.resize(dst.len() + count, b);
+            }
+        }
+        if pos != body.len() {
+            return Err(DecompressError::TrailingGarbage);
+        }
+        Ok(())
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        // RLE is a single linear pass with no hashing: roughly 4x the speed
+        // of LZRW1 in both directions.
+        CostProfile {
+            compress_scale: 4.0,
+            decompress_scale: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_util::SplitMix64;
+
+    fn roundtrip(input: &[u8]) -> usize {
+        let mut rle = Rle::new();
+        let mut packed = Vec::new();
+        let n = rle.compress(input, &mut packed);
+        let mut out = Vec::new();
+        rle.decompress(&packed, &mut out, input.len()).unwrap();
+        assert_eq!(out, input);
+        n
+    }
+
+    #[test]
+    fn zero_page() {
+        let n = roundtrip(&[0u8; 4096]);
+        // ceil(4096 / 130) runs * 2 bytes + method = 64.
+        assert!(n <= 65, "got {n}");
+    }
+
+    #[test]
+    fn short_runs_ride_in_literals() {
+        roundtrip(b"aabbccddee");
+        roundtrip(b"aaabbbccc");
+        roundtrip(b"a");
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn exact_run_boundaries() {
+        for len in [MIN_REPEAT - 1, MIN_REPEAT, MAX_REPEAT, MAX_REPEAT + 1, 2 * MAX_REPEAT] {
+            let input = vec![b'x'; len];
+            roundtrip(&input);
+        }
+    }
+
+    #[test]
+    fn long_literal_spans_chunks() {
+        // 300 distinct bytes forces multiple literal chunks.
+        let input: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        roundtrip(&input);
+    }
+
+    #[test]
+    fn random_falls_back_to_stored() {
+        let mut rng = SplitMix64::new(3);
+        let input: Vec<u8> = (0..2048).map(|_| rng.next_u64() as u8).collect();
+        let mut rle = Rle::new();
+        let mut packed = Vec::new();
+        let n = rle.compress(&input, &mut packed);
+        assert_eq!(n, input.len() + 1);
+        assert_eq!(packed[0], METHOD_STORED);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut rle = Rle::new();
+        let input = vec![9u8; 100];
+        let mut packed = Vec::new();
+        rle.compress(&input, &mut packed);
+        for cut in 0..packed.len() {
+            let mut out = Vec::new();
+            assert!(rle.decompress(&packed[..cut], &mut out, 100).is_err());
+        }
+    }
+}

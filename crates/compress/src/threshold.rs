@@ -1,0 +1,145 @@
+//! The keep-compressed threshold policy.
+//!
+//! §5.2 of the paper: *"about 98% of the pages compressed less than 4:3,
+//! the threshold for keeping them in compressed format. Thus the time to
+//! compress these pages was wasted effort."* A page is only stored
+//! compressed when `original : compressed >= num : den` (default 4:3, i.e.
+//! the compressed page must be at most 3/4 of the original).
+//!
+//! The threshold is a policy knob — the ablation bench sweeps it — so it is
+//! represented as an explicit value rather than a constant.
+
+/// Whether a compressed page is worth keeping in compressed form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressDecision {
+    /// Ratio met the threshold: keep the page compressed.
+    Keep,
+    /// Ratio failed the threshold: discard the compressed copy; the
+    /// compression effort was wasted (it is still *charged* by the
+    /// simulator, which is the paper's point).
+    Reject,
+}
+
+/// The `num:den` minimum compression ratio for keeping a page compressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdPolicy {
+    /// Ratio numerator (original side).
+    pub num: u32,
+    /// Ratio denominator (compressed side).
+    pub den: u32,
+}
+
+impl Default for ThresholdPolicy {
+    /// The paper's 4:3.
+    fn default() -> Self {
+        ThresholdPolicy { num: 4, den: 3 }
+    }
+}
+
+impl ThresholdPolicy {
+    /// Construct a `num:den` threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num > den > 0` (a threshold of 1:1 or below would
+    /// keep pages that did not shrink).
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(num > den && den > 0, "threshold must be > 1:1");
+        ThresholdPolicy { num, den }
+    }
+
+    /// A policy that keeps every page that shrank by at least one byte
+    /// (used by tests and the "no threshold" ablation arm).
+    pub fn any_shrink() -> Self {
+        // num/den barely above 1; evaluate() special-cases this marker by
+        // requiring compressed < original.
+        ThresholdPolicy { num: u32::MAX, den: u32::MAX - 1 }
+    }
+
+    /// Decide whether `compressed_len` is small enough relative to
+    /// `original_len`.
+    pub fn evaluate(&self, original_len: usize, compressed_len: usize) -> CompressDecision {
+        if self.num == u32::MAX {
+            return if compressed_len < original_len {
+                CompressDecision::Keep
+            } else {
+                CompressDecision::Reject
+            };
+        }
+        // Keep iff original/compressed >= num/den
+        //      iff original * den >= compressed * num (all exact in u128).
+        let lhs = original_len as u128 * self.den as u128;
+        let rhs = compressed_len as u128 * self.num as u128;
+        if lhs >= rhs {
+            CompressDecision::Keep
+        } else {
+            CompressDecision::Reject
+        }
+    }
+
+    /// The largest compressed size (in bytes) acceptable for a page of
+    /// `original_len` bytes.
+    pub fn max_compressed_len(&self, original_len: usize) -> usize {
+        if self.num == u32::MAX {
+            return original_len.saturating_sub(1);
+        }
+        (original_len as u128 * self.den as u128 / self.num as u128) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_threshold_on_a_4k_page() {
+        let t = ThresholdPolicy::default();
+        // 4:3 on 4096 bytes: keep at 3072, reject at 3073.
+        assert_eq!(t.max_compressed_len(4096), 3072);
+        assert_eq!(t.evaluate(4096, 3072), CompressDecision::Keep);
+        assert_eq!(t.evaluate(4096, 3073), CompressDecision::Reject);
+        assert_eq!(t.evaluate(4096, 1024), CompressDecision::Keep);
+        assert_eq!(t.evaluate(4096, 4096), CompressDecision::Reject);
+    }
+
+    #[test]
+    fn evaluate_matches_max_compressed_len() {
+        for t in [
+            ThresholdPolicy::default(),
+            ThresholdPolicy::new(2, 1),
+            ThresholdPolicy::new(3, 2),
+            ThresholdPolicy::new(10, 9),
+        ] {
+            for orig in [1usize, 512, 4096, 8192, 4095] {
+                let cap = t.max_compressed_len(orig);
+                assert_eq!(t.evaluate(orig, cap), CompressDecision::Keep, "{t:?} {orig}");
+                assert_eq!(
+                    t.evaluate(orig, cap + 1),
+                    CompressDecision::Reject,
+                    "{t:?} {orig}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn any_shrink_policy() {
+        let t = ThresholdPolicy::any_shrink();
+        assert_eq!(t.evaluate(4096, 4095), CompressDecision::Keep);
+        assert_eq!(t.evaluate(4096, 4096), CompressDecision::Reject);
+        assert_eq!(t.max_compressed_len(4096), 4095);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be > 1:1")]
+    fn one_to_one_rejected() {
+        ThresholdPolicy::new(1, 1);
+    }
+
+    #[test]
+    fn zero_length_page_keeps() {
+        // A zero-byte "page" can't shrink; default policy keeps 0:0.
+        let t = ThresholdPolicy::default();
+        assert_eq!(t.evaluate(0, 0), CompressDecision::Keep);
+    }
+}

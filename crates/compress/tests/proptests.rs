@@ -1,0 +1,109 @@
+//! Property-based tests over all codecs.
+//!
+//! The compression cache stakes data integrity on these codecs: a page that
+//! fails to roundtrip is silent memory corruption in the simulated system.
+//! So we hammer the roundtrip and the decoder's robustness with generated
+//! inputs, including structured ones that look like real page contents.
+
+use cc_compress::{Compressor, Lzrw1, Lzss, Null, Rle};
+use proptest::prelude::*;
+
+fn codecs() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(Lzrw1::new()),
+        Box::new(Lzrw1::with_entries(256)),
+        Box::new(Lzss::new()),
+        Box::new(Rle::new()),
+        Box::new(Null::new()),
+    ]
+}
+
+/// Inputs biased toward page-like structure: runs, repeated words, and raw
+/// noise, in arbitrary concatenation.
+fn page_like() -> impl Strategy<Value = Vec<u8>> {
+    let chunk = prop_oneof![
+        // A run of one byte.
+        (any::<u8>(), 1usize..200).prop_map(|(b, n)| vec![b; n]),
+        // A small repeated "word".
+        (proptest::collection::vec(any::<u8>(), 1..8), 1usize..40)
+            .prop_map(|(w, n)| w.iter().cycle().take(w.len() * n).cloned().collect()),
+        // Raw noise.
+        proptest::collection::vec(any::<u8>(), 0..256),
+    ];
+    proptest::collection::vec(chunk, 0..12).prop_map(|chunks| chunks.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn roundtrip_arbitrary_bytes(input in proptest::collection::vec(any::<u8>(), 0..6000)) {
+        for codec in codecs().iter_mut() {
+            let mut packed = Vec::new();
+            let n = codec.compress(&input, &mut packed);
+            prop_assert!(n <= codec.max_compressed_len(input.len()));
+            let mut out = Vec::new();
+            codec.decompress(&packed, &mut out, input.len()).unwrap();
+            prop_assert_eq!(&out, &input, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn roundtrip_page_like(input in page_like()) {
+        for codec in codecs().iter_mut() {
+            let mut packed = Vec::new();
+            codec.compress(&input, &mut packed);
+            let mut out = Vec::new();
+            codec.decompress(&packed, &mut out, input.len()).unwrap();
+            prop_assert_eq!(&out, &input, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+        expected in 0usize..5000,
+    ) {
+        for codec in codecs().iter_mut() {
+            let mut out = Vec::new();
+            // Any result is fine; panicking or producing the wrong length is not.
+            if codec.decompress(&garbage, &mut out, expected).is_ok() {
+                prop_assert_eq!(out.len(), expected, "codec {}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_bitflipped_valid_input(
+        input in page_like(),
+        flip_byte in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        for codec in codecs().iter_mut() {
+            let mut packed = Vec::new();
+            codec.compress(&input, &mut packed);
+            if packed.is_empty() {
+                continue;
+            }
+            let idx = flip_byte % packed.len();
+            packed[idx] ^= 1 << flip_bit;
+            let mut out = Vec::new();
+            // Corruption may or may not be detected (no checksums, as in
+            // the original), but must never panic or overrun.
+            if codec.decompress(&packed, &mut out, input.len()).is_ok() {
+                prop_assert_eq!(out.len(), input.len());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_output_is_deterministic(input in page_like()) {
+        for codec in codecs().iter_mut() {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            codec.compress(&input, &mut a);
+            codec.compress(&input, &mut b);
+            prop_assert_eq!(&a, &b, "codec {}", codec.name());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Configuration of the compression cache mechanism.
+
+use cc_compress::ThresholdPolicy;
+
+/// Tunables of the cache mechanism, with the paper's values as defaults.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// VM page size in bytes (4 KB on the DECstation).
+    pub page_bytes: usize,
+    /// Fragment size compressed pages are padded to on backing store
+    /// (§4.3: "pads each compressed page to a uniform fragment size
+    /// (currently 1 Kbyte)").
+    pub fragment_bytes: usize,
+    /// Bytes of compressed pages written to backing store in one batch
+    /// (§4.3: "Currently 32 Kbytes of compressed pages are written at
+    /// once"). Also the swap cluster size.
+    pub cluster_bytes: usize,
+    /// File-system block size on the backing store (4 KB).
+    pub block_bytes: usize,
+    /// Whether compressed pages may span file-block boundaries (§4.3:
+    /// "The system is parameterized to determine whether pages are
+    /// allowed to span file block boundaries"). Spanning reduces
+    /// fragmentation but can turn a 4 KB page-in read into an 8 KB one.
+    pub allow_span: bool,
+    /// Keep-compressed threshold (§5.2's 4:3).
+    pub threshold: ThresholdPolicy,
+    /// Maximum number of frames the cache may ever map (the size of its
+    /// kernel VA range, fixed at boot in Sprite). Usually the machine's
+    /// whole user frame count.
+    pub max_slots: usize,
+    /// Per-compressed-page header, bytes (§4.4: 36).
+    pub entry_header_bytes: usize,
+    /// Per-mapped-frame kernel header, bytes (§4.4: 24).
+    pub frame_header_bytes: usize,
+    /// On a swap read, also install every other live compressed page found
+    /// in the file blocks that had to be read anyway (§4.3's locality
+    /// argument for spanning reads). Costs no extra I/O.
+    pub swap_readahead: bool,
+}
+
+impl CacheConfig {
+    /// The paper's configuration for a cache over `max_slots` frames.
+    pub fn paper(max_slots: usize) -> Self {
+        CacheConfig {
+            page_bytes: 4096,
+            fragment_bytes: 1024,
+            cluster_bytes: 32 * 1024,
+            block_bytes: 4096,
+            allow_span: true,
+            threshold: ThresholdPolicy::default(),
+            max_slots,
+            entry_header_bytes: 36,
+            frame_header_bytes: 24,
+            swap_readahead: true,
+        }
+    }
+
+    /// Fragments per cluster.
+    pub fn frags_per_cluster(&self) -> usize {
+        self.cluster_bytes / self.fragment_bytes
+    }
+
+    /// Fragments per file block.
+    pub fn frags_per_block(&self) -> usize {
+        self.block_bytes / self.fragment_bytes
+    }
+
+    /// File blocks per cluster.
+    pub fn blocks_per_cluster(&self) -> usize {
+        self.cluster_bytes / self.block_bytes
+    }
+
+    /// Number of fragments needed for `data_len` bytes.
+    pub fn frags_for(&self, data_len: usize) -> usize {
+        data_len.div_ceil(self.fragment_bytes).max(1)
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes do not divide evenly or are zero.
+    pub fn validate(&self) {
+        assert!(self.page_bytes > 0 && self.fragment_bytes > 0);
+        assert!(
+            self.block_bytes.is_multiple_of(self.fragment_bytes),
+            "fragments must divide blocks"
+        );
+        assert!(
+            self.cluster_bytes.is_multiple_of(self.block_bytes),
+            "blocks must divide clusters"
+        );
+        assert!(self.max_slots > 0, "cache needs at least one slot");
+        assert!(
+            self.fragment_bytes <= self.page_bytes,
+            "fragment larger than a page defeats packing"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = CacheConfig::paper(1024);
+        c.validate();
+        assert_eq!(c.frags_per_cluster(), 32);
+        assert_eq!(c.frags_per_block(), 4);
+        assert_eq!(c.blocks_per_cluster(), 8);
+    }
+
+    #[test]
+    fn frags_for_rounds_up() {
+        let c = CacheConfig::paper(1);
+        assert_eq!(c.frags_for(1), 1);
+        assert_eq!(c.frags_for(1024), 1);
+        assert_eq!(c.frags_for(1025), 2);
+        assert_eq!(c.frags_for(4096), 4);
+        assert_eq!(c.frags_for(0), 1, "even an empty page occupies a fragment");
+    }
+
+    #[test]
+    #[should_panic(expected = "fragments must divide blocks")]
+    fn bad_fragment_size_panics() {
+        let mut c = CacheConfig::paper(1);
+        c.fragment_bytes = 1000;
+        c.validate();
+    }
+}

@@ -1,0 +1,694 @@
+//! A standalone, thread-safe compressed page store — the paper's idea as
+//! a modern library API.
+//!
+//! The simulator in this workspace reproduces the 1993 system; this
+//! module is the same mechanism packaged the way its descendants (zram,
+//! zswap, the macOS/Windows compressed memory managers) expose it: a
+//! bounded in-memory store that keeps pages compressed, with optional
+//! spill of the coldest entries to a backing file handled by a background
+//! writer thread — the §4.2 cleaner, for real this time.
+//!
+//! ```
+//! use cc_core::store::{CompressedStore, StoreConfig};
+//!
+//! let store = CompressedStore::new(StoreConfig::in_memory(16 * 1024 * 1024));
+//! let page = vec![7u8; 4096];
+//! store.put(42, &page).unwrap();
+//! let mut out = vec![0u8; 4096];
+//! assert!(store.get(42, &mut out).unwrap());
+//! assert_eq!(out, page);
+//! ```
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cc_compress::{CompressDecision, Compressor, Lzrw1, ThresholdPolicy};
+use cc_util::LruList;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// Configuration of a [`CompressedStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Maximum bytes of compressed data held in memory. Beyond this, the
+    /// coldest entries are spilled (if a spill file is configured) or
+    /// puts fail with [`StoreError::OutOfMemory`].
+    pub memory_budget: usize,
+    /// Optional spill file path; created/truncated on open.
+    pub spill_path: Option<PathBuf>,
+    /// Keep-compressed threshold; pages failing it are stored raw (they
+    /// still count against the budget — exactly the paper's accounting).
+    pub threshold: ThresholdPolicy,
+}
+
+impl StoreConfig {
+    /// Memory-only store with the paper's 4:3 threshold.
+    pub fn in_memory(memory_budget: usize) -> Self {
+        StoreConfig {
+            memory_budget,
+            spill_path: None,
+            threshold: ThresholdPolicy::default(),
+        }
+    }
+
+    /// Store with a spill file for overflow.
+    pub fn with_spill(memory_budget: usize, path: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            memory_budget,
+            spill_path: Some(path.into()),
+            threshold: ThresholdPolicy::default(),
+        }
+    }
+}
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The memory budget is exhausted and no spill file is configured.
+    OutOfMemory,
+    /// Page size differs from the store's page size (fixed at first put).
+    BadPageSize {
+        /// Size the store was created with.
+        expected: usize,
+        /// Size offered.
+        got: usize,
+    },
+    /// Spill-file I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::OutOfMemory => write!(f, "compressed store memory budget exhausted"),
+            StoreError::BadPageSize { expected, got } => {
+                write!(f, "page size mismatch: store uses {expected}, got {got}")
+            }
+            StoreError::Io(e) => write!(f, "spill I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Counters (all monotonic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreStats {
+    /// Pages stored compressed.
+    pub compressed: u64,
+    /// Pages stored raw (failed the threshold).
+    pub stored_raw: u64,
+    /// Gets served from memory.
+    pub hits_memory: u64,
+    /// Gets served from the spill file.
+    pub hits_spill: u64,
+    /// Gets for unknown keys.
+    pub misses: u64,
+    /// Entries spilled to disk.
+    pub spilled: u64,
+    /// Current compressed bytes resident in memory.
+    pub memory_bytes: u64,
+}
+
+enum Residence {
+    /// Compressed (or raw) bytes in memory, LRU-tracked.
+    Memory {
+        data: Arc<Vec<u8>>,
+        handle: cc_util::LruHandle,
+    },
+    /// Handed to the writer; data still readable until the write lands.
+    /// The generation ties the eventual completion to *this* hand-off: a
+    /// key can be replaced and re-spilled while an older job is still
+    /// queued, and the stale completion must not be believed.
+    Spilling { data: Arc<Vec<u8>>, gen: u64 },
+    /// On the spill file.
+    Spilled { offset: u64, len: u32 },
+}
+
+struct Entry {
+    residence: Residence,
+    orig_len: u32,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    lru: LruList<u64>,
+    memory_bytes: usize,
+    page_size: Option<usize>,
+    stats: StoreStats,
+    spill_cursor: u64,
+    next_gen: u64,
+    shutdown: bool,
+}
+
+struct SpillJob {
+    key: u64,
+    gen: u64,
+    data: Arc<Vec<u8>>,
+    offset: u64,
+}
+
+/// The thread-safe compressed page store. Cloneable handles are not
+/// provided; share it behind an `Arc`.
+pub struct CompressedStore {
+    cfg: StoreConfig,
+    inner: Mutex<Inner>,
+    /// Signaled when the writer drains a job (gets waiting on spill
+    /// completion use the entry map, so this is only for backpressure).
+    drained: Condvar,
+    tx: Option<Sender<SpillJob>>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// The spill file for reads (independent handle from the writer's).
+    read_file: Option<Mutex<File>>,
+    /// Shared with the writer thread to mark entries spilled.
+    shared: Arc<SharedSpillState>,
+}
+
+struct SharedSpillState {
+    /// Completed writes: (key, generation, offset, len).
+    done: Mutex<Vec<(u64, u64, u64, u32)>>,
+}
+
+impl CompressedStore {
+    /// Open a store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill file cannot be created.
+    pub fn new(cfg: StoreConfig) -> Self {
+        let shared = Arc::new(SharedSpillState {
+            done: Mutex::new(Vec::new()),
+        });
+        let (tx, writer, read_file) = match &cfg.spill_path {
+            Some(path) => {
+                let write_file = OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .truncate(true)
+                    .open(path)
+                    .expect("create spill file");
+                let read_file = OpenOptions::new()
+                    .read(true)
+                    .open(path)
+                    .expect("open spill file for reads");
+                let (tx, rx): (Sender<SpillJob>, Receiver<SpillJob>) = unbounded();
+                let shared2 = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("cc-store-cleaner".into())
+                    .spawn(move || writer_loop(write_file, rx, shared2))
+                    .expect("spawn cleaner thread");
+                (Some(tx), Some(handle), Some(Mutex::new(read_file)))
+            }
+            None => (None, None, None),
+        };
+        CompressedStore {
+            cfg,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                lru: LruList::new(),
+                memory_bytes: 0,
+                page_size: None,
+                stats: StoreStats::default(),
+                spill_cursor: 0,
+                next_gen: 0,
+                shutdown: false,
+            }),
+            drained: Condvar::new(),
+            tx,
+            writer: Mutex::new(writer),
+            read_file,
+            shared,
+        }
+    }
+
+    /// Store (or replace) `key`'s page.
+    pub fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
+        // Compress outside the lock with a thread-local codec.
+        thread_local! {
+            static CODEC: std::cell::RefCell<(Lzrw1, Vec<u8>)> =
+                std::cell::RefCell::new((Lzrw1::new(), Vec::new()));
+        }
+        let (data, raw) = CODEC.with(|c| {
+            let (codec, buf) = &mut *c.borrow_mut();
+            let n = codec.compress(page, buf);
+            match self.cfg.threshold.evaluate(page.len(), n) {
+                CompressDecision::Keep => (buf[..n].to_vec(), false),
+                CompressDecision::Reject => {
+                    // Stored raw, framed the same way (method byte 0).
+                    let mut v = Vec::with_capacity(page.len() + 1);
+                    v.push(0);
+                    v.extend_from_slice(page);
+                    (v, true)
+                }
+            }
+        });
+
+        let mut inner = self.inner.lock();
+        match inner.page_size {
+            None => inner.page_size = Some(page.len()),
+            Some(ps) if ps != page.len() => {
+                return Err(StoreError::BadPageSize {
+                    expected: ps,
+                    got: page.len(),
+                })
+            }
+            _ => {}
+        }
+        self.remove_locked(&mut inner, key);
+        if raw {
+            inner.stats.stored_raw += 1;
+        } else {
+            inner.stats.compressed += 1;
+        }
+        let len = data.len();
+        let handle = inner.lru.push_mru(key);
+        inner.entries.insert(
+            key,
+            Entry {
+                residence: Residence::Memory {
+                    data: Arc::new(data),
+                    handle,
+                },
+                orig_len: page.len() as u32,
+            },
+        );
+        inner.memory_bytes += len;
+        self.enforce_budget(&mut inner)?;
+        inner.stats.memory_bytes = inner.memory_bytes as u64;
+        Ok(())
+    }
+
+    /// Fetch `key`'s page into `out` (must be page-sized). Returns false
+    /// if the key is unknown.
+    pub fn get(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
+        self.absorb_completed_spills();
+        let mut inner = self.inner.lock();
+        enum Found {
+            InMemory(Arc<Vec<u8>>, Option<cc_util::LruHandle>),
+            OnDisk(u64, u32),
+        }
+        let (found, orig_len) = {
+            let Some(entry) = inner.entries.get(&key) else {
+                inner.stats.misses += 1;
+                return Ok(false);
+            };
+            let orig_len = entry.orig_len as usize;
+            let found = match &entry.residence {
+                Residence::Memory { data, handle } => {
+                    Found::InMemory(Arc::clone(data), Some(*handle))
+                }
+                Residence::Spilling { data, .. } => Found::InMemory(Arc::clone(data), None),
+                Residence::Spilled { offset, len } => Found::OnDisk(*offset, *len),
+            };
+            (found, orig_len)
+        };
+        if out.len() != orig_len {
+            return Err(StoreError::BadPageSize {
+                expected: orig_len,
+                got: out.len(),
+            });
+        }
+        match found {
+            Found::InMemory(data, handle) => {
+                if let Some(h) = handle {
+                    inner.lru.touch(h);
+                }
+                inner.stats.hits_memory += 1;
+                drop(inner);
+                self.decompress_into(&data, orig_len, out);
+            }
+            Found::OnDisk(offset, len) => {
+                inner.stats.hits_spill += 1;
+                drop(inner);
+                let mut buf = vec![0u8; len as usize];
+                {
+                    let mut f = self
+                        .read_file
+                        .as_ref()
+                        .expect("spilled entry without spill file")
+                        .lock();
+                    f.seek(SeekFrom::Start(offset))?;
+                    f.read_exact(&mut buf)?;
+                }
+                self.decompress_into(&buf, orig_len, out);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Remove a key (e.g. the page was freed). Returns whether it existed.
+    pub fn remove(&self, key: u64) -> bool {
+        self.absorb_completed_spills();
+        let mut inner = self.inner.lock();
+        self.remove_locked(&mut inner, key)
+    }
+
+    /// Whether the store currently knows `key`.
+    pub fn contains(&self, key: u64) -> bool {
+        self.absorb_completed_spills();
+        self.inner.lock().entries.contains_key(&key)
+    }
+
+    /// Number of stored pages (memory + spill).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> StoreStats {
+        self.absorb_completed_spills();
+        let mut inner = self.inner.lock();
+        inner.stats.memory_bytes = inner.memory_bytes as u64;
+        inner.stats
+    }
+
+    fn decompress_into(&self, data: &[u8], orig_len: usize, out: &mut [u8]) {
+        thread_local! {
+            static DECODEC: std::cell::RefCell<(Lzrw1, Vec<u8>)> =
+                std::cell::RefCell::new((Lzrw1::new(), Vec::new()));
+        }
+        DECODEC.with(|c| {
+            let (codec, buf) = &mut *c.borrow_mut();
+            codec
+                .decompress(data, buf, orig_len)
+                .expect("corrupt page in store");
+            out.copy_from_slice(buf);
+        });
+    }
+
+    fn remove_locked(&self, inner: &mut Inner, key: u64) -> bool {
+        match inner.entries.remove(&key) {
+            Some(e) => {
+                if let Residence::Memory { data, handle } = &e.residence {
+                    inner.memory_bytes -= data.len();
+                    inner.lru.remove(*handle);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Evict coldest memory entries until under budget.
+    fn enforce_budget(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        while inner.memory_bytes > self.cfg.memory_budget {
+            let Some((_, &victim)) = inner.lru.peek_lru() else {
+                // Everything left is mid-spill; without a spill file this
+                // is simply out of memory.
+                return if self.tx.is_some() {
+                    Ok(())
+                } else {
+                    Err(StoreError::OutOfMemory)
+                };
+            };
+            let Some(tx) = &self.tx else {
+                return Err(StoreError::OutOfMemory);
+            };
+            // Move the victim to Spilling and enqueue the write.
+            let entry = inner.entries.get_mut(&victim).expect("lru/map sync");
+            let Residence::Memory { data, handle } = &entry.residence else {
+                unreachable!("LRU entry not in memory")
+            };
+            let (data, handle) = (Arc::clone(data), *handle);
+            inner.lru.remove(handle);
+            inner.memory_bytes -= data.len();
+            let offset = inner.spill_cursor;
+            inner.spill_cursor += data.len() as u64;
+            let gen = inner.next_gen;
+            inner.next_gen += 1;
+            entry.residence = Residence::Spilling {
+                data: Arc::clone(&data),
+                gen,
+            };
+            inner.stats.spilled += 1;
+            tx.send(SpillJob {
+                key: victim,
+                gen,
+                data,
+                offset,
+            })
+            .expect("cleaner thread died");
+        }
+        Ok(())
+    }
+
+    /// Fold completed writer jobs into the entry map. A completion only
+    /// lands if the entry is still waiting on that exact generation —
+    /// replaced-and-respilled keys ignore stale completions.
+    fn absorb_completed_spills(&self) {
+        let done: Vec<(u64, u64, u64, u32)> = {
+            let mut d = self.shared.done.lock();
+            std::mem::take(&mut *d)
+        };
+        if done.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        for (key, gen, offset, len) in done {
+            let Some(e) = inner.entries.get_mut(&key) else {
+                continue;
+            };
+            let data = match &e.residence {
+                Residence::Spilling { gen: g, data } if *g == gen => Arc::clone(data),
+                _ => continue,
+            };
+            if offset == u64::MAX {
+                // Write failed: fall back to memory residence.
+                let handle = inner.lru.push_mru(key);
+                let bytes = data.len();
+                let e = inner.entries.get_mut(&key).expect("just looked up");
+                e.residence = Residence::Memory { data, handle };
+                inner.memory_bytes += bytes;
+            } else {
+                e.residence = Residence::Spilled { offset, len };
+            }
+        }
+        self.drained.notify_all();
+    }
+
+    /// Block until the cleaner has drained all pending spills (tests and
+    /// orderly shutdown).
+    pub fn flush(&self) {
+        loop {
+            self.absorb_completed_spills();
+            let inner = self.inner.lock();
+            let pending = inner
+                .entries
+                .values()
+                .any(|e| matches!(e.residence, Residence::Spilling { .. }));
+            if !pending {
+                return;
+            }
+            drop(inner);
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl Drop for CompressedStore {
+    fn drop(&mut self) {
+        self.inner.lock().shutdown = true;
+        // Closing the channel stops the writer.
+        self.tx = None;
+        if let Some(handle) = self.writer.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn writer_loop(mut file: File, rx: Receiver<SpillJob>, shared: Arc<SharedSpillState>) {
+    while let Ok(job) = rx.recv() {
+        let ok = file.seek(SeekFrom::Start(job.offset)).is_ok() && file.write_all(&job.data).is_ok();
+        let _ = file.flush();
+        // A failed write reports offset u64::MAX: the store reverts the
+        // entry to memory residence rather than losing the data or hanging
+        // `flush` on a completion that never comes.
+        let offset = if ok { job.offset } else { u64::MAX };
+        shared
+            .done
+            .lock()
+            .push((job.key, job.gen, offset, job.data.len() as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(tag: u8) -> Vec<u8> {
+        let mut p = vec![0u8; 4096];
+        for (i, b) in p.iter_mut().enumerate() {
+            *b = tag.wrapping_add((i / 97) as u8);
+        }
+        p
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        for k in 0..32u64 {
+            store.put(k, &page(k as u8)).unwrap();
+        }
+        let mut out = vec![0u8; 4096];
+        for k in 0..32u64 {
+            assert!(store.get(k, &mut out).unwrap());
+            assert_eq!(out, page(k as u8), "key {k}");
+        }
+        assert!(!store.get(999, &mut out).unwrap());
+        let s = store.stats();
+        assert_eq!(s.compressed, 32);
+        assert_eq!(s.misses, 1);
+        assert!(s.memory_bytes > 0 && s.memory_bytes < 32 * 4096);
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        store.put(1, &page(1)).unwrap();
+        store.put(1, &page(2)).unwrap();
+        let mut out = vec![0u8; 4096];
+        store.get(1, &mut out).unwrap();
+        assert_eq!(out, page(2));
+        assert!(store.remove(1));
+        assert!(!store.remove(1));
+        assert!(store.is_empty());
+        assert_eq!(store.stats().memory_bytes, 0);
+    }
+
+    #[test]
+    fn raw_pages_counted_and_returned() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        let mut rng = cc_util::SplitMix64::new(5);
+        let noise: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+        store.put(7, &noise).unwrap();
+        assert_eq!(store.stats().stored_raw, 1);
+        let mut out = vec![0u8; 4096];
+        assert!(store.get(7, &mut out).unwrap());
+        assert_eq!(out, noise);
+    }
+
+    #[test]
+    fn out_of_memory_without_spill() {
+        let store = CompressedStore::new(StoreConfig::in_memory(2048));
+        let mut rng = cc_util::SplitMix64::new(9);
+        let noise: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+        let err = store.put(1, &noise).unwrap_err();
+        assert!(matches!(err, StoreError::OutOfMemory));
+    }
+
+    #[test]
+    fn page_size_is_enforced() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        store.put(1, &page(1)).unwrap();
+        let err = store.put(2, &vec![0u8; 2048]).unwrap_err();
+        assert!(matches!(err, StoreError::BadPageSize { .. }));
+    }
+
+    #[test]
+    fn spills_to_file_and_reads_back() {
+        let dir = std::env::temp_dir().join(format!("ccstore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spill.bin");
+        {
+            // Budget fits only a handful of compressed pages.
+            let store = CompressedStore::new(StoreConfig::with_spill(8 * 1024, &path));
+            for k in 0..64u64 {
+                store.put(k, &page(k as u8)).unwrap();
+            }
+            store.flush();
+            let s = store.stats();
+            assert!(s.spilled > 0, "must have spilled: {s:?}");
+            assert!(s.memory_bytes <= 8 * 1024);
+            let mut out = vec![0u8; 4096];
+            for k in 0..64u64 {
+                assert!(store.get(k, &mut out).unwrap(), "key {k} lost");
+                assert_eq!(out, page(k as u8), "key {k} corrupted");
+            }
+            assert!(store.stats().hits_spill > 0);
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn concurrent_threads_round_trip() {
+        let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(64 << 20)));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let base = t * 10_000;
+                let mut out = vec![0u8; 4096];
+                for i in 0..500u64 {
+                    let key = base + i;
+                    store.put(key, &page((key % 251) as u8)).unwrap();
+                    // Read back a key written earlier by this thread.
+                    let probe = base + i / 2;
+                    assert!(store.get(probe, &mut out).unwrap());
+                    assert_eq!(out, page((probe % 251) as u8));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 8 * 500);
+    }
+
+    #[test]
+    fn concurrent_with_spill_pressure() {
+        let dir = std::env::temp_dir().join(format!("ccstore-mt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spill.bin");
+        {
+            let store = Arc::new(CompressedStore::new(StoreConfig::with_spill(
+                16 * 1024,
+                &path,
+            )));
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let store = Arc::clone(&store);
+                handles.push(std::thread::spawn(move || {
+                    let base = t * 1000;
+                    let mut out = vec![0u8; 4096];
+                    for i in 0..200u64 {
+                        store.put(base + i, &page(((base + i) % 251) as u8)).unwrap();
+                        if i % 3 == 0 {
+                            let probe = base + i / 2;
+                            assert!(store.get(probe, &mut out).unwrap(), "{probe}");
+                            assert_eq!(out, page((probe % 251) as u8));
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            store.flush();
+            let mut out = vec![0u8; 4096];
+            for t in 0..4u64 {
+                for i in 0..200u64 {
+                    let key = t * 1000 + i;
+                    assert!(store.get(key, &mut out).unwrap(), "key {key} lost");
+                    assert_eq!(out, page((key % 251) as u8), "key {key} corrupted");
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests of the standalone `CompressedStore` against a model.
+
+use cc_core::store::{CompressedStore, StoreConfig};
+use cc_util::SplitMix64;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const PAGE: usize = 1024; // smaller pages keep the cases fast
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, seed: u16, noisy: bool },
+    Get { key: u8 },
+    Remove { key: u8 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>(), any::<bool>())
+            .prop_map(|(key, seed, noisy)| Op::Put { key, seed, noisy }),
+        any::<u8>().prop_map(|key| Op::Get { key }),
+        any::<u8>().prop_map(|key| Op::Remove { key }),
+    ]
+}
+
+fn page_for(seed: u16, noisy: bool) -> Vec<u8> {
+    if noisy {
+        let mut rng = SplitMix64::new(seed as u64);
+        (0..PAGE).map(|_| rng.next_u64() as u8).collect()
+    } else {
+        let mut p = vec![0u8; PAGE];
+        for (i, b) in p.iter_mut().enumerate() {
+            *b = ((seed as usize + i / 31) % 251) as u8;
+        }
+        p
+    }
+}
+
+fn run_ops(store: &CompressedStore, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+    let mut out = vec![0u8; PAGE];
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Put { key, seed, noisy } => {
+                let page = page_for(seed, noisy);
+                store.put(key as u64, &page).unwrap();
+                model.insert(key, page);
+            }
+            Op::Get { key } => {
+                let found = store.get(key as u64, &mut out).unwrap();
+                match model.get(&key) {
+                    Some(expect) => {
+                        prop_assert!(found, "op {i}: key {key} lost");
+                        prop_assert_eq!(&out, expect, "op {} key {} corrupted", i, key);
+                    }
+                    None => prop_assert!(!found, "op {i}: phantom key {key}"),
+                }
+            }
+            Op::Remove { key } => {
+                let existed = store.remove(key as u64);
+                prop_assert_eq!(existed, model.remove(&key).is_some(), "op {}", i);
+            }
+        }
+    }
+    // Final verification of every key.
+    for (key, expect) in &model {
+        let found = store.get(*key as u64, &mut out).unwrap();
+        prop_assert!(found, "final: key {key} lost");
+        prop_assert_eq!(&out, expect, "final key {} corrupted", key);
+    }
+    prop_assert_eq!(store.len(), model.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unbounded in-memory store matches the model exactly.
+    #[test]
+    fn in_memory_matches_model(ops in proptest::collection::vec(op(), 1..150)) {
+        let store = CompressedStore::new(StoreConfig::in_memory(64 << 20));
+        run_ops(&store, &ops)?;
+    }
+
+    /// A tightly budgeted store with a spill file still matches the model:
+    /// every path (memory hit, mid-spill hit, disk hit) returns exact data.
+    #[test]
+    fn spilling_store_matches_model(ops in proptest::collection::vec(op(), 1..150)) {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "ccstore-prop-{}-{:x}.bin",
+            std::process::id(),
+            // Distinct file per case: hash the op count and first op debug.
+            ops.len() as u64 ^ (std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos() as u64)
+        ));
+        {
+            // Budget of ~4 compressed pages forces constant spilling.
+            let store = CompressedStore::new(StoreConfig::with_spill(4 * PAGE, &path));
+            run_ops(&store, &ops)?;
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,34 @@
+//! Whole-system virtual-time simulator.
+//!
+//! This crate wires every substrate together the way the modified Sprite
+//! kernel does: a [`cc_vm::Vm`] over a shared [`cc_mem::FramePool`], a
+//! [`cc_blockfs::FileSystem`] on a [`cc_disk::Disk`], an optional
+//! [`cc_core::CompressionCache`], and — the §4.2 contribution — a
+//! **three-way memory arbiter** that trades physical frames among
+//! uncompressed VM pages, file-cache blocks, and compressed pages by
+//! comparing biased LRU ages.
+//!
+//! Workloads drive [`System`] through word- and slice-granularity reads
+//! and writes on segments; every cost (memory reference, fault overhead,
+//! compression, copies, disk time) advances one deterministic virtual
+//! clock. The same [`System`] runs in two modes:
+//!
+//! - [`Mode::Std`] — the unmodified system: evicted dirty pages go
+//!   straight to a per-segment swap file at a fixed page-to-block offset
+//!   (two seeks per thrashing fault, §5.1);
+//! - [`Mode::Cc`] — the compression cache interposed, with the paper's
+//!   fragment/batch backing-store interface.
+//!
+//! The *only* code that differs between the modes is the eviction and
+//! fault-service policy — the measurement plumbing is shared, which keeps
+//! the std-vs-cc comparisons honest.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod stats;
+pub mod system;
+
+pub use config::{CcParams, CodecKind, Mode, SimConfig};
+pub use stats::{SystemReport, SystemStats};
+pub use system::System;

@@ -1,0 +1,420 @@
+//! Whole-system tests: data integrity through every paging path, and the
+//! first-order performance shapes the paper predicts.
+
+use cc_sim::{Mode, SimConfig, System};
+use cc_util::SplitMix64;
+
+const MB: usize = 1024 * 1024;
+
+fn small_system(mode: Mode, memory_mb: usize) -> System {
+    System::new(SimConfig::decstation(memory_mb * MB, mode))
+}
+
+#[test]
+fn reads_your_writes_within_memory() {
+    for mode in [Mode::Std, Mode::Cc] {
+        let mut sys = small_system(mode, 4);
+        let seg = sys.create_segment(MB as u64);
+        for i in 0..100u64 {
+            sys.write_u32(seg, i * 4096 % MB as u64 + (i * 4) % 4000, i as u32);
+        }
+        for i in 0..100u64 {
+            let v = sys.read_u32(seg, i * 4096 % MB as u64 + (i * 4) % 4000);
+            assert_eq!(v, i as u32, "mode {mode:?}");
+        }
+        sys.check_invariants();
+    }
+}
+
+#[test]
+fn untouched_pages_read_zero() {
+    for mode in [Mode::Std, Mode::Cc] {
+        let mut sys = small_system(mode, 4);
+        let seg = sys.create_segment(MB as u64);
+        assert_eq!(sys.read_u32(seg, 123_456), 0, "{mode:?}");
+        assert_eq!(sys.read_u8(seg, 999), 0, "{mode:?}");
+    }
+}
+
+/// Fill an address space twice the size of memory, then read it all back:
+/// every byte must survive eviction through whichever path it took.
+#[test]
+fn integrity_under_heavy_paging() {
+    for mode in [Mode::Std, Mode::Cc] {
+        let mut sys = small_system(mode, 2); // 512 frames
+        let space = 4 * MB as u64; // 1024 pages
+        let seg = sys.create_segment(space);
+        let mut rng = SplitMix64::new(42);
+        // Write a deterministic pattern: word = hash(page, slot).
+        for page in 0..(space / 4096) {
+            for slot in 0..4u64 {
+                let off = page * 4096 + slot * 1000;
+                sys.write_u32(seg, off, (page * 31 + slot * 7) as u32);
+            }
+        }
+        // Random revisits.
+        for _ in 0..2000 {
+            let page = rng.gen_range(space / 4096);
+            let slot = rng.gen_range(4);
+            let off = page * 4096 + slot * 1000;
+            let v = sys.read_u32(seg, off);
+            assert_eq!(v, (page * 31 + slot * 7) as u32, "mode {mode:?} page {page}");
+        }
+        sys.check_invariants();
+        assert!(sys.vm_stats().faults() > 0, "workload must page");
+    }
+}
+
+/// Mixed read/write paging with random page contents of varying
+/// compressibility — the cc path must never corrupt data even when many
+/// pages fail the threshold.
+#[test]
+fn integrity_with_incompressible_pages() {
+    let mut sys = small_system(Mode::Cc, 2);
+    let space = 5 * MB as u64;
+    let seg = sys.create_segment(space);
+    let npages = space / 4096;
+    let mut rng = SplitMix64::new(7);
+    let mut expected: Vec<u32> = vec![0; npages as usize];
+    // Fill pages: even pages compressible (word pattern), odd pages random
+    // noise via many distinct writes.
+    for p in 0..npages {
+        let base = p * 4096;
+        if p % 2 == 0 {
+            sys.write_u32(seg, base, p as u32);
+            expected[p as usize] = p as u32;
+        } else {
+            // Scatter noise across the page so it fails the threshold.
+            let mut noise = vec![0u8; 4096];
+            for b in noise.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            sys.write_slice(seg, base, &noise);
+            let tag = u32::from_le_bytes([noise[0], noise[1], noise[2], noise[3]]);
+            expected[p as usize] = tag;
+        }
+    }
+    for p in 0..npages {
+        let v = sys.read_u32(seg, p * 4096);
+        assert_eq!(v, expected[p as usize], "page {p}");
+    }
+    let core = sys.core_stats().unwrap();
+    assert!(
+        core.compress_rejected > 0,
+        "noise pages should fail the threshold: {core:?}"
+    );
+    assert!(core.compress_kept > 0);
+    sys.check_invariants();
+}
+
+/// The headline claim: a cyclic working set slightly larger than memory,
+/// with compressible contents, runs much faster with the compression cache
+/// because faults become decompressions instead of disk I/O.
+#[test]
+fn cc_beats_std_on_compressible_thrash() {
+    let mut times = Vec::new();
+    for mode in [Mode::Std, Mode::Cc] {
+        let mut sys = small_system(mode, 2); // 2 MB memory
+        let space = 4 * MB as u64; // 2x memory
+        let seg = sys.create_segment(space);
+        let npages = space / 4096;
+        // Two sequential passes, one word per page (thrasher-style).
+        for pass in 0..3u64 {
+            for p in 0..npages {
+                sys.write_u32(seg, p * 4096, (p + pass) as u32);
+            }
+        }
+        times.push(sys.now());
+        sys.check_invariants();
+    }
+    let (std_t, cc_t) = (times[0], times[1]);
+    assert!(
+        cc_t.as_ns() * 2 < std_t.as_ns(),
+        "cc should win big: std={std_t} cc={cc_t}"
+    );
+}
+
+/// Anti-claim (Table 1's sort_random/gold rows): on incompressible data
+/// the cache wastes compression effort and must not win; with the paging
+/// pattern identical, it should be at best comparable and typically
+/// slower.
+#[test]
+fn cc_does_not_beat_std_on_incompressible_thrash() {
+    let mut times = Vec::new();
+    let mut noise_page = vec![0u8; 4096];
+    for mode in [Mode::Std, Mode::Cc] {
+        let mut sys = small_system(mode, 2);
+        let space = 4 * MB as u64;
+        let seg = sys.create_segment(space);
+        let npages = space / 4096;
+        let mut rng = SplitMix64::new(99);
+        for pass in 0..3u64 {
+            for p in 0..npages {
+                if pass == 0 {
+                    for b in noise_page.iter_mut() {
+                        *b = rng.next_u64() as u8;
+                    }
+                    sys.write_slice(seg, p * 4096, &noise_page);
+                } else {
+                    sys.write_u32(seg, p * 4096 + 8, (p + pass) as u32);
+                }
+            }
+        }
+        times.push(sys.now());
+    }
+    let (std_t, cc_t) = (times[0], times[1]);
+    assert!(
+        cc_t.as_ns() as f64 > std_t.as_ns() as f64 * 0.95,
+        "cc must not win on noise: std={std_t} cc={cc_t}"
+    );
+}
+
+/// The cache must stay out of the way when the working set fits (§3:
+/// "if the collective working set ... fits into physical memory without
+/// the need to compress pages, the compression cache should stay out of
+/// the way").
+#[test]
+fn cc_stays_out_of_the_way_when_fitting() {
+    let mut times = Vec::new();
+    for mode in [Mode::Std, Mode::Cc] {
+        let mut sys = small_system(mode, 8);
+        let seg = sys.create_segment(2 * MB as u64); // fits easily
+        for pass in 0..5u64 {
+            for p in 0..(2 * MB as u64 / 4096) {
+                sys.write_u32(seg, p * 4096, (p + pass) as u32);
+            }
+        }
+        assert_eq!(
+            sys.disk_stats().requests(),
+            0,
+            "{mode:?}: no paging I/O when fitting"
+        );
+        times.push(sys.now());
+    }
+    // Identical times: the cc machinery never engaged.
+    assert_eq!(times[0], times[1]);
+}
+
+#[test]
+fn file_cache_trades_memory_with_vm() {
+    let mut sys = small_system(Mode::Cc, 2);
+    // Fill the file cache by streaming a file larger than memory.
+    let file = sys.file_create("data", 1024); // 4 MB
+    let mut buf = vec![0u8; 4096];
+    for b in 0..1024u64 {
+        sys.file_read(file, b * 4096, &mut buf);
+    }
+    assert!(sys.sys_stats().file_misses > 0);
+    sys.check_invariants();
+    // Now a VM working set pushes the file blocks out.
+    let seg = sys.create_segment(3 * MB as u64);
+    for p in 0..(3 * MB as u64 / 4096) {
+        sys.write_u32(seg, p * 4096, p as u32);
+    }
+    sys.check_invariants();
+    // File cache must have shrunk below its peak to make room.
+    let counts_fs = 1024usize;
+    assert!(
+        sys.sys_stats().file_hits + sys.sys_stats().file_misses >= counts_fs as u64,
+        "sanity"
+    );
+}
+
+#[test]
+fn file_write_read_back_through_cache() {
+    let mut sys = small_system(Mode::Std, 4);
+    let file = sys.file_create("log", 64);
+    let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    sys.file_write(file, 1000, &data);
+    let mut out = vec![0u8; data.len()];
+    sys.file_read(file, 1000, &mut out);
+    assert_eq!(out, data);
+    sys.check_invariants();
+}
+
+#[test]
+fn release_segment_frees_everything() {
+    let mut sys = small_system(Mode::Cc, 2);
+    let seg = sys.create_segment(4 * MB as u64);
+    for p in 0..(4 * MB as u64 / 4096) {
+        sys.write_u32(seg, p * 4096, p as u32);
+    }
+    sys.release_segment(seg);
+    sys.check_invariants();
+    // A new segment can use the whole machine again.
+    let seg2 = sys.create_segment(MB as u64);
+    for p in 0..(MB as u64 / 4096) {
+        sys.write_u32(seg2, p * 4096, p as u32);
+    }
+    for p in 0..(MB as u64 / 4096) {
+        assert_eq!(sys.read_u32(seg2, p * 4096), p as u32);
+    }
+}
+
+#[test]
+fn overhead_report_reflects_state() {
+    let mut sys = small_system(Mode::Cc, 2);
+    let seg = sys.create_segment(4 * MB as u64);
+    assert_eq!(
+        sys.overhead_report().unwrap().page_table_extension,
+        (4 * MB as u64 / 4096) * 8
+    );
+    for p in 0..(4 * MB as u64 / 4096) {
+        sys.write_u32(seg, p * 4096, p as u32);
+    }
+    let report = sys.overhead_report().unwrap();
+    assert!(report.entry_headers > 0, "cache should hold entries");
+    assert!(report.frame_headers > 0);
+    assert_eq!(report.hash_table, 16 * 1024);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let mut sys = small_system(Mode::Cc, 2);
+        let seg = sys.create_segment(4 * MB as u64);
+        let mut rng = SplitMix64::new(1234);
+        for _ in 0..5000 {
+            let p = rng.gen_range(4 * MB as u64 / 4096);
+            if rng.gen_bool(0.5) {
+                sys.write_u32(seg, p * 4096, p as u32);
+            } else {
+                let _ = sys.read_u32(seg, p * 4096);
+            }
+        }
+        (sys.now(), sys.vm_stats().faults(), sys.disk_stats().bytes())
+    };
+    assert_eq!(run(), run(), "virtual time must be exactly reproducible");
+}
+
+#[test]
+fn report_renders() {
+    let mut sys = small_system(Mode::Cc, 2);
+    let seg = sys.create_segment(4 * MB as u64);
+    for p in 0..(4 * MB as u64 / 4096) {
+        sys.write_u32(seg, p * 4096, p as u32);
+    }
+    let r = sys.report();
+    assert_eq!(r.mode, "cc");
+    assert!(r.elapsed_secs > 0.0);
+    assert!(r.compress_attempts > 0);
+    let text = r.render();
+    assert!(text.contains("compression:"));
+}
+
+#[test]
+fn adaptive_disable_reduces_wasted_compression() {
+    // Stream incompressible pages; with adaptive disable the system stops
+    // paying compression on every eviction.
+    let run = |adaptive: u32| {
+        let mut cfg = SimConfig::decstation(2 * MB, Mode::Cc);
+        cfg.cc.adaptive_disable_after = adaptive;
+        let mut sys = System::new(cfg);
+        let seg = sys.create_segment(6 * MB as u64);
+        let mut rng = SplitMix64::new(5);
+        let mut page = vec![0u8; 4096];
+        for p in 0..(6 * MB as u64 / 4096) {
+            for b in page.iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            sys.write_slice(seg, p * 4096, &page);
+        }
+        (
+            sys.now(),
+            sys.core_stats().unwrap().compress_attempts,
+        )
+    };
+    let (t_plain, attempts_plain) = run(0);
+    let (t_adaptive, attempts_adaptive) = run(8);
+    assert!(
+        attempts_adaptive < attempts_plain / 2,
+        "adaptive mode must skip most compressions: {attempts_adaptive} vs {attempts_plain}"
+    );
+    assert!(
+        t_adaptive < t_plain,
+        "skipping wasted compression must save time: {t_adaptive} vs {t_plain}"
+    );
+}
+
+/// §6 extension: with `compress_file_cache` on, re-reading a file that was
+/// evicted from the buffer cache is served by decompression, not disk.
+#[test]
+fn compressed_file_cache_cuts_rereads() {
+    let run = |flag: bool| {
+        let mut cfg = SimConfig::decstation(2 * MB, Mode::Cc);
+        cfg.cc.compress_file_cache = flag;
+        let mut sys = System::new(cfg);
+        let file = sys.file_create("data", 1024); // 4 MB, 2x memory
+        let mut buf = vec![0u8; 4096];
+        // First pass: cold reads from disk either way.
+        for b in 0..1024u64 {
+            sys.file_read(file, b * 4096, &mut buf);
+        }
+        let reads_after_first = sys.disk_stats().reads;
+        let t0 = sys.now();
+        // Second pass, random order (where re-reads cost seeks): with the
+        // extension, evicted blocks come back from the compression cache.
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..1024u64 {
+            let b = rng.gen_range(1024);
+            sys.file_read(file, b * 4096, &mut buf);
+        }
+        (
+            sys.disk_stats().reads - reads_after_first,
+            (sys.now() - t0).as_secs_f64(),
+            sys.sys_stats().file_cc_hits,
+        )
+    };
+    let (reads_off, secs_off, cc_hits_off) = run(false);
+    let (reads_on, secs_on, cc_hits_on) = run(true);
+    assert_eq!(cc_hits_off, 0);
+    assert!(cc_hits_on > 200, "extension should serve re-reads: {cc_hits_on}");
+    assert!(
+        reads_on * 2 < reads_off,
+        "disk reads should drop: {reads_on} vs {reads_off}"
+    );
+    assert!(
+        secs_on < secs_off,
+        "re-read pass should be faster: {secs_on} vs {secs_off}"
+    );
+}
+
+/// The extension preserves file contents exactly, including for dirty
+/// blocks written back before their compressed copy is taken.
+#[test]
+fn compressed_file_cache_integrity() {
+    let mut cfg = SimConfig::decstation(MB, Mode::Cc);
+    cfg.cc.compress_file_cache = true;
+    let mut sys = System::new(cfg);
+    let file = sys.file_create("data", 768); // 3 MB vs 1 MB memory
+    let mut rng = SplitMix64::new(123);
+    let mut model = vec![0u8; 768 * 4096];
+    // Write a patterned file (compressible blocks), then overwrite random
+    // ranges, then read everything back twice.
+    for b in 0..768u64 {
+        let base = (b as usize) * 4096;
+        for (i, slot) in model[base..base + 4096].iter_mut().enumerate() {
+            *slot = ((b as usize + i / 64) % 251) as u8;
+        }
+        let chunk = model[base..base + 4096].to_vec();
+        sys.file_write(file, base as u64, &chunk);
+    }
+    for _ in 0..200 {
+        let off = rng.gen_index(model.len() - 128);
+        let data: Vec<u8> = (0..128).map(|_| rng.next_u64() as u8).collect();
+        sys.file_write(file, off as u64, &data);
+        model[off..off + 128].copy_from_slice(&data);
+    }
+    let mut buf = vec![0u8; 4096];
+    for pass in 0..2 {
+        for b in 0..768u64 {
+            sys.file_read(file, b * 4096, &mut buf);
+            assert_eq!(
+                &buf[..],
+                &model[(b as usize) * 4096..(b as usize + 1) * 4096],
+                "pass {pass} block {b}"
+            );
+        }
+    }
+    sys.check_invariants();
+}

@@ -1,0 +1,147 @@
+//! Human-friendly formatting helpers for reports and harness output.
+
+/// Format a byte count with a binary-unit suffix (`KiB`, `MiB`, ...).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cc_util::fmt::bytes(4096), "4.0KiB");
+/// assert_eq!(cc_util::fmt::bytes(12 * 1024 * 1024), "12.0MiB");
+/// assert_eq!(cc_util::fmt::bytes(512), "512B");
+/// ```
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    if n < 1024 {
+        return format!("{n}B");
+    }
+    let mut v = n as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    format!("{v:.1}{}", UNITS[unit])
+}
+
+/// Format a duration given in seconds as the paper's `minutes:seconds`
+/// (Table 1 style).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cc_util::fmt::min_sec(974.0), "16:14");
+/// assert_eq!(cc_util::fmt::min_sec(59.6), "1:00");
+/// ```
+pub fn min_sec(secs: f64) -> String {
+    let total = secs.round() as u64;
+    format!("{}:{:02}", total / 60, total % 60)
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Left-pad `s` to `width` columns.
+pub fn pad_left(s: &str, width: usize) -> String {
+    if s.len() >= width {
+        s.to_string()
+    } else {
+        format!("{}{}", " ".repeat(width - s.len()), s)
+    }
+}
+
+/// Right-pad `s` to `width` columns.
+pub fn pad_right(s: &str, width: usize) -> String {
+    if s.len() >= width {
+        s.to_string()
+    } else {
+        format!("{}{}", s, " ".repeat(width - s.len()))
+    }
+}
+
+/// Render a simple aligned table: `header` then `rows`, columns padded to
+/// the widest cell. Intended for harness stdout, not for machine parsing.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&pad_right(cell, widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_units() {
+        assert_eq!(bytes(0), "0B");
+        assert_eq!(bytes(1023), "1023B");
+        assert_eq!(bytes(1024), "1.0KiB");
+        assert_eq!(bytes(1536), "1.5KiB");
+        assert_eq!(bytes(1 << 30), "1.0GiB");
+        assert!(bytes(u64::MAX).contains("TiB"));
+    }
+
+    #[test]
+    fn min_sec_matches_paper_style() {
+        // Table 1 lists compare as 16:14 (974 seconds).
+        assert_eq!(min_sec(974.0), "16:14");
+        assert_eq!(min_sec(0.0), "0:00");
+        assert_eq!(min_sec(3599.9), "60:00");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.314), "31.4%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn padding() {
+        assert_eq!(pad_left("ab", 4), "  ab");
+        assert_eq!(pad_right("ab", 4), "ab  ");
+        assert_eq!(pad_left("abcde", 4), "abcde");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+}

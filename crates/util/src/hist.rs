@@ -1,0 +1,255 @@
+//! Simple histograms for latency and ratio statistics.
+//!
+//! The evaluation harnesses report means, percentiles, and distributions of
+//! page access times and per-page compression ratios. A power-of-two
+//! bucketed histogram keeps memory constant while preserving enough
+//! resolution (±50% per bucket, refined by a linear sub-bucket split) for
+//! the figures in the paper.
+
+/// A log2-bucketed histogram of `u64` samples with 8 linear sub-buckets per
+/// power of two (HdrHistogram-style, fixed precision).
+///
+/// # Examples
+///
+/// ```
+/// use cc_util::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), 1);
+/// assert_eq!(h.max(), 100);
+/// assert!((h.mean() - 21.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// bucket index = 8*floor(log2(v)) + next 3 bits of v.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64 * SUB + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        let log = 63 - v.leading_zeros();
+        if log <= SUB_BITS {
+            // Values < 16 get exact-ish small buckets at the front.
+            return v as usize;
+        }
+        let sub = ((v >> (log - SUB_BITS)) & ((SUB as u64) - 1)) as usize;
+        (log as usize) * SUB + sub
+    }
+
+    /// Representative (lower-bound) value of a bucket index.
+    fn bucket_floor(idx: usize) -> u64 {
+        // Values below 2^(SUB_BITS + 1) get exact buckets in `bucket_of`
+        // (index == value), so the floor is the index itself.
+        if idx < (1 << (SUB_BITS + 1)) {
+            return idx as u64;
+        }
+        let log = (idx / SUB) as u32;
+        let sub = (idx % SUB) as u64;
+        (1u64 << log) | (sub << (log - SUB_BITS))
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (`u64::MAX` when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`; returns the lower bound of the
+    /// bucket containing the q-th sample (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_floor(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..=8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 8);
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut rng = crate::rng::SplitMix64::new(11);
+        for _ in 0..10_000 {
+            h.record(rng.gen_range(1_000_000));
+        }
+        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        // Median of uniform [0, 1e6) should be in the right ballpark
+        // (log buckets give ±12.5% resolution).
+        let med = h.quantile(0.5) as f64;
+        assert!((350_000.0..650_000.0).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn record_n_equals_loop() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(37, 10);
+        for _ in 0..10 {
+            b.record(37);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn large_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) <= u64::MAX);
+    }
+}

@@ -1,0 +1,33 @@
+//! Utility substrate for the compression-cache reproduction.
+//!
+//! This crate collects the small, dependency-free building blocks shared by
+//! every other crate in the workspace:
+//!
+//! - [`time`] — the virtual-time representation ([`time::Ns`]) used by the
+//!   whole simulator. All costs in the system are expressed as nanoseconds of
+//!   virtual time so that runs are exactly reproducible.
+//! - [`slab`] — a minimal slab allocator with stable integer keys.
+//! - [`lru`] — an intrusive doubly-linked LRU list built on the slab, used by
+//!   the VM resident list, the file buffer cache, and the compression cache.
+//! - [`rng`] — a tiny deterministic SplitMix64 generator for seeded workload
+//!   generation inside core crates (the heavyweight `rand` crate is only used
+//!   by workload *generators*, never by the simulator itself).
+//! - [`hist`] — log-bucketed histograms for latency and ratio statistics.
+//! - [`plot`] — ASCII line charts and heatmaps used by the figure harnesses.
+//! - [`fmt`] — human-friendly byte/time formatting.
+
+#![warn(missing_docs)]
+
+pub mod fmt;
+pub mod hist;
+pub mod lru;
+pub mod plot;
+pub mod rng;
+pub mod slab;
+pub mod time;
+
+pub use hist::Histogram;
+pub use lru::{LruHandle, LruList};
+pub use rng::SplitMix64;
+pub use slab::Slab;
+pub use time::Ns;

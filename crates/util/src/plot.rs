@@ -1,0 +1,168 @@
+//! ASCII plotting for figure harnesses.
+//!
+//! The paper's figures are reproduced as data tables plus quick ASCII
+//! renderings so the shape (crossovers, plateaus, regions) can be eyeballed
+//! straight from the harness output without any plotting toolchain.
+
+/// Render one or more line series as an ASCII chart.
+///
+/// All series share the x positions `xs`. The chart is `width x height`
+/// characters; each series gets the glyph at the same index in `glyphs`
+/// (cycled if there are more series than glyphs).
+pub fn line_chart(
+    title: &str,
+    xs: &[f64],
+    series: &[(&str, Vec<f64>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let mut out = format!("{title}\n");
+    if xs.is_empty() || series.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let xmin = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let xmax = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in ys {
+            if y.is_finite() {
+                ymin = ymin.min(y);
+                ymax = ymax.max(y);
+            }
+        }
+    }
+    if !ymin.is_finite() {
+        out.push_str("(no finite data)\n");
+        return out;
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    let xspan = if (xmax - xmin).abs() < f64::EPSILON {
+        1.0
+    } else {
+        xmax - xmin
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            if !y.is_finite() {
+                continue;
+            }
+            let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let row = (((y - ymin) / (ymax - ymin)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = glyph;
+        }
+    }
+
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:>10.2} |")
+        } else if i == height - 1 {
+            format!("{ymin:>10.2} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10}  {}\n",
+        "",
+        "-".repeat(width.min(width))
+    ));
+    out.push_str(&format!(
+        "{:>10}  {:<10.2}{:>width$.2}\n",
+        "",
+        xmin,
+        xmax,
+        width = width.saturating_sub(10)
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{}={}", glyphs[i % glyphs.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("  ")));
+    out
+}
+
+/// Render a 2-D scalar field as an ASCII heatmap, binning values into the
+/// glyph ramp. Used for the Figure 1 speedup surfaces: the paper shades
+/// three regions (off-scale >6x, 1–6x speedup, slowdown); `thresholds`
+/// selects glyph boundaries.
+///
+/// `grid[row][col]`; row 0 is printed at the top.
+pub fn heatmap(
+    title: &str,
+    grid: &[Vec<f64>],
+    thresholds: &[(f64, char)],
+    below: char,
+) -> String {
+    let mut out = format!("{title}\n");
+    for row in grid {
+        for &v in row {
+            let mut glyph = below;
+            for &(t, g) in thresholds {
+                if v >= t {
+                    glyph = g;
+                }
+            }
+            out.push(glyph);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_contains_series_glyphs() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let s1 = ("up", vec![0.0, 1.0, 2.0, 3.0]);
+        let s2 = ("down", vec![3.0, 2.0, 1.0, 0.0]);
+        let chart = line_chart("test", &xs, &[s1, s2], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("*=up"));
+        assert!(chart.contains("o=down"));
+    }
+
+    #[test]
+    fn line_chart_handles_empty() {
+        let chart = line_chart("empty", &[], &[], 40, 10);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn line_chart_flat_series() {
+        let xs = vec![0.0, 1.0];
+        let chart = line_chart("flat", &xs, &[("c", vec![5.0, 5.0])], 20, 5);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn heatmap_thresholds() {
+        let grid = vec![vec![0.5, 1.5, 7.0]];
+        let hm = heatmap("h", &grid, &[(1.0, '.'), (6.0, '#')], ' ');
+        assert!(hm.contains(" .#"));
+    }
+
+    #[test]
+    fn line_chart_ignores_nan() {
+        let xs = vec![0.0, 1.0, 2.0];
+        let chart = line_chart("nan", &xs, &[("s", vec![1.0, f64::NAN, 3.0])], 20, 5);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,269 @@
+//! A minimal slab allocator with stable `usize` keys.
+//!
+//! The VM page tables, frame descriptors, and LRU lists all need containers
+//! whose elements keep a stable identity while other elements come and go.
+//! `Vec` indices move under removal and `HashMap` costs hashing on the fault
+//! fast path, so we use the classic slab: a vector of slots plus an
+//! intrusive free list threaded through the vacant slots.
+
+/// A slot-stable arena. Keys returned by [`Slab::insert`] remain valid until
+/// the entry is removed; removed keys are recycled.
+///
+/// # Examples
+///
+/// ```
+/// use cc_util::Slab;
+///
+/// let mut slab = Slab::new();
+/// let a = slab.insert("alpha");
+/// let b = slab.insert("beta");
+/// assert_eq!(slab[a], "alpha");
+/// assert_eq!(slab.remove(b), "beta");
+/// let c = slab.insert("gamma"); // reuses b's slot
+/// assert_eq!(c, b);
+/// assert_eq!(slab.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free_head: Option<usize>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Slot<T> {
+    Occupied(T),
+    Vacant { next_free: Option<usize> },
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// Create an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free_head: None,
+            len: 0,
+        }
+    }
+
+    /// Create an empty slab with room for `cap` entries before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free_head: None,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value, returning its stable key.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        match self.free_head {
+            Some(idx) => {
+                let next = match self.slots[idx] {
+                    Slot::Vacant { next_free } => next_free,
+                    Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+                };
+                self.free_head = next;
+                self.slots[idx] = Slot::Occupied(value);
+                idx
+            }
+            None => {
+                self.slots.push(Slot::Occupied(value));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Remove and return the entry at `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not occupied.
+    pub fn remove(&mut self, key: usize) -> T {
+        let slot = std::mem::replace(
+            &mut self.slots[key],
+            Slot::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        match slot {
+            Slot::Occupied(v) => {
+                self.free_head = Some(key);
+                self.len -= 1;
+                v
+            }
+            Slot::Vacant { next_free } => {
+                // Undo the replacement to keep the free list intact.
+                self.slots[key] = Slot::Vacant { next_free };
+                panic!("slab: remove of vacant key {key}");
+            }
+        }
+    }
+
+    /// Shared access to the entry at `key`, if occupied.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.slots.get(key) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Exclusive access to the entry at `key`, if occupied.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.slots.get_mut(key) {
+            Some(Slot::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` refers to a live entry.
+    pub fn contains(&self, key: usize) -> bool {
+        matches!(self.slots.get(key), Some(Slot::Occupied(_)))
+    }
+
+    /// Iterate over `(key, &value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Occupied(v) => Some((i, v)),
+            Slot::Vacant { .. } => None,
+        })
+    }
+
+    /// Iterate over `(key, &mut value)` pairs in key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Occupied(v) => Some((i, v)),
+                Slot::Vacant { .. } => None,
+            })
+    }
+
+    /// Remove every entry.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = None;
+        self.len = 0;
+    }
+}
+
+impl<T> std::ops::Index<usize> for Slab<T> {
+    type Output = T;
+    fn index(&self, key: usize) -> &T {
+        self.get(key).expect("slab: index of vacant key")
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for Slab<T> {
+    fn index_mut(&mut self, key: usize) -> &mut T {
+        self.get_mut(key).expect("slab: index of vacant key")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        assert!(s.is_empty());
+        let a = s.insert(10);
+        let b = s.insert(20);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[a], 10);
+        assert_eq!(*s.get(b).unwrap(), 20);
+        assert_eq!(s.remove(a), 10);
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keys_recycle_lifo() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let b = s.insert(2);
+        s.remove(a);
+        s.remove(b);
+        // LIFO recycling: most recently freed slot first.
+        assert_eq!(s.insert(3), b);
+        assert_eq!(s.insert(4), a);
+    }
+
+    #[test]
+    fn iteration_skips_vacant() {
+        let mut s = Slab::new();
+        let _a = s.insert("a");
+        let b = s.insert("b");
+        let _c = s.insert("c");
+        s.remove(b);
+        let items: Vec<_> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(items, vec!["a", "c"]);
+        for (_, v) in s.iter_mut() {
+            *v = "x";
+        }
+        assert!(s.iter().all(|(_, v)| *v == "x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "remove of vacant key")]
+    fn double_remove_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.remove(a);
+        s.remove(a);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Slab::new();
+        s.insert(1);
+        s.insert(2);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(9), 0);
+    }
+
+    #[test]
+    fn stress_interleaved() {
+        let mut s = Slab::with_capacity(64);
+        let mut keys = Vec::new();
+        for round in 0..100 {
+            for i in 0..10 {
+                keys.push((s.insert(round * 10 + i), round * 10 + i));
+            }
+            // Remove every other key inserted this round.
+            let start = keys.len() - 10;
+            let mut i = start;
+            while i < keys.len() {
+                let (k, v) = keys[i];
+                assert_eq!(s.remove(k), v);
+                keys.remove(i);
+                i += 1;
+            }
+        }
+        for &(k, v) in &keys {
+            assert_eq!(s[k], v);
+        }
+        assert_eq!(s.len(), keys.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests of the foundational containers against reference models.
+//!
+//! The LRU list and slab underpin every cache in the system; a subtle
+//! linking bug would surface as wrong eviction *order* — data would stay
+//! intact while every performance result silently skewed. These tests pin
+//! the exact semantics against straightforward model implementations.
+
+use cc_util::{Histogram, LruHandle, LruList, Slab, SplitMix64};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum LruOp {
+    Push(u32),
+    PushCold(u32),
+    Touch(usize),
+    Remove(usize),
+    PopLru,
+}
+
+fn lru_op() -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        any::<u32>().prop_map(LruOp::Push),
+        any::<u32>().prop_map(LruOp::PushCold),
+        (0usize..64).prop_map(LruOp::Touch),
+        (0usize..64).prop_map(LruOp::Remove),
+        Just(LruOp::PopLru),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The LRU list behaves exactly like a VecDeque model (front = MRU).
+    #[test]
+    fn lru_matches_model(ops in proptest::collection::vec(lru_op(), 1..200)) {
+        let mut lru: LruList<u32> = LruList::new();
+        let mut handles: Vec<LruHandle> = Vec::new();
+        // Model: deque of (handle index, value), front = most recent.
+        let mut model: VecDeque<(usize, u32)> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                LruOp::Push(v) => {
+                    let h = lru.push_mru(v);
+                    handles.push(h);
+                    model.push_front((handles.len() - 1, v));
+                }
+                LruOp::PushCold(v) => {
+                    let h = lru.push_lru(v);
+                    handles.push(h);
+                    model.push_back((handles.len() - 1, v));
+                }
+                LruOp::Touch(i) => {
+                    if let Some(pos) = model.iter().position(|&(hi, _)| hi == i) {
+                        let item = model.remove(pos).unwrap();
+                        model.push_front(item);
+                        lru.touch(handles[i]);
+                    }
+                }
+                LruOp::Remove(i) => {
+                    if let Some(pos) = model.iter().position(|&(hi, _)| hi == i) {
+                        let (_, v) = model.remove(pos).unwrap();
+                        let got = lru.remove(handles[i]);
+                        prop_assert_eq!(got, v);
+                    }
+                }
+                LruOp::PopLru => {
+                    let expect = model.pop_back().map(|(_, v)| v);
+                    prop_assert_eq!(lru.pop_lru(), expect);
+                }
+            }
+            prop_assert_eq!(lru.len(), model.len());
+            lru.check_invariants();
+        }
+        // Full eviction order must match.
+        let mut order = Vec::new();
+        while let Some(v) = lru.pop_lru() {
+            order.push(v);
+        }
+        let expect: Vec<u32> = model.iter().rev().map(|&(_, v)| v).collect();
+        prop_assert_eq!(order, expect);
+    }
+
+    /// The slab behaves like a HashMap keyed by its returned keys.
+    #[test]
+    fn slab_matches_model(ops in proptest::collection::vec(
+        prop_oneof![
+            any::<u64>().prop_map(Some),   // insert value
+            Just(None),                    // remove a random live key
+        ],
+        1..200,
+    )) {
+        let mut slab: Slab<u64> = Slab::new();
+        let mut model: std::collections::HashMap<usize, u64> = Default::default();
+        let mut rng = SplitMix64::new(1);
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let k = slab.insert(v);
+                    prop_assert!(!model.contains_key(&k), "slab reused a live key");
+                    model.insert(k, v);
+                }
+                None => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let keys: Vec<usize> = model.keys().copied().collect();
+                    let k = keys[rng.gen_index(keys.len())];
+                    let expect = model.remove(&k).unwrap();
+                    prop_assert_eq!(slab.remove(k), expect);
+                }
+            }
+            prop_assert_eq!(slab.len(), model.len());
+            for (&k, &v) in &model {
+                prop_assert_eq!(slab.get(k).copied(), Some(v));
+            }
+        }
+    }
+
+    /// Histogram totals are exact and quantiles stay within observed range.
+    #[test]
+    fn histogram_totals_exact(values in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let x = h.quantile(q);
+            prop_assert!(x >= h.min() && x <= h.max());
+        }
+    }
+
+    /// Merging two histograms equals recording everything into one.
+    #[test]
+    fn histogram_merge_equivalent(
+        a in proptest::collection::vec(0u64..100_000, 0..100),
+        b in proptest::collection::vec(0u64..100_000, 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.sum(), hall.sum());
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert_eq!(ha.quantile(q), hall.quantile(q));
+        }
+    }
+}

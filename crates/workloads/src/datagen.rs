@@ -1,0 +1,299 @@
+//! Deterministic data generators with controlled compressibility.
+//!
+//! Table 1's outcomes hinge on what LZRW1 finds in each application's
+//! pages: `compare`'s DP stripe compresses ~3:1, `gold`'s index "slightly
+//! worse than 2:1", and `sort random`'s shuffled text leaves "about 98% of
+//! the pages" under the 4:3 threshold. These generators produce byte
+//! streams in those regimes — verified against the real LZRW1 by this
+//! module's tests, not assumed.
+
+use cc_util::SplitMix64;
+
+/// A synthetic `/usr/dict/words`: deterministic pseudo-English words,
+/// pronounceable enough to have LZ-visible structure.
+pub struct WordList {
+    words: Vec<String>,
+}
+
+impl WordList {
+    /// Generate `n` distinct words from `seed`.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let onsets = [
+            "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l",
+            "m", "n", "p", "pr", "qu", "r", "s", "sh", "sl", "st", "t", "th", "tr", "v", "w",
+        ];
+        let vowels = ["a", "e", "i", "o", "u", "ai", "ea", "ou"];
+        let codas = ["", "b", "ck", "d", "g", "l", "m", "n", "nd", "ng", "r", "s", "st", "t"];
+        let mut words = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::new();
+        while words.len() < n {
+            let syllables = 1 + rng.gen_index(3);
+            let mut w = String::new();
+            for _ in 0..=syllables {
+                w.push_str(onsets[rng.gen_index(onsets.len())]);
+                w.push_str(vowels[rng.gen_index(vowels.len())]);
+            }
+            w.push_str(codas[rng.gen_index(codas.len())]);
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        WordList { words }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word at index.
+    pub fn word(&self, i: usize) -> &str {
+        &self.words[i]
+    }
+}
+
+/// Text of `bytes` length built from many copies of dictionary words in
+/// *sorted* order with heavy in-page repetition — the `sort partial`
+/// input regime ("the input file were only a minor permutation of the
+/// sorted copy of the file, with substrings (or complete words) often
+/// repeated within a page"). Compresses ~3:1 under LZRW1.
+pub fn repetitive_text(bytes: usize, seed: u64) -> Vec<u8> {
+    let dict = WordList::generate(512, seed);
+    let mut rng = SplitMix64::new(seed ^ 0xABCD);
+    let mut out = Vec::with_capacity(bytes);
+    let mut word_idx = 0usize;
+    while out.len() < bytes {
+        // A run of the same word (sorted files repeat adjacent words).
+        let run = 3 + rng.gen_index(8);
+        for _ in 0..run {
+            if out.len() >= bytes {
+                break;
+            }
+            out.extend_from_slice(dict.word(word_idx % dict.len()).as_bytes());
+            out.push(b'\n');
+        }
+        word_idx += 1;
+    }
+    out.truncate(bytes);
+    out
+}
+
+/// Text of `bytes` length with the words globally shuffled — the `sort
+/// random` regime: little repetition within any 4 KB page, so most pages
+/// fail the 4:3 threshold (the paper measured ~98% of pages rejected).
+///
+/// Pseudo-English words share enough trigrams that LZRW1 still finds
+/// matches, so this generator uses uniform-letter words: the paper's
+/// /usr/dict/words, globally shuffled with "minimal repetition of strings
+/// within an individual 4-Kbyte page", is incompressible to LZRW1's 4 KB
+/// window in just the same way.
+pub fn shuffled_text(bytes: usize, seed: u64) -> Vec<u8> {
+    let dict = WordList::generate(64, seed);
+    let mut rng = SplitMix64::new(seed ^ 0x5151);
+    let mut out = Vec::with_capacity(bytes);
+    while out.len() < bytes {
+        if rng.gen_bool(0.06) {
+            // A sliver of common words: after sorting they cluster, so a
+            // few percent of pages stay compressible (paper: 98%
+            // rejected, not 100%).
+            out.extend_from_slice(dict.word(rng.gen_index(dict.len())).as_bytes());
+        } else {
+            let len = 5 + rng.gen_index(9);
+            for _ in 0..len {
+                out.push(b'a' + (rng.gen_index(26)) as u8);
+            }
+        }
+        out.push(b'\n');
+    }
+    out.truncate(bytes);
+    out
+}
+
+/// Fill a page with content that compresses to roughly a quarter of its
+/// size under LZRW1 — the paper's thrasher pages ("pages compress roughly
+/// 4:1"). A mix of a repeated token stream and per-page noise words.
+pub fn fill_4to1(page: &mut [u8], seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let mut i = 0usize;
+    while i < page.len() {
+        if rng.gen_bool(0.72) {
+            // Repeated 16-byte token: cheap for LZ.
+            let token = b"state=0 next=00 ";
+            let n = token.len().min(page.len() - i);
+            page[i..i + n].copy_from_slice(&token[..n]);
+            i += n;
+        } else {
+            // A few noise bytes: keeps the ratio off the floor.
+            let n = 6.min(page.len() - i);
+            for b in page[i..i + n].iter_mut() {
+                *b = b'a' + (rng.next_u64() % 26) as u8;
+            }
+            i += n;
+        }
+    }
+}
+
+/// Fill a page with content that compresses to roughly half its size
+/// under LZRW1 — the `gold` regime ("slightly worse than 2:1").
+pub fn fill_2to1(page: &mut [u8], seed: u64) {
+    let mut rng = SplitMix64::new(seed ^ 0x2121);
+    let mut i = 0usize;
+    while i < page.len() {
+        if rng.gen_bool(0.40) {
+            let token = b"hdr:000 fld=1; ";
+            let n = token.len().min(page.len() - i);
+            page[i..i + n].copy_from_slice(&token[..n]);
+            i += n;
+        } else {
+            let n = 8.min(page.len() - i);
+            for b in page[i..i + n].iter_mut() {
+                *b = rng.next_u64() as u8;
+            }
+            i += n;
+        }
+    }
+}
+
+/// Fill a buffer with values following a small-integer recurrence, the
+/// `compare` DP stripe regime: adjacent cells repeat often, so pages
+/// compress ~3:1.
+pub fn fill_dp_values(buf: &mut [u8], seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    let mut value: u32 = 0;
+    for chunk in buf.chunks_mut(4) {
+        // A recurrence that frequently repeats and changes slowly.
+        if rng.gen_bool(0.7) {
+            // keep value
+        } else if rng.gen_bool(0.5) {
+            value = value.wrapping_add(1);
+        } else {
+            value = value.saturating_sub(1);
+        }
+        let le = value.to_le_bytes();
+        let n = chunk.len();
+        chunk.copy_from_slice(&le[..n]);
+    }
+}
+
+/// Measured LZRW1 compressed fraction of a buffer's 4 KB pages: returns
+/// `(mean_fraction_of_kept, fraction_of_pages_rejected)` under the 4:3
+/// threshold, mirroring Table 1's two columns.
+pub fn measure_compressibility(data: &[u8]) -> (f64, f64) {
+    use cc_compress::{CompressDecision, Compressor, Lzrw1, ThresholdPolicy};
+    let mut lz = Lzrw1::new();
+    let threshold = ThresholdPolicy::default();
+    let mut kept_in = 0u64;
+    let mut kept_out = 0u64;
+    let mut rejected = 0u64;
+    let mut pages = 0u64;
+    let mut buf = Vec::new();
+    for page in data.chunks(4096) {
+        if page.len() < 4096 {
+            break;
+        }
+        pages += 1;
+        let n = lz.compress(page, &mut buf);
+        match threshold.evaluate(page.len(), n) {
+            CompressDecision::Keep => {
+                kept_in += page.len() as u64;
+                kept_out += n as u64;
+            }
+            CompressDecision::Reject => rejected += 1,
+        }
+    }
+    let mean = if kept_in == 0 {
+        1.0
+    } else {
+        kept_out as f64 / kept_in as f64
+    };
+    (mean, rejected as f64 / pages.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordlist_deterministic_and_distinct() {
+        let a = WordList::generate(100, 7);
+        let b = WordList::generate(100, 7);
+        for i in 0..100 {
+            assert_eq!(a.word(i), b.word(i));
+        }
+        let mut set = std::collections::HashSet::new();
+        for i in 0..100 {
+            assert!(set.insert(a.word(i).to_string()), "duplicate {:?}", a.word(i));
+        }
+    }
+
+    #[test]
+    fn repetitive_text_compresses_about_3_to_1() {
+        let text = repetitive_text(256 * 1024, 1);
+        let (mean, rejected) = measure_compressibility(&text);
+        // Table 1: sort partial "the compression ratio was about 3:1".
+        assert!(
+            (0.20..0.45).contains(&mean),
+            "partial-sort text mean fraction {mean}"
+        );
+        assert!(rejected < 0.05, "rejected {rejected}");
+    }
+
+    #[test]
+    fn shuffled_text_mostly_fails_threshold() {
+        let text = shuffled_text(256 * 1024, 2);
+        let (_, rejected) = measure_compressibility(&text);
+        // Table 1: sort random "about 98% of the pages compressed less
+        // than 4:3". Pseudo-English still has letter structure, so we
+        // accept anything clearly majority-rejected.
+        assert!(rejected > 0.80, "only {rejected} of pages rejected");
+    }
+
+    #[test]
+    fn thrasher_fill_is_about_4_to_1() {
+        let mut page = vec![0u8; 4096];
+        let mut fracs = Vec::new();
+        for seed in 0..16 {
+            fill_4to1(&mut page, seed);
+            let (mean, rej) = measure_compressibility(&page);
+            assert_eq!(rej, 0.0);
+            fracs.push(mean);
+        }
+        let avg: f64 = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        assert!(
+            (0.17..0.33).contains(&avg),
+            "thrasher fill fraction {avg} not ~4:1"
+        );
+    }
+
+    #[test]
+    fn gold_fill_is_about_2_to_1() {
+        let mut page = vec![0u8; 4096];
+        let mut fracs = Vec::new();
+        for seed in 0..16 {
+            fill_2to1(&mut page, seed);
+            let (mean, rej) = measure_compressibility(&page);
+            if rej == 0.0 {
+                fracs.push(mean);
+            } else {
+                fracs.push(1.0);
+            }
+        }
+        let avg: f64 = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        assert!((0.40..0.72).contains(&avg), "2:1 fill fraction {avg}");
+    }
+
+    #[test]
+    fn dp_values_compress_about_3_to_1() {
+        let mut buf = vec![0u8; 128 * 1024];
+        fill_dp_values(&mut buf, 3);
+        let (mean, rej) = measure_compressibility(&buf);
+        assert!((0.15..0.45).contains(&mean), "dp fraction {mean}");
+        assert!(rej < 0.05);
+    }
+}

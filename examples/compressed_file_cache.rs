@@ -1,0 +1,53 @@
+//! §6 future work, built: a compressed file buffer cache.
+//!
+//! *"the system could keep part or all of the file buffer cache in
+//! compressed format in order to improve the cache hit rate."*
+//!
+//! A 4 MB file on a 2 MB machine, re-read in random order. With the
+//! extension, blocks evicted from the buffer cache park in the
+//! compression cache as discardable compressed copies; a re-read is a
+//! decompression instead of a seek.
+//!
+//! ```sh
+//! cargo run --release --example compressed_file_cache
+//! ```
+
+use compression_cache::sim::{Mode, SimConfig, System};
+use compression_cache::util::SplitMix64;
+
+const MB: usize = 1024 * 1024;
+
+fn run(flag: bool) -> (f64, u64, u64) {
+    let mut cfg = SimConfig::decstation(2 * MB, Mode::Cc);
+    cfg.cc.compress_file_cache = flag;
+    let mut sys = System::new(cfg);
+    let file = sys.file_create("corpus", 1024); // 4 MB
+    let mut buf = vec![0u8; 4096];
+    // Cold streaming pass (equal cost both ways).
+    for b in 0..1024u64 {
+        sys.file_read(file, b * 4096, &mut buf);
+    }
+    let t0 = sys.now();
+    let reads0 = sys.disk_stats().reads;
+    // Random re-read pass — the interactive phase.
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..2048 {
+        let b = rng.gen_range(1024);
+        sys.file_read(file, b * 4096, &mut buf);
+    }
+    (
+        (sys.now() - t0).as_secs_f64(),
+        sys.disk_stats().reads - reads0,
+        sys.sys_stats().file_cc_hits,
+    )
+}
+
+fn main() {
+    let (secs_off, reads_off, _) = run(false);
+    let (secs_on, reads_on, cc_hits) = run(true);
+    println!("random re-read of a 4 MB file on a 2 MB machine:");
+    println!("  extension off: {secs_off:>7.2}s, {reads_off} disk reads");
+    println!("  extension on:  {secs_on:>7.2}s, {reads_on} disk reads ({cc_hits} served by decompression)");
+    println!("  speedup: {:.2}x", secs_off / secs_on);
+    assert!(secs_on < secs_off);
+}
