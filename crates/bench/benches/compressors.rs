@@ -47,13 +47,9 @@ fn bench_compress(c: &mut Criterion) {
     for (class, data) in data_classes() {
         for codec in codecs().iter_mut() {
             let mut out = Vec::with_capacity(PAGE + 16);
-            group.bench_with_input(
-                BenchmarkId::new(codec.name(), class),
-                &data,
-                |b, data| {
-                    b.iter(|| codec.compress(std::hint::black_box(data), &mut out));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(codec.name(), class), &data, |b, data| {
+                b.iter(|| codec.compress(std::hint::black_box(data), &mut out));
+            });
         }
     }
     group.finish();

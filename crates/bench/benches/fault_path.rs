@@ -41,7 +41,10 @@ fn bench_insert_evicted(c: &mut Criterion) {
         let mut clock = Ns::ZERO;
         let mut n = 0u32;
         b.iter(|| {
-            let key = PageKey { seg: 0, page: n % 4096 };
+            let key = PageKey {
+                seg: 0,
+                page: n % 4096,
+            };
             n += 1;
             cache.insert_evicted(&mut pool, &mut backing, &mut clock, key, &page, true)
         });
@@ -63,7 +66,10 @@ fn bench_insert_evicted(c: &mut Criterion) {
         let mut out = vec![0u8; PAGE];
         let mut i = 0u32;
         b.iter(|| {
-            let key = PageKey { seg: 0, page: i % 64 };
+            let key = PageKey {
+                seg: 0,
+                page: i % 64,
+            };
             i += 1;
             let r = cache.fault(&mut pool, &mut backing, &mut clock, key, &mut out, true);
             // Reset the shadow so the next fault on this page is legal.

@@ -1,0 +1,127 @@
+//! Criterion throughput bench for the sharded `CompressedStore`.
+//!
+//! Two groups:
+//!
+//! * `store_hot_path` — single-threaded put and get latency, isolating the
+//!   per-op cost (compression, shard lookup, buffer recycling) without
+//!   contention.
+//! * `store_scaling` — a fixed batch of mixed zipfian put/get/remove ops
+//!   split across 1/2/4/8 threads, for both `shards = 1` (the old single
+//!   global lock) and the auto-sharded configuration. Elements/sec across
+//!   the thread counts shows the lock-striping win.
+
+use cc_core::store::{CompressedStore, StoreConfig};
+use cc_util::SplitMix64;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+const PAGE: usize = 4096;
+const KEYS: u64 = 1024;
+const BUDGET: usize = 64 << 20;
+/// Total mixed ops per measured iteration, split across the threads.
+const BATCH: u64 = 8192;
+
+fn page_for(key: u64, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = ((key as usize + i / 13) % 64) as u8 + b' ';
+    }
+}
+
+fn prefilled(shards: usize) -> Arc<CompressedStore> {
+    let store = CompressedStore::new(StoreConfig::in_memory(BUDGET).with_shards(shards));
+    let mut page = vec![0u8; PAGE];
+    for key in 0..KEYS {
+        page_for(key, &mut page);
+        store.put(key, &page).expect("prefill");
+    }
+    Arc::new(store)
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_hot_path");
+    group.throughput(Throughput::Bytes(PAGE as u64));
+
+    group.bench_function("put", |b| {
+        let store = prefilled(0);
+        let mut page = vec![0u8; PAGE];
+        let mut n = 0u64;
+        b.iter(|| {
+            let key = n % KEYS;
+            n += 1;
+            page_for(key, &mut page);
+            store.put(key, &page).expect("put")
+        });
+    });
+
+    group.bench_function("get", |b| {
+        let store = prefilled(0);
+        let mut out = vec![0u8; PAGE];
+        let mut n = 0u64;
+        b.iter(|| {
+            let key = n % KEYS;
+            n += 1;
+            store.get(key, &mut out).expect("get")
+        });
+    });
+    group.finish();
+}
+
+/// One measured iteration: `BATCH` mixed ops split across `threads`.
+fn mixed_batch(store: &Arc<CompressedStore>, threads: usize, round: u64) {
+    let per_thread = BATCH / threads as u64;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = Arc::clone(store);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(round ^ (0xABCD + t as u64));
+            let mut page = vec![0u8; PAGE];
+            let mut out = vec![0u8; PAGE];
+            for _ in 0..per_thread {
+                // Cheap zipf-ish skew: min of two uniform draws.
+                let a = rng.next_u64() % KEYS;
+                let b = rng.next_u64() % KEYS;
+                let key = a.min(b);
+                match rng.next_u64() % 10 {
+                    0..=4 => {
+                        page_for(key, &mut page);
+                        store.put(key, &page).expect("put");
+                    }
+                    5..=8 => {
+                        let _ = store.get(key, &mut out).expect("get");
+                    }
+                    _ => {
+                        store.remove(key);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_scaling");
+    group.throughput(Throughput::Elements(BATCH));
+    for &threads in &[1usize, 2, 4, 8] {
+        for (label, shards) in [("shards1", 1usize), ("sharded", 0usize)] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                let store = prefilled(shards);
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    mixed_batch(&store, threads, round)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(12).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_hot_path, bench_scaling
+}
+criterion_main!(benches);

@@ -141,7 +141,11 @@ fn main() {
                     // ~88%: noise with short structured runs — shrinks a
                     // little (kept by any-shrink) but fails 4:3.
                     for (i, b) in page.iter_mut().enumerate() {
-                        *b = if i % 48 < 8 { b'=' } else { rng.next_u64() as u8 };
+                        *b = if i % 48 < 8 {
+                            b'='
+                        } else {
+                            rng.next_u64() as u8
+                        };
                     }
                 }
                 2 => cc_workloads::datagen::fill_2to1(&mut page, p),
@@ -166,8 +170,18 @@ fn main() {
     // ------------------------------------------------------------------
     println!("--- 4. codec sweep on compressible thrash (speed vs ratio, §3) ---");
     for (label, codec) in [
-        ("lzrw1-16K", CodecKind::Lzrw1 { table_bytes: 16 * 1024 }),
-        ("lzrw1-64K", CodecKind::Lzrw1 { table_bytes: 64 * 1024 }),
+        (
+            "lzrw1-16K",
+            CodecKind::Lzrw1 {
+                table_bytes: 16 * 1024,
+            },
+        ),
+        (
+            "lzrw1-64K",
+            CodecKind::Lzrw1 {
+                table_bytes: 64 * 1024,
+            },
+        ),
         ("lzss", CodecKind::Lzss),
         ("rle", CodecKind::Rle),
         ("null", CodecKind::Null),

@@ -90,7 +90,13 @@ fn main() {
     println!("== Compression-cache size over time (4 MB machine) ==\n");
     println!(
         "{}",
-        plot::line_chart("cache size (MB) vs time (s)", &xs, &[("cc", ys.clone())], 72, 18)
+        plot::line_chart(
+            "cache size (MB) vs time (s)",
+            &xs,
+            &[("cc", ys.clone())],
+            72,
+            18
+        )
     );
     println!("phases:");
     for w in marks.windows(2) {

@@ -29,7 +29,10 @@ fn main() {
         .map(|&mb| scaled(mb * MB))
         .collect();
 
-    println!("== Figure 3: thrasher, {} user memory, RZ57 backing store ==\n", cc_util::fmt::bytes(user_mem));
+    println!(
+        "== Figure 3: thrasher, {} user memory, RZ57 backing store ==\n",
+        cc_util::fmt::bytes(user_mem)
+    );
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
         "size(MB)", "std_rw", "cc_rw", "std_ro", "cc_ro", "spd_rw", "spd_ro"
@@ -116,9 +119,18 @@ fn main() {
         "  - beyond compressed fit ({}MB): rw speedup {:.1}x, ro speedup {:.1}x (paper: smaller but > 1)",
         xs[beyond], spd_rw[beyond], spd_ro[beyond]
     );
-    assert!(spd_rw[in_cache] > 3.0, "rw speedup in cache regime too small");
-    assert!(spd_ro[in_cache] > 2.0, "ro speedup in cache regime too small");
-    assert!(spd_rw[beyond] > 1.0, "cc must still win beyond the fit point");
+    assert!(
+        spd_rw[in_cache] > 3.0,
+        "rw speedup in cache regime too small"
+    );
+    assert!(
+        spd_ro[in_cache] > 2.0,
+        "ro speedup in cache regime too small"
+    );
+    assert!(
+        spd_rw[beyond] > 1.0,
+        "cc must still win beyond the fit point"
+    );
     assert!(
         std_rw[beyond] > std_ro[beyond],
         "std_rw must be the slowest configuration"

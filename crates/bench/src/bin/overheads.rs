@@ -19,8 +19,14 @@ fn main() {
     println!("== §4.4 overheads, 60 MB segment created, cache empty ==");
     println!("  hash table:            {}", fmt::bytes(r0.hash_table));
     println!("  kernel code:           {}", fmt::bytes(r0.kernel_code));
-    println!("  page-table extension:  {}", fmt::bytes(r0.page_table_extension));
-    println!("  slot descriptors:      {}", fmt::bytes(r0.slot_descriptors));
+    println!(
+        "  page-table extension:  {}",
+        fmt::bytes(r0.page_table_extension)
+    );
+    println!(
+        "  slot descriptors:      {}",
+        fmt::bytes(r0.slot_descriptors)
+    );
     println!("  static total:          {}", fmt::bytes(r0.static_bytes()));
     assert_eq!(
         r0.page_table_extension,
@@ -39,10 +45,22 @@ fn main() {
     println!("\n== after paging a 12 MB working set through 6 MB of memory ==");
     println!("  frames mapped into cache: {}", r1.frame_headers / 24);
     println!("  live compressed entries:  {}", r1.entry_headers / 36);
-    println!("  frame headers:            {}", fmt::bytes(r1.frame_headers));
-    println!("  entry headers:            {}", fmt::bytes(r1.entry_headers));
-    println!("  dynamic total:            {}", fmt::bytes(r1.dynamic_bytes()));
-    println!("  grand total:              {}", fmt::bytes(r1.total_bytes()));
+    println!(
+        "  frame headers:            {}",
+        fmt::bytes(r1.frame_headers)
+    );
+    println!(
+        "  entry headers:            {}",
+        fmt::bytes(r1.entry_headers)
+    );
+    println!(
+        "  dynamic total:            {}",
+        fmt::bytes(r1.dynamic_bytes())
+    );
+    println!(
+        "  grand total:              {}",
+        fmt::bytes(r1.total_bytes())
+    );
     let frame_frac = 24.0 / 4096.0;
     println!(
         "\n  frame-header overhead: {:.2}% of each mapped frame (paper: 0.6%)",

@@ -1,0 +1,220 @@
+//! `storebench` — reproducible multi-threaded throughput benchmark for the
+//! sharded `CompressedStore`.
+//!
+//! Drives `T` worker threads over a zipfian key distribution with a mixed
+//! put/get/remove workload (50/40/10) and reports ops/s, p50/p99 per-op
+//! latency and the achieved compression ratio for every thread count, for
+//! both the lock-striped store and a `shards = 1` baseline (the behaviour
+//! of the old single-`Mutex` store). Results land in `BENCH_store.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cc-bench --bin storebench [-- --ops N --out PATH]
+//! ```
+
+use cc_core::store::{CompressedStore, StoreConfig};
+use cc_util::SplitMix64;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const PAGE: usize = 4096;
+const KEYS: u64 = 4096;
+const ZIPF_S: f64 = 0.99;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Budget comfortably above the compressed working set so the benchmark
+/// measures the lock/compression hot path, not eviction policy.
+const BUDGET: usize = 64 << 20;
+
+/// Zipfian sampler over `0..KEYS`: precomputed CDF + binary search, so a
+/// draw is one `SplitMix64` step and a `partition_point`.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Page payload for `key`: ~2:1 compressible text-like filler with a
+/// sprinkle of noise pages, mirroring the mixed workloads of the paper.
+fn page_for(key: u64, buf: &mut [u8]) {
+    if key.is_multiple_of(5) {
+        let mut rng = SplitMix64::new(key | 1);
+        for b in buf.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+    } else {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = ((key as usize + i / 13) % 64) as u8 + b' ';
+        }
+    }
+}
+
+struct Trial {
+    threads: usize,
+    ops_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    ratio: f64,
+}
+
+fn run_trial(shards: usize, threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> Trial {
+    let store = Arc::new(CompressedStore::new(
+        StoreConfig::in_memory(BUDGET).with_shards(shards),
+    ));
+    // Pre-populate the whole key space so gets mostly hit.
+    let mut page = vec![0u8; PAGE];
+    for key in 0..KEYS {
+        page_for(key, &mut page);
+        store.put(key, &page).expect("prefill");
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = Arc::clone(&store);
+        let zipf = Arc::clone(zipf);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(0xBEEF + t as u64);
+            let mut page = vec![0u8; PAGE];
+            let mut out = vec![0u8; PAGE];
+            let mut lat = Vec::with_capacity(ops_per_thread as usize);
+            for _ in 0..ops_per_thread {
+                let key = zipf.sample(&mut rng);
+                let op = rng.next_u64() % 10;
+                let t0 = Instant::now();
+                match op {
+                    0..=4 => {
+                        page_for(key, &mut page);
+                        store.put(key, &page).expect("put");
+                    }
+                    5..=8 => {
+                        let _ = store.get(key, &mut out).expect("get");
+                    }
+                    _ => {
+                        store.remove(key);
+                    }
+                }
+                lat.push(t0.elapsed().as_nanos() as u64);
+            }
+            lat
+        }));
+    }
+    let mut lat: Vec<u64> = Vec::new();
+    for h in handles {
+        lat.extend(h.join().expect("worker panicked"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lat.sort_unstable();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+
+    let s = store.stats();
+    let ratio = if s.memory_bytes > 0 {
+        (store.len() as u64 * PAGE as u64) as f64 / s.memory_bytes as f64
+    } else {
+        1.0
+    };
+    Trial {
+        threads,
+        ops_per_sec: lat.len() as f64 / elapsed,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        ratio,
+    }
+}
+
+fn json_trials(trials: &[Trial]) -> String {
+    let rows: Vec<String> = trials
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"threads\": {}, \"ops_per_sec\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \"compression_ratio\": {:.3}}}",
+                t.threads, t.ops_per_sec, t.p50_ns, t.p99_ns, t.ratio
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+fn main() {
+    let mut ops_per_thread: u64 = 200_000;
+    let mut out_path = String::from("BENCH_store.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--ops" => {
+                ops_per_thread = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--ops expects a number of operations per thread");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out expects a file path");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown arg: {other}\nusage: storebench [--ops N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let zipf = Arc::new(Zipf::new(KEYS, ZIPF_S));
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On a small host auto-sharding resolves to few shards; always measure
+    // at least 8 so the striped path itself is what's under test.
+    let sharded_shards = StoreConfig::in_memory(BUDGET).resolved_shards().max(8);
+
+    eprintln!("storebench: {KEYS} zipfian(s={ZIPF_S}) keys, {ops_per_thread} ops/thread, mixed 50/40/10 put/get/remove, {host_cpus} host cpu(s)");
+    let run_set = |label: &str, shards: usize| -> Vec<Trial> {
+        let mut trials = Vec::new();
+        for &t in &THREAD_COUNTS {
+            let trial = run_trial(shards, t, ops_per_thread, &zipf);
+            eprintln!(
+                "  [{label}] threads={:<2} {:>12.0} ops/s  p50={:>6} ns  p99={:>7} ns  ratio={:.2}",
+                trial.threads, trial.ops_per_sec, trial.p50_ns, trial.p99_ns, trial.ratio
+            );
+            trials.push(trial);
+        }
+        trials
+    };
+
+    let baseline = run_set("shards=1", 1);
+    let sharded = run_set(&format!("shards={sharded_shards}"), sharded_shards);
+
+    let scaling = sharded.last().map(|t| t.ops_per_sec).unwrap_or(0.0)
+        / sharded
+            .first()
+            .map(|t| t.ops_per_sec.max(1.0))
+            .unwrap_or(1.0);
+    eprintln!("  sharded 8-thread / 1-thread scaling: {scaling:.2}x (upper bound: min(8, {host_cpus} host cpus))");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal\"\n}}\n",
+        json_trials(&baseline),
+        json_trials(&sharded),
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create output");
+    f.write_all(json.as_bytes()).expect("write output");
+    eprintln!("wrote {out_path}");
+}

@@ -187,9 +187,7 @@ fn main() {
     }
 
     // Shape assertions against the paper's Table 1.
-    let by_name = |n: &str| -> &PairResult {
-        rows.iter().find(|r| r.name == n).unwrap()
-    };
+    let by_name = |n: &str| -> &PairResult { rows.iter().find(|r| r.name == n).unwrap() };
     let compare = by_name("compare");
     let isca = by_name("isca");
     let sp = by_name("sort partial");

@@ -109,10 +109,7 @@ impl BufferCache {
     /// Panics if the block is already cached — the caller must `lookup`
     /// first; double-caching a block would alias two frames.
     pub fn insert(&mut self, key: CacheBlockKey, frame: FrameId, now: Ns, dirty: bool) {
-        assert!(
-            !self.map.contains_key(&key),
-            "block {key:?} already cached"
-        );
+        assert!(!self.map.contains_key(&key), "block {key:?} already cached");
         let handle = self.lru.push_mru(key);
         self.map.insert(
             key,

@@ -162,9 +162,7 @@ impl FileSystem {
         let first = offset / bb;
         let last = (offset + out.len() as u64 - 1) / bb;
         let nblocks = (last - first + 1) as u32;
-        let completion = self
-            .disk
-            .read(now, f.start_block + first, nblocks);
+        let completion = self.disk.read(now, f.start_block + first, nblocks);
         out.copy_from_slice(&f.data[offset as usize..offset as usize + out.len()]);
         self.stats.logical_bytes_read += out.len() as u64;
         self.stats.physical_bytes_read += nblocks as u64 * bb;

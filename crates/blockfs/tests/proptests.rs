@@ -71,6 +71,6 @@ proptest! {
             }
         }
         // Every partial-edge write must have induced RMW reads.
-        prop_assert!(fs.stats().physical_bytes_read % BLOCK as u64 == 0);
+        prop_assert!(fs.stats().physical_bytes_read.is_multiple_of(BLOCK as u64));
     }
 }

@@ -22,9 +22,7 @@
 //! measured for this paper, the hash table is 16 Kbytes."). Modeling entries
 //! as 4-byte pointers, 16 KB ⇒ 4096 entries, which is the default here.
 
-use crate::{
-    load_raw, store_raw, Compressor, CostProfile, DecompressError, METHOD_STORED,
-};
+use crate::{load_raw, store_raw, Compressor, CostProfile, DecompressError, METHOD_STORED};
 
 /// Method byte identifying an LZRW1-encoded block.
 const METHOD_LZRW1: u8 = 1;
@@ -57,11 +55,16 @@ const GROUP: usize = 16;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Lzrw1 {
-    /// Hash table: position of the most recent occurrence of each trigram
-    /// hash. `usize::MAX` marks a never-written slot.
-    table: Vec<usize>,
+    /// Hash table: for each trigram hash, the packed
+    /// `(generation << 32) | position` of its most recent occurrence.
+    /// Stamping entries with the current generation makes stale slots
+    /// self-invalidating, so the table never needs clearing between
+    /// blocks — that memset used to cost more than compressing a page.
+    table: Vec<u64>,
     /// `table.len() - 1`; table length is always a power of two.
     mask: usize,
+    /// Current compression generation (bumped per `compress` call).
+    generation: u32,
 }
 
 impl Default for Lzrw1 {
@@ -96,13 +99,18 @@ impl Lzrw1 {
             "hash table entries must be a power of two >= 256"
         );
         Lzrw1 {
-            table: vec![usize::MAX; entries],
+            // Generation 0 marks never-written slots; the first compress
+            // call runs as generation 1.
+            table: vec![0; entries],
             mask: entries - 1,
+            generation: 0,
         }
     }
 
     /// The modeled memory footprint of the hash table in bytes
-    /// (4 bytes per entry, as on the 32-bit DECstation).
+    /// (4 bytes per entry, as on the 32-bit DECstation — the host-side
+    /// generation stamps are an implementation detail, not part of the
+    /// modeled 1993 kernel).
     pub fn table_bytes(&self) -> usize {
         self.table.len() * 4
     }
@@ -113,6 +121,26 @@ impl Lzrw1 {
         let k = ((((b0 as u32) << 4) ^ (b1 as u32)) << 4) ^ (b2 as u32);
         ((40543u32.wrapping_mul(k)) >> 4) as usize & self.mask
     }
+}
+
+/// Extend a verified `MIN_MATCH`-byte match at `src[cand]` / `src[i]` up
+/// to `limit` bytes, comparing a word at a time where possible.
+#[inline]
+fn extend_match(src: &[u8], cand: usize, i: usize, limit: usize) -> usize {
+    let mut len = MIN_MATCH;
+    while len + 8 <= limit {
+        let a = u64::from_le_bytes(src[cand + len..cand + len + 8].try_into().unwrap());
+        let b = u64::from_le_bytes(src[i + len..i + len + 8].try_into().unwrap());
+        let diff = a ^ b;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() >> 3) as usize;
+        }
+        len += 8;
+    }
+    while len < limit && src[cand + len] == src[i + len] {
+        len += 1;
+    }
+    len
 }
 
 impl Compressor for Lzrw1 {
@@ -126,12 +154,25 @@ impl Compressor for Lzrw1 {
             dst.push(METHOD_STORED);
             return dst.len();
         }
-        // Fresh table per block: compressed pages must be independently
-        // decompressible (they are written to backing store individually).
-        self.table.iter_mut().for_each(|e| *e = usize::MAX);
+        // Bump the block generation instead of clearing the table:
+        // entries stamped with an older generation are treated as empty,
+        // so compressed pages stay independently decompressible without
+        // paying a table memset per 4 KB block.
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // u32 wraparound (once per 4G blocks): flush for real.
+            self.table.iter_mut().for_each(|e| *e = 0);
+            self.generation = 1;
+        }
+        let gen_tag = (self.generation as u64) << 32;
 
-        dst.push(METHOD_LZRW1);
         let n = src.len();
+        debug_assert!(n < (1 << 32), "block too large for packed table entries");
+        // Worst case is all-literal output: 1 method byte + n literals +
+        // 2 control bytes per 16 items. Reserving it up front keeps the
+        // emit loop free of reallocation.
+        dst.reserve(n + n / 8 + 4);
+        dst.push(METHOD_LZRW1);
         let mut i = 0usize;
         // Position of the current group's control word within dst.
         let mut ctrl_pos = dst.len();
@@ -152,18 +193,22 @@ impl Compressor for Lzrw1 {
             let mut emitted_copy = false;
             if n - i >= MIN_MATCH {
                 let h = self.hash(src[i], src[i + 1], src[i + 2]);
-                let cand = self.table[h];
-                self.table[h] = i;
-                if cand != usize::MAX && cand < i && i - cand <= MAX_OFFSET {
+                let slot = self.table[h];
+                self.table[h] = gen_tag | i as u64;
+                // A slot from an older block reads as a generation
+                // mismatch; a slot from this block always holds a
+                // position strictly below `i`.
+                if slot >> 32 == self.generation as u64 {
+                    let cand = (slot & 0xFFFF_FFFF) as usize;
                     let offset = i - cand;
                     // Check and extend the match.
-                    if src[cand] == src[i] && src[cand + 1] == src[i + 1] && src[cand + 2] == src[i + 2]
+                    if offset <= MAX_OFFSET
+                        && src[cand] == src[i]
+                        && src[cand + 1] == src[i + 1]
+                        && src[cand + 2] == src[i + 2]
                     {
                         let limit = MAX_MATCH.min(n - i);
-                        let mut len = MIN_MATCH;
-                        while len < limit && src[cand + len] == src[i + len] {
-                            len += 1;
-                        }
+                        let len = extend_match(src, cand, i, limit);
                         ctrl |= 1 << items_in_group;
                         dst.push((((offset >> 8) as u8) << 4) | ((len - MIN_MATCH) as u8));
                         dst.push((offset & 0xFF) as u8);
@@ -211,10 +256,8 @@ impl Compressor for Lzrw1 {
             }
             let ctrl = u16::from_le_bytes([body[pos], body[pos + 1]]);
             pos += 2;
-            for bit in 0..GROUP {
-                if dst.len() == expected_len {
-                    break;
-                }
+            let mut bit = 0;
+            while bit < GROUP && dst.len() < expected_len {
                 if ctrl & (1 << bit) != 0 {
                     if pos + 2 > body.len() {
                         return Err(DecompressError::Truncated);
@@ -231,18 +274,35 @@ impl Compressor for Lzrw1 {
                     if at + len > expected_len {
                         return Err(DecompressError::OutputOverrun);
                     }
-                    // Overlapping copies are the normal case (e.g. RLE-like
-                    // runs with offset 1), so copy byte-by-byte.
-                    for k in 0..len {
-                        let b = dst[at - offset + k];
-                        dst.push(b);
+                    if offset >= len {
+                        // Disjoint source and destination: one memcpy.
+                        dst.extend_from_within(at - offset..at - offset + len);
+                    } else if offset == 1 {
+                        // RLE-like run of one byte: a fill, not a loop.
+                        let b = dst[at - 1];
+                        dst.resize(at + len, b);
+                    } else {
+                        // Genuinely overlapping short copy (len <= 18):
+                        // byte-at-a-time is both correct and cheap here.
+                        for k in 0..len {
+                            let b = dst[at - offset + k];
+                            dst.push(b);
+                        }
                     }
+                    bit += 1;
                 } else {
-                    if pos >= body.len() {
+                    // Batch the whole run of literal items implied by the
+                    // consecutive clear control bits into one copy.
+                    let run = ((ctrl >> bit).trailing_zeros() as usize)
+                        .min(GROUP - bit)
+                        .min(expected_len - dst.len());
+                    debug_assert!(run >= 1);
+                    if pos + run > body.len() {
                         return Err(DecompressError::Truncated);
                     }
-                    dst.push(body[pos]);
-                    pos += 1;
+                    dst.extend_from_slice(&body[pos..pos + run]);
+                    pos += run;
+                    bit += run;
                 }
             }
         }

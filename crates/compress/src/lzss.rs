@@ -244,7 +244,9 @@ mod tests {
     #[test]
     fn beats_lzrw1_on_text() {
         let mut rng = SplitMix64::new(17);
-        let words = ["memory", "page", "cache", "compress", "disk", "fault", "sprite"];
+        let words = [
+            "memory", "page", "cache", "compress", "disk", "fault", "sprite",
+        ];
         let mut text = Vec::new();
         while text.len() < 32768 {
             text.extend_from_slice(words[rng.gen_index(words.len())].as_bytes());
@@ -305,7 +307,9 @@ mod tests {
         lz.compress(&input, &mut packed);
         for cut in 0..packed.len() {
             let mut out = Vec::new();
-            assert!(lz.decompress(&packed[..cut], &mut out, input.len()).is_err());
+            assert!(lz
+                .decompress(&packed[..cut], &mut out, input.len())
+                .is_err());
         }
     }
 }

@@ -181,7 +181,13 @@ mod tests {
 
     #[test]
     fn exact_run_boundaries() {
-        for len in [MIN_REPEAT - 1, MIN_REPEAT, MAX_REPEAT, MAX_REPEAT + 1, 2 * MAX_REPEAT] {
+        for len in [
+            MIN_REPEAT - 1,
+            MIN_REPEAT,
+            MAX_REPEAT,
+            MAX_REPEAT + 1,
+            2 * MAX_REPEAT,
+        ] {
             let input = vec![b'x'; len];
             roundtrip(&input);
         }

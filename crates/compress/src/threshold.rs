@@ -53,7 +53,10 @@ impl ThresholdPolicy {
     pub fn any_shrink() -> Self {
         // num/den barely above 1; evaluate() special-cases this marker by
         // requiring compressed < original.
-        ThresholdPolicy { num: u32::MAX, den: u32::MAX - 1 }
+        ThresholdPolicy {
+            num: u32::MAX,
+            den: u32::MAX - 1,
+        }
     }
 
     /// Decide whether `compressed_len` is small enough relative to
@@ -112,7 +115,11 @@ mod tests {
         ] {
             for orig in [1usize, 512, 4096, 8192, 4095] {
                 let cap = t.max_compressed_len(orig);
-                assert_eq!(t.evaluate(orig, cap), CompressDecision::Keep, "{t:?} {orig}");
+                assert_eq!(
+                    t.evaluate(orig, cap),
+                    CompressDecision::Keep,
+                    "{t:?} {orig}"
+                );
                 assert_eq!(
                     t.evaluate(orig, cap + 1),
                     CompressDecision::Reject,

@@ -25,8 +25,12 @@ fn page_like() -> impl Strategy<Value = Vec<u8>> {
         // A run of one byte.
         (any::<u8>(), 1usize..200).prop_map(|(b, n)| vec![b; n]),
         // A small repeated "word".
-        (proptest::collection::vec(any::<u8>(), 1..8), 1usize..40)
-            .prop_map(|(w, n)| w.iter().cycle().take(w.len() * n).cloned().collect()),
+        (proptest::collection::vec(any::<u8>(), 1..8), 1usize..40).prop_map(|(w, n)| w
+            .iter()
+            .cycle()
+            .take(w.len() * n)
+            .cloned()
+            .collect()),
         // Raw noise.
         proptest::collection::vec(any::<u8>(), 0..256),
     ];
@@ -105,5 +109,87 @@ proptest! {
             codec.compress(&input, &mut b);
             prop_assert_eq!(&a, &b, "codec {}", codec.name());
         }
+    }
+}
+
+/// Inputs engineered to stress the LZRW1 fast copy paths added for the
+/// sharded-store work: overlapping matches (offset < match length), runs
+/// that straddle the 4 KB page boundary, and incompressible noise that
+/// must fall back to a stored block.
+fn adversarial_lzrw1() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Short-period runs: decode as overlapping copies with
+        // offset 1..=17, below the 18-byte max match length.
+        (any::<u8>(), 1usize..18, 19usize..600).prop_map(|(b, period, total)| {
+            (0..total)
+                .map(|i| b.wrapping_add((i % period) as u8))
+                .collect()
+        }),
+        // A literal region, then a run crossing the 4 KB boundary, then a
+        // back-reference to material from before the boundary.
+        (any::<u8>(), 1usize..64).prop_map(|(b, tail)| {
+            let mut v: Vec<u8> = (0..4096 - 32).map(|i| (i % 253) as u8).collect();
+            v.extend(std::iter::repeat_n(b, 64)); // run across the boundary
+            v.extend((0..tail).map(|i| (i % 253) as u8)); // match pre-boundary bytes
+            v
+        }),
+        // Alternating compressible/incompressible stripes: every group
+        // mixes copy items with maximal literal runs.
+        (1u64..u64::MAX, 8usize..40).prop_map(|(seed, stripe)| {
+            let mut rng = cc_util::SplitMix64::new(seed);
+            let mut v = Vec::with_capacity(4096);
+            while v.len() < 4096 {
+                v.extend(std::iter::repeat_n(0xAB, stripe));
+                v.extend((0..stripe).map(|_| rng.next_u64() as u8));
+            }
+            v.truncate(4096);
+            v
+        }),
+        // Pure noise pages: must take the stored-block fallback and still
+        // roundtrip byte-exactly.
+        (1u64..u64::MAX).prop_map(|seed| {
+            let mut rng = cc_util::SplitMix64::new(seed);
+            (0..4096).map(|_| rng.next_u64() as u8).collect()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn lzrw1_adversarial_roundtrip(input in adversarial_lzrw1()) {
+        for entries in [256usize, 4096] {
+            let mut lz = cc_compress::Lzrw1::with_entries(entries);
+            let mut packed = Vec::new();
+            let n = lz.compress(&input, &mut packed);
+            prop_assert!(n <= input.len() + 1);
+            let mut out = Vec::new();
+            lz.decompress(&packed, &mut out, input.len()).unwrap();
+            prop_assert_eq!(&out, &input, "table entries {}", entries);
+        }
+    }
+
+    /// Back-to-back blocks through one codec instance: the generation
+    /// trick that replaced the per-block table clear must never let one
+    /// block's matches leak into the next.
+    #[test]
+    fn lzrw1_no_state_leak_across_blocks(
+        first in adversarial_lzrw1(),
+        second in adversarial_lzrw1(),
+    ) {
+        let mut shared = cc_compress::Lzrw1::new();
+        let mut scratch = Vec::new();
+        shared.compress(&first, &mut scratch);
+        let mut via_shared = Vec::new();
+        shared.compress(&second, &mut via_shared);
+        // A fresh codec must produce the identical encoding.
+        let mut fresh = cc_compress::Lzrw1::new();
+        let mut via_fresh = Vec::new();
+        fresh.compress(&second, &mut via_fresh);
+        prop_assert_eq!(&via_shared, &via_fresh);
+        let mut out = Vec::new();
+        shared.decompress(&via_shared, &mut out, second.len()).unwrap();
+        prop_assert_eq!(&out, &second);
     }
 }

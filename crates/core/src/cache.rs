@@ -448,8 +448,11 @@ impl CompressionCache {
         }
         let start = self.circ.append(need);
         *clock += self.costs.memcpy_time(need);
-        self.circ
-            .write_bytes(pool, start + self.cfg.entry_header_bytes as u64, &comp[..clen]);
+        self.circ.write_bytes(
+            pool,
+            start + self.cfg.entry_header_bytes as u64,
+            &comp[..clen],
+        );
         self.circ.add_live(start, need);
         let id = self.next_entry_id;
         self.next_entry_id += 1;
@@ -560,8 +563,11 @@ impl CompressionCache {
         // are modeled as opaque (their fields live in `Entry`); data bytes
         // are the real compressed stream.
         *clock += self.costs.memcpy_time(need);
-        self.circ
-            .write_bytes(pool, start + self.cfg.entry_header_bytes as u64, &comp[..clen]);
+        self.circ.write_bytes(
+            pool,
+            start + self.cfg.entry_header_bytes as u64,
+            &comp[..clen],
+        );
         self.circ.add_live(start, need);
         let id = self.next_entry_id;
         self.next_entry_id += 1;
@@ -612,7 +618,10 @@ impl CompressionCache {
                 assert!(!e.shadow, "fault on a page that is already resident");
                 (e.start, e.len, e.data_len, e.orig_len)
             };
-            debug_assert_eq!(len as usize, self.cfg.entry_header_bytes + data_len as usize);
+            debug_assert_eq!(
+                len as usize,
+                self.cfg.entry_header_bytes + data_len as usize
+            );
             self.decompress_entry(pool, clock, start, data_len, orig_len, out);
             self.entries.get_mut(&id).expect("entry").shadow = true;
             self.stats.faults_from_cache += 1;
@@ -641,8 +650,7 @@ impl CompressionCache {
         *clock = (*clock).max(done);
         let bytes_read = buf.len() as u64;
 
-        let data_off =
-            (info.loc.frag - first_block * fpb) as usize * self.cfg.fragment_bytes;
+        let data_off = (info.loc.frag - first_block * fpb) as usize * self.cfg.fragment_bytes;
         let data = &buf[data_off..data_off + info.data_len as usize];
 
         let raw = info.data_len as usize == self.cfg.page_bytes;
@@ -678,10 +686,9 @@ impl CompressionCache {
         // Readahead: other live compressed pages in the same blocks came
         // along for free; install them (best effort, no I/O, no eviction).
         if self.cfg.swap_readahead {
-            let others = self.swap.live_pages_in_blocks(
-                info.loc.cluster,
-                first_block..last_block + 1,
-            );
+            let others = self
+                .swap
+                .live_pages_in_blocks(info.loc.cluster, first_block..last_block + 1);
             for p in others {
                 if p.key == key || self.by_page.contains_key(&p.key) {
                     continue;
@@ -781,9 +788,7 @@ impl CompressionCache {
             );
             let off = self.swap.byte_offset(loc);
             match runs.last_mut() {
-                Some((run_off, run_data))
-                    if *run_off + run_data.len() as u64 == off =>
-                {
+                Some((run_off, run_data)) if *run_off + run_data.len() as u64 == off => {
                     run_data.extend_from_slice(&data);
                 }
                 _ => runs.push((off, data)),
@@ -867,11 +872,8 @@ impl CompressionCache {
     ) {
         let mut comp = std::mem::take(&mut self.comp_buf);
         comp.resize(data_len as usize, 0);
-        self.circ.read_bytes(
-            pool,
-            start + self.cfg.entry_header_bytes as u64,
-            &mut comp,
-        );
+        self.circ
+            .read_bytes(pool, start + self.cfg.entry_header_bytes as u64, &mut comp);
         let profile = self.codec.cost_profile();
         *clock += self
             .costs
@@ -1192,12 +1194,7 @@ impl CompressionCache {
     /// Relocate the live pages of the emptiest closed cluster so it can be
     /// recycled (log-structured cleaning of the swap area, §4.3's
     /// "garbage-collection on the backing store").
-    fn run_gc(
-        &mut self,
-        pool: &mut FramePool,
-        backing: &mut dyn BackingStore,
-        clock: &mut Ns,
-    ) {
+    fn run_gc(&mut self, pool: &mut FramePool, backing: &mut dyn BackingStore, clock: &mut Ns) {
         let _ = pool; // In-memory copies are read via circ in clean_batch only.
         self.run_gc_storage_only(backing, clock)
     }

@@ -258,10 +258,7 @@ impl CircBuf {
                 SlotState::Mapped { live_bytes, .. } => {
                     if add {
                         *live_bytes += in_slot;
-                        assert!(
-                            *live_bytes <= pb as u32,
-                            "slot {slot} over-committed"
-                        );
+                        assert!(*live_bytes <= pb as u32, "slot {slot} over-committed");
                     } else {
                         *live_bytes = live_bytes
                             .checked_sub(in_slot)
@@ -348,7 +345,9 @@ mod tests {
     }
 
     fn map_next(b: &mut CircBuf, p: &mut FramePool, slot: usize) -> FrameId {
-        let f = p.alloc(FrameOwner::CompressionCache { tag: slot as u64 }).unwrap();
+        let f = p
+            .alloc(FrameOwner::CompressionCache { tag: slot as u64 })
+            .unwrap();
         b.map_slot(slot, f);
         f
     }
@@ -382,10 +381,7 @@ mod tests {
         b.read_bytes(&p, start, &mut out);
         assert_eq!(out, data);
         match (b.slot(0), b.slot(1)) {
-            (
-                SlotState::Mapped { live_bytes: a, .. },
-                SlotState::Mapped { live_bytes: c, .. },
-            ) => {
+            (SlotState::Mapped { live_bytes: a, .. }, SlotState::Mapped { live_bytes: c, .. }) => {
                 assert_eq!(a, 64);
                 assert_eq!(c, 36);
             }

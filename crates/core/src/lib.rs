@@ -53,9 +53,7 @@ pub mod store;
 pub mod swap;
 
 pub use backing::{BackingStore, MemBacking};
-pub use cache::{
-    CleanEvictOutcome, CompressionCache, CoreStats, FaultOutcome, InsertOutcome,
-};
+pub use cache::{CleanEvictOutcome, CompressionCache, CoreStats, FaultOutcome, InsertOutcome};
 pub use config::CacheConfig;
 pub use overhead::OverheadReport;
 pub use store::{CompressedStore, StoreConfig, StoreError, StoreStats};

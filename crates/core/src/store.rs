@@ -8,6 +8,18 @@
 //! spill of the coldest entries to a backing file handled by a background
 //! writer thread — the §4.2 cleaner, for real this time.
 //!
+//! # Concurrency
+//!
+//! The store is **lock-striped**: keys hash onto a power-of-two number of
+//! shards (default: one per hardware thread), each with its own entry
+//! map, LRU spill ordering, and buffer pool behind its own mutex. The
+//! global memory budget is enforced through a single atomic byte counter
+//! using compare-and-swap reservation, so `stats().resident_bytes` never
+//! exceeds the configured budget, while puts and gets on different shards
+//! proceed fully in parallel. Compression and decompression always run
+//! outside any shard lock, on thread-local reusable buffers, so the
+//! steady-state hot path performs no heap allocation.
+//!
 //! ```
 //! use cc_core::store::{CompressedStore, StoreConfig};
 //!
@@ -19,16 +31,18 @@
 //! assert_eq!(out, page);
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use cc_compress::{CompressDecision, Compressor, Lzrw1, ThresholdPolicy};
 use cc_util::LruList;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 
 /// Configuration of a [`CompressedStore`].
 #[derive(Debug, Clone)]
@@ -42,6 +56,9 @@ pub struct StoreConfig {
     /// Keep-compressed threshold; pages failing it are stored raw (they
     /// still count against the budget — exactly the paper's accounting).
     pub threshold: ThresholdPolicy,
+    /// Number of lock-striped shards, rounded up to a power of two.
+    /// `0` (the default) sizes the striping to the hardware parallelism.
+    pub shards: usize,
 }
 
 impl StoreConfig {
@@ -51,6 +68,7 @@ impl StoreConfig {
             memory_budget,
             spill_path: None,
             threshold: ThresholdPolicy::default(),
+            shards: 0,
         }
     }
 
@@ -60,7 +78,30 @@ impl StoreConfig {
             memory_budget,
             spill_path: Some(path.into()),
             threshold: ThresholdPolicy::default(),
+            shards: 0,
         }
+    }
+
+    /// Override the shard count (rounded up to a power of two; `1` gives
+    /// the pre-striping behavior of one global lock, useful as a
+    /// scaling baseline).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count this config will actually build: the requested
+    /// count (or available parallelism when unset), rounded up to a
+    /// power of two and clamped to `1..=256`.
+    pub fn resolved_shards(&self) -> usize {
+        let n = if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8)
+        } else {
+            self.shards
+        };
+        n.next_power_of_two().clamp(1, 256)
     }
 }
 
@@ -100,7 +141,7 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
-/// Counters (all monotonic).
+/// Counters (all monotonic except the byte gauges).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StoreStats {
     /// Pages stored compressed.
@@ -115,14 +156,30 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries spilled to disk.
     pub spilled: u64,
-    /// Current compressed bytes resident in memory.
+    /// Current compressed bytes resident in memory (same as
+    /// [`StoreStats::resident_bytes`]; kept for source compatibility).
     pub memory_bytes: u64,
+    /// Current compressed bytes resident in memory, never above the
+    /// configured budget.
+    pub resident_bytes: u64,
+}
+
+impl StoreStats {
+    fn absorb(&mut self, other: &StoreStats) {
+        self.compressed += other.compressed;
+        self.stored_raw += other.stored_raw;
+        self.hits_memory += other.hits_memory;
+        self.hits_spill += other.hits_spill;
+        self.misses += other.misses;
+        self.spilled += other.spilled;
+    }
 }
 
 enum Residence {
-    /// Compressed (or raw) bytes in memory, LRU-tracked.
+    /// Compressed (or raw) bytes in memory, LRU-tracked, counted against
+    /// the budget.
     Memory {
-        data: Arc<Vec<u8>>,
+        data: Vec<u8>,
         handle: cc_util::LruHandle,
     },
     /// Handed to the writer; data still readable until the write lands.
@@ -139,16 +196,67 @@ struct Entry {
     orig_len: u32,
 }
 
-struct Inner {
-    entries: HashMap<u64, Entry>,
-    lru: LruList<u64>,
-    memory_bytes: usize,
-    page_size: Option<usize>,
-    stats: StoreStats,
-    spill_cursor: u64,
-    next_gen: u64,
-    shutdown: bool,
+/// Multiplicative hasher for the per-shard entry maps: the keys are
+/// already well-mixed page numbers, so SipHash's DoS resistance only
+/// costs cycles here.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    fn write_u64(&mut self, k: u64) {
+        // splitmix64 finalizer — full avalanche in three multiplies.
+        let mut z = k.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
 }
+
+type EntryMap = HashMap<u64, Entry, BuildHasherDefault<KeyHasher>>;
+
+/// Max pooled buffers per shard; beyond this, freed buffers are dropped.
+const POOL_CAP: usize = 64;
+
+struct Shard {
+    entries: EntryMap,
+    /// Coldest-first spill ordering over the keys with `Memory` residence.
+    lru: LruList<u64>,
+    /// Monotonic counters owned by this shard (aggregated by `stats`).
+    stats: StoreStats,
+    /// Recycled entry buffers: steady-state puts allocate nothing.
+    pool: Vec<Vec<u8>>,
+    /// Clone of the cleaner channel (kept per shard so no shared `Sender`
+    /// needs to be `Sync`); `None` once shut down or without a spill file.
+    tx: Option<Sender<SpillJob>>,
+}
+
+impl Shard {
+    fn acquire_buf(&mut self, contents: &[u8]) -> Vec<u8> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(contents);
+        buf
+    }
+
+    fn release_buf(&mut self, buf: Vec<u8>) {
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(buf);
+        }
+    }
+}
+
+/// Pad shards to their own cache lines so hot per-shard state on
+/// neighbouring shards does not false-share.
+#[repr(align(128))]
+struct Padded<T>(T);
 
 struct SpillJob {
     key: u64,
@@ -157,25 +265,50 @@ struct SpillJob {
     offset: u64,
 }
 
+struct SharedSpillState {
+    /// Completed writes: (key, generation, offset, len).
+    done: Mutex<Vec<(u64, u64, u64, u32)>>,
+}
+
+/// Scratch space reused across calls on each thread: codec state plus
+/// compression, staging, and decompression buffers.
+struct Scratch {
+    codec: Lzrw1,
+    comp: Vec<u8>,
+    stage: Vec<u8>,
+    decomp: Vec<u8>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch {
+        codec: Lzrw1::new(),
+        comp: Vec::new(),
+        stage: Vec::new(),
+        decomp: Vec::new(),
+    });
+}
+
 /// The thread-safe compressed page store. Cloneable handles are not
 /// provided; share it behind an `Arc`.
 pub struct CompressedStore {
     cfg: StoreConfig,
-    inner: Mutex<Inner>,
-    /// Signaled when the writer drains a job (gets waiting on spill
-    /// completion use the entry map, so this is only for backpressure).
-    drained: Condvar,
-    tx: Option<Sender<SpillJob>>,
+    shards: Vec<Padded<Mutex<Shard>>>,
+    shard_mask: u64,
+    /// Bytes with `Memory` residence across all shards. Budget is
+    /// enforced by CAS reservation on this counter, so it never exceeds
+    /// `cfg.memory_budget` (outside the spill-failure recovery path).
+    resident: AtomicUsize,
+    /// Fixed at first put; 0 = not yet fixed.
+    page_size: AtomicUsize,
+    /// Next free offset in the spill file.
+    spill_cursor: AtomicU64,
+    /// Generation stamp for spill jobs.
+    next_gen: AtomicU64,
     writer: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// The spill file for reads (independent handle from the writer's).
     read_file: Option<Mutex<File>>,
     /// Shared with the writer thread to mark entries spilled.
     shared: Arc<SharedSpillState>,
-}
-
-struct SharedSpillState {
-    /// Completed writes: (key, generation, offset, len).
-    done: Mutex<Vec<(u64, u64, u64, u32)>>,
 }
 
 impl CompressedStore {
@@ -200,7 +333,7 @@ impl CompressedStore {
                     .read(true)
                     .open(path)
                     .expect("open spill file for reads");
-                let (tx, rx): (Sender<SpillJob>, Receiver<SpillJob>) = unbounded();
+                let (tx, rx): (Sender<SpillJob>, Receiver<SpillJob>) = channel();
                 let shared2 = Arc::clone(&shared);
                 let handle = std::thread::Builder::new()
                     .name("cc-store-cleaner".into())
@@ -210,80 +343,168 @@ impl CompressedStore {
             }
             None => (None, None, None),
         };
+        let nshards = cfg.resolved_shards();
+        let shards = (0..nshards)
+            .map(|_| {
+                Padded(Mutex::new(Shard {
+                    entries: EntryMap::default(),
+                    lru: LruList::new(),
+                    stats: StoreStats::default(),
+                    pool: Vec::new(),
+                    tx: tx.clone(),
+                }))
+            })
+            .collect();
         CompressedStore {
             cfg,
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                lru: LruList::new(),
-                memory_bytes: 0,
-                page_size: None,
-                stats: StoreStats::default(),
-                spill_cursor: 0,
-                next_gen: 0,
-                shutdown: false,
-            }),
-            drained: Condvar::new(),
-            tx,
+            shards,
+            shard_mask: nshards as u64 - 1,
+            resident: AtomicUsize::new(0),
+            page_size: AtomicUsize::new(0),
+            spill_cursor: AtomicU64::new(0),
+            next_gen: AtomicU64::new(0),
             writer: Mutex::new(writer),
             read_file,
             shared,
         }
     }
 
+    /// Number of lock stripes in use.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard_index(&self, key: u64) -> usize {
+        // splitmix64 finalizer: decorrelates the shard choice from any
+        // key-assignment pattern (sequential keys, strided keys, ...).
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) & self.shard_mask) as usize
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> MutexGuard<'_, Shard> {
+        self.shards[self.shard_index(key)]
+            .0
+            .lock()
+            .expect("shard poisoned")
+    }
+
+    fn has_spill(&self) -> bool {
+        self.read_file.is_some()
+    }
+
     /// Store (or replace) `key`'s page.
     pub fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
-        // Compress outside the lock with a thread-local codec.
-        thread_local! {
-            static CODEC: std::cell::RefCell<(Lzrw1, Vec<u8>)> =
-                std::cell::RefCell::new((Lzrw1::new(), Vec::new()));
-        }
-        let (data, raw) = CODEC.with(|c| {
-            let (codec, buf) = &mut *c.borrow_mut();
-            let n = codec.compress(page, buf);
-            match self.cfg.threshold.evaluate(page.len(), n) {
-                CompressDecision::Keep => (buf[..n].to_vec(), false),
-                CompressDecision::Reject => {
-                    // Stored raw, framed the same way (method byte 0).
-                    let mut v = Vec::with_capacity(page.len() + 1);
-                    v.push(0);
-                    v.extend_from_slice(page);
-                    (v, true)
-                }
-            }
-        });
-
-        let mut inner = self.inner.lock();
-        match inner.page_size {
-            None => inner.page_size = Some(page.len()),
-            Some(ps) if ps != page.len() => {
+        // Fix the page size (or reject a mismatch) before compressing.
+        match self
+            .page_size
+            .compare_exchange(0, page.len(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {}
+            Err(ps) if ps == page.len() => {}
+            Err(ps) => {
                 return Err(StoreError::BadPageSize {
                     expected: ps,
                     got: page.len(),
                 })
             }
-            _ => {}
         }
-        self.remove_locked(&mut inner, key);
+
+        // Compress outside any lock, into this thread's reusable buffer.
+        let (len, raw) = SCRATCH.with(|c| {
+            let s = &mut *c.borrow_mut();
+            let n = s.codec.compress(page, &mut s.comp);
+            match self.cfg.threshold.evaluate(page.len(), n) {
+                CompressDecision::Keep => (n, false),
+                CompressDecision::Reject => {
+                    // Stored raw, framed the same way (method byte 0).
+                    s.comp.clear();
+                    s.comp.push(0);
+                    s.comp.extend_from_slice(page);
+                    (s.comp.len(), true)
+                }
+            }
+        });
+
+        let shard_idx = self.shard_index(key);
+        let mut shard = self.shard(key);
+        self.remove_locked(&mut shard, key);
         if raw {
-            inner.stats.stored_raw += 1;
+            shard.stats.stored_raw += 1;
         } else {
-            inner.stats.compressed += 1;
+            shard.stats.compressed += 1;
         }
-        let len = data.len();
-        let handle = inner.lru.push_mru(key);
-        inner.entries.insert(
+
+        // Reserve budget for the new entry before publishing it. The CAS
+        // keeps `resident` at or below the budget at every instant.
+        let mut reserved = true;
+        'reserve: loop {
+            let mut cur = self.resident.load(Ordering::Relaxed);
+            while cur + len <= self.cfg.memory_budget {
+                match self.resident.compare_exchange_weak(
+                    cur,
+                    cur + len,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break 'reserve,
+                    Err(actual) => cur = actual,
+                }
+            }
+            match self.make_room(shard_idx, &mut shard)? {
+                Progress::Evicted => continue,
+                Progress::NoVictim => {
+                    // Nothing left to evict (everything is already
+                    // spilling, or the page alone exceeds the budget):
+                    // bypass residence and spill this entry directly.
+                    reserved = false;
+                    break;
+                }
+                Progress::Blocked => {
+                    // Victims may exist on shards other putters hold.
+                    // Release ours so the system can make progress, then
+                    // retry from scratch.
+                    drop(shard);
+                    std::thread::yield_now();
+                    shard = self.shard(key);
+                }
+            }
+        }
+
+        let residence = SCRATCH.with(|c| {
+            let s = &mut *c.borrow_mut();
+            let compressed = &s.comp[..len];
+            if reserved {
+                let data = shard.acquire_buf(compressed);
+                let handle = shard.lru.push_mru(key);
+                Residence::Memory { data, handle }
+            } else {
+                // Straight-to-spill path (see above): never resident.
+                let data = Arc::new(compressed.to_vec());
+                let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
+                let offset = self.spill_cursor.fetch_add(len as u64, Ordering::Relaxed);
+                shard.stats.spilled += 1;
+                let tx = shard.tx.as_ref().expect("no-spill store cannot bypass");
+                tx.send(SpillJob {
+                    key,
+                    gen,
+                    data: Arc::clone(&data),
+                    offset,
+                })
+                .expect("cleaner thread died");
+                Residence::Spilling { data, gen }
+            }
+        });
+        shard.entries.insert(
             key,
             Entry {
-                residence: Residence::Memory {
-                    data: Arc::new(data),
-                    handle,
-                },
+                residence,
                 orig_len: page.len() as u32,
             },
         );
-        inner.memory_bytes += len;
-        self.enforce_budget(&mut inner)?;
-        inner.stats.memory_bytes = inner.memory_bytes as u64;
         Ok(())
     }
 
@@ -291,55 +512,89 @@ impl CompressedStore {
     /// if the key is unknown.
     pub fn get(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
         self.absorb_completed_spills();
-        let mut inner = self.inner.lock();
         enum Found {
-            InMemory(Arc<Vec<u8>>, Option<cc_util::LruHandle>),
+            /// Compressed bytes staged into the thread-local buffer.
+            Staged,
+            /// Still in the writer's hands; decode from the shared copy.
+            InFlight(Arc<Vec<u8>>),
             OnDisk(u64, u32),
         }
-        let (found, orig_len) = {
-            let Some(entry) = inner.entries.get(&key) else {
-                inner.stats.misses += 1;
-                return Ok(false);
-            };
-            let orig_len = entry.orig_len as usize;
-            let found = match &entry.residence {
-                Residence::Memory { data, handle } => {
-                    Found::InMemory(Arc::clone(data), Some(*handle))
-                }
-                Residence::Spilling { data, .. } => Found::InMemory(Arc::clone(data), None),
-                Residence::Spilled { offset, len } => Found::OnDisk(*offset, *len),
-            };
-            (found, orig_len)
+        let mut shard = self.shard(key);
+        let Some(entry) = shard.entries.get(&key) else {
+            shard.stats.misses += 1;
+            return Ok(false);
         };
+        let orig_len = entry.orig_len as usize;
         if out.len() != orig_len {
             return Err(StoreError::BadPageSize {
                 expected: orig_len,
                 got: out.len(),
             });
         }
-        match found {
-            Found::InMemory(data, handle) => {
-                if let Some(h) = handle {
-                    inner.lru.touch(h);
-                }
-                inner.stats.hits_memory += 1;
-                drop(inner);
-                self.decompress_into(&data, orig_len, out);
+        let (found, touch) = match &entry.residence {
+            Residence::Memory { data, handle } => {
+                // Copy the (small) compressed bytes out under the lock so
+                // decompression runs without it.
+                SCRATCH.with(|c| {
+                    let s = &mut *c.borrow_mut();
+                    s.stage.clear();
+                    s.stage.extend_from_slice(data);
+                });
+                (Found::Staged, Some(*handle))
             }
+            Residence::Spilling { data, .. } => (Found::InFlight(Arc::clone(data)), None),
+            Residence::Spilled { offset, len } => (Found::OnDisk(*offset, *len), None),
+        };
+        if let Some(handle) = touch {
+            shard.lru.touch(handle);
+        }
+        if matches!(found, Found::OnDisk(..)) {
+            shard.stats.hits_spill += 1;
+        } else {
+            shard.stats.hits_memory += 1;
+        }
+        drop(shard);
+        match found {
+            Found::Staged => SCRATCH.with(|c| {
+                let s = &mut *c.borrow_mut();
+                let Scratch {
+                    codec,
+                    stage,
+                    decomp,
+                    ..
+                } = s;
+                codec
+                    .decompress(stage, decomp, orig_len)
+                    .expect("corrupt page in store");
+                out.copy_from_slice(decomp);
+            }),
+            Found::InFlight(data) => self.decompress_into(&data, orig_len, out),
             Found::OnDisk(offset, len) => {
-                inner.stats.hits_spill += 1;
-                drop(inner);
-                let mut buf = vec![0u8; len as usize];
-                {
+                SCRATCH.with(|c| {
+                    let s = &mut *c.borrow_mut();
+                    s.stage.clear();
+                    s.stage.resize(len as usize, 0);
                     let mut f = self
                         .read_file
                         .as_ref()
                         .expect("spilled entry without spill file")
-                        .lock();
+                        .lock()
+                        .expect("spill file poisoned");
                     f.seek(SeekFrom::Start(offset))?;
-                    f.read_exact(&mut buf)?;
-                }
-                self.decompress_into(&buf, orig_len, out);
+                    f.read_exact(&mut s.stage)?;
+                    drop(f);
+                    let Scratch {
+                        codec,
+                        stage,
+                        decomp,
+                        ..
+                    } = &mut *s;
+                    codec
+                        .decompress(stage, decomp, orig_len)
+                        .expect("corrupt page in store");
+                    out.copy_from_slice(decomp);
+                    Ok::<(), StoreError>(())
+                })?;
             }
         }
         Ok(true)
@@ -348,19 +603,22 @@ impl CompressedStore {
     /// Remove a key (e.g. the page was freed). Returns whether it existed.
     pub fn remove(&self, key: u64) -> bool {
         self.absorb_completed_spills();
-        let mut inner = self.inner.lock();
-        self.remove_locked(&mut inner, key)
+        let mut shard = self.shard(key);
+        self.remove_locked(&mut shard, key)
     }
 
     /// Whether the store currently knows `key`.
     pub fn contains(&self, key: u64) -> bool {
         self.absorb_completed_spills();
-        self.inner.lock().entries.contains_key(&key)
+        self.shard(key).entries.contains_key(&key)
     }
 
     /// Number of stored pages (memory + spill).
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards
+            .iter()
+            .map(|s| s.0.lock().expect("shard poisoned").entries.len())
+            .sum()
     }
 
     /// Whether the store is empty.
@@ -368,34 +626,37 @@ impl CompressedStore {
         self.len() == 0
     }
 
-    /// A snapshot of the counters.
+    /// A snapshot of the counters, aggregated across shards.
     pub fn stats(&self) -> StoreStats {
         self.absorb_completed_spills();
-        let mut inner = self.inner.lock();
-        inner.stats.memory_bytes = inner.memory_bytes as u64;
-        inner.stats
+        let mut total = StoreStats::default();
+        for s in &self.shards {
+            total.absorb(&s.0.lock().expect("shard poisoned").stats);
+        }
+        let resident = self.resident.load(Ordering::Relaxed) as u64;
+        total.resident_bytes = resident;
+        total.memory_bytes = resident;
+        total
     }
 
     fn decompress_into(&self, data: &[u8], orig_len: usize, out: &mut [u8]) {
-        thread_local! {
-            static DECODEC: std::cell::RefCell<(Lzrw1, Vec<u8>)> =
-                std::cell::RefCell::new((Lzrw1::new(), Vec::new()));
-        }
-        DECODEC.with(|c| {
-            let (codec, buf) = &mut *c.borrow_mut();
+        SCRATCH.with(|c| {
+            let s = &mut *c.borrow_mut();
+            let Scratch { codec, decomp, .. } = &mut *s;
             codec
-                .decompress(data, buf, orig_len)
+                .decompress(data, decomp, orig_len)
                 .expect("corrupt page in store");
-            out.copy_from_slice(buf);
+            out.copy_from_slice(decomp);
         });
     }
 
-    fn remove_locked(&self, inner: &mut Inner, key: u64) -> bool {
-        match inner.entries.remove(&key) {
+    fn remove_locked(&self, shard: &mut Shard, key: u64) -> bool {
+        match shard.entries.remove(&key) {
             Some(e) => {
-                if let Residence::Memory { data, handle } = &e.residence {
-                    inner.memory_bytes -= data.len();
-                    inner.lru.remove(*handle);
+                if let Residence::Memory { data, handle } = e.residence {
+                    self.resident.fetch_sub(data.len(), Ordering::Relaxed);
+                    shard.lru.remove(handle);
+                    shard.release_buf(data);
                 }
                 true
             }
@@ -403,63 +664,90 @@ impl CompressedStore {
         }
     }
 
-    /// Evict coldest memory entries until under budget.
-    fn enforce_budget(&self, inner: &mut Inner) -> Result<(), StoreError> {
-        while inner.memory_bytes > self.cfg.memory_budget {
-            let Some((_, &victim)) = inner.lru.peek_lru() else {
-                // Everything left is mid-spill; without a spill file this
-                // is simply out of memory.
-                return if self.tx.is_some() {
-                    Ok(())
-                } else {
-                    Err(StoreError::OutOfMemory)
-                };
-            };
-            let Some(tx) = &self.tx else {
-                return Err(StoreError::OutOfMemory);
-            };
-            // Move the victim to Spilling and enqueue the write.
-            let entry = inner.entries.get_mut(&victim).expect("lru/map sync");
-            let Residence::Memory { data, handle } = &entry.residence else {
-                unreachable!("LRU entry not in memory")
-            };
-            let (data, handle) = (Arc::clone(data), *handle);
-            inner.lru.remove(handle);
-            inner.memory_bytes -= data.len();
-            let offset = inner.spill_cursor;
-            inner.spill_cursor += data.len() as u64;
-            let gen = inner.next_gen;
-            inner.next_gen += 1;
-            entry.residence = Residence::Spilling {
-                data: Arc::clone(&data),
-                gen,
-            };
-            inner.stats.spilled += 1;
-            tx.send(SpillJob {
-                key: victim,
-                gen,
-                data,
-                offset,
-            })
-            .expect("cleaner thread died");
+    /// Evict one cold entry to free budget: spill it if a spill file is
+    /// configured, otherwise fail. Prefers the local (already locked)
+    /// shard; falls back to try-locking the others so two concurrent
+    /// putters can never deadlock.
+    fn make_room(&self, local_idx: usize, local: &mut Shard) -> Result<Progress, StoreError> {
+        if self.evict_one(local) {
+            return Ok(Progress::Evicted);
         }
-        Ok(())
+        let mut blocked = false;
+        for (i, other) in self.shards.iter().enumerate() {
+            if i == local_idx {
+                continue;
+            }
+            match other.0.try_lock() {
+                Ok(mut guard) => {
+                    if self.evict_one(&mut guard) {
+                        return Ok(Progress::Evicted);
+                    }
+                }
+                Err(_) => blocked = true,
+            }
+        }
+        if self.has_spill() {
+            // No victim reachable right now; the caller spills directly.
+            Ok(Progress::NoVictim)
+        } else if blocked {
+            // Couldn't inspect every shard; the caller must release its
+            // lock and retry rather than conclude out-of-memory.
+            Ok(Progress::Blocked)
+        } else {
+            Err(StoreError::OutOfMemory)
+        }
     }
 
-    /// Fold completed writer jobs into the entry map. A completion only
+    /// Move `shard`'s coldest memory entry to the writer. Returns false
+    /// if the shard has no memory-resident entries.
+    fn evict_one(&self, shard: &mut Shard) -> bool {
+        let Some((_, &victim)) = shard.lru.peek_lru() else {
+            return false;
+        };
+        let Some(tx) = shard.tx.clone() else {
+            return false;
+        };
+        let entry = shard.entries.get_mut(&victim).expect("lru/map sync");
+        let Residence::Memory { data, handle } = &mut entry.residence else {
+            unreachable!("LRU entry not in memory")
+        };
+        let handle = *handle;
+        let data = Arc::new(std::mem::take(data));
+        let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
+        let offset = self
+            .spill_cursor
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        entry.residence = Residence::Spilling {
+            data: Arc::clone(&data),
+            gen,
+        };
+        shard.lru.remove(handle);
+        self.resident.fetch_sub(data.len(), Ordering::Relaxed);
+        shard.stats.spilled += 1;
+        tx.send(SpillJob {
+            key: victim,
+            gen,
+            data,
+            offset,
+        })
+        .expect("cleaner thread died");
+        true
+    }
+
+    /// Fold completed writer jobs into the entry maps. A completion only
     /// lands if the entry is still waiting on that exact generation —
     /// replaced-and-respilled keys ignore stale completions.
     fn absorb_completed_spills(&self) {
-        let done: Vec<(u64, u64, u64, u32)> = {
-            let mut d = self.shared.done.lock();
-            std::mem::take(&mut *d)
-        };
-        if done.is_empty() {
+        if !self.has_spill() {
             return;
         }
-        let mut inner = self.inner.lock();
+        let done: Vec<(u64, u64, u64, u32)> = {
+            let mut d = self.shared.done.lock().expect("done list poisoned");
+            std::mem::take(&mut *d)
+        };
         for (key, gen, offset, len) in done {
-            let Some(e) = inner.entries.get_mut(&key) else {
+            let mut shard = self.shard(key);
+            let Some(e) = shard.entries.get_mut(&key) else {
                 continue;
             };
             let data = match &e.residence {
@@ -467,17 +755,19 @@ impl CompressedStore {
                 _ => continue,
             };
             if offset == u64::MAX {
-                // Write failed: fall back to memory residence.
-                let handle = inner.lru.push_mru(key);
+                // Write failed: fall back to memory residence. This is the
+                // one path that may push `resident` past the budget — the
+                // alternative is losing the page.
+                let handle = shard.lru.push_mru(key);
                 let bytes = data.len();
-                let e = inner.entries.get_mut(&key).expect("just looked up");
-                e.residence = Residence::Memory { data, handle };
-                inner.memory_bytes += bytes;
+                let buf = Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone());
+                let e = shard.entries.get_mut(&key).expect("just looked up");
+                e.residence = Residence::Memory { data: buf, handle };
+                self.resident.fetch_add(bytes, Ordering::Relaxed);
             } else {
                 e.residence = Residence::Spilled { offset, len };
             }
         }
-        self.drained.notify_all();
     }
 
     /// Block until the cleaner has drained all pending spills (tests and
@@ -485,26 +775,46 @@ impl CompressedStore {
     pub fn flush(&self) {
         loop {
             self.absorb_completed_spills();
-            let inner = self.inner.lock();
-            let pending = inner
-                .entries
-                .values()
-                .any(|e| matches!(e.residence, Residence::Spilling { .. }));
+            let pending = self.shards.iter().any(|s| {
+                s.0.lock()
+                    .expect("shard poisoned")
+                    .entries
+                    .values()
+                    .any(|e| matches!(e.residence, Residence::Spilling { .. }))
+            });
             if !pending {
                 return;
             }
-            drop(inner);
             std::thread::yield_now();
+        }
+    }
+
+    /// Drain pending spills, stop the cleaner thread, and join it. The
+    /// store remains readable; further puts that need to spill will fail.
+    pub fn shutdown(&self) {
+        self.flush();
+        for s in &self.shards {
+            s.0.lock().expect("shard poisoned").tx = None;
+        }
+        if let Some(handle) = self.writer.lock().expect("writer handle poisoned").take() {
+            let _ = handle.join();
         }
     }
 }
 
+enum Progress {
+    Evicted,
+    NoVictim,
+    Blocked,
+}
+
 impl Drop for CompressedStore {
     fn drop(&mut self) {
-        self.inner.lock().shutdown = true;
-        // Closing the channel stops the writer.
-        self.tx = None;
-        if let Some(handle) = self.writer.lock().take() {
+        // Closing every Sender clone stops the writer.
+        for s in &self.shards {
+            s.0.lock().expect("shard poisoned").tx = None;
+        }
+        if let Some(handle) = self.writer.lock().expect("writer handle poisoned").take() {
             let _ = handle.join();
         }
     }
@@ -512,16 +822,19 @@ impl Drop for CompressedStore {
 
 fn writer_loop(mut file: File, rx: Receiver<SpillJob>, shared: Arc<SharedSpillState>) {
     while let Ok(job) = rx.recv() {
-        let ok = file.seek(SeekFrom::Start(job.offset)).is_ok() && file.write_all(&job.data).is_ok();
+        let ok =
+            file.seek(SeekFrom::Start(job.offset)).is_ok() && file.write_all(&job.data).is_ok();
         let _ = file.flush();
         // A failed write reports offset u64::MAX: the store reverts the
         // entry to memory residence rather than losing the data or hanging
         // `flush` on a completion that never comes.
         let offset = if ok { job.offset } else { u64::MAX };
-        shared
-            .done
-            .lock()
-            .push((job.key, job.gen, offset, job.data.len() as u32));
+        shared.done.lock().expect("done list poisoned").push((
+            job.key,
+            job.gen,
+            offset,
+            job.data.len() as u32,
+        ));
     }
 }
 
@@ -553,6 +866,7 @@ mod tests {
         assert_eq!(s.compressed, 32);
         assert_eq!(s.misses, 1);
         assert!(s.memory_bytes > 0 && s.memory_bytes < 32 * 4096);
+        assert_eq!(s.memory_bytes, s.resident_bytes);
     }
 
     #[test]
@@ -599,6 +913,30 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_resolves_to_power_of_two() {
+        for (requested, expect) in [(1, 1), (2, 2), (3, 4), (8, 8), (9, 16)] {
+            let store =
+                CompressedStore::new(StoreConfig::in_memory(1 << 20).with_shards(requested));
+            assert_eq!(store.shard_count(), expect, "requested {requested}");
+        }
+        let auto = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        assert!(auto.shard_count().is_power_of_two());
+    }
+
+    #[test]
+    fn single_shard_still_works() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20).with_shards(1));
+        for k in 0..64u64 {
+            store.put(k, &page(k as u8)).unwrap();
+        }
+        let mut out = vec![0u8; 4096];
+        for k in 0..64u64 {
+            assert!(store.get(k, &mut out).unwrap());
+            assert_eq!(out, page(k as u8));
+        }
+    }
+
+    #[test]
     fn spills_to_file_and_reads_back() {
         let dir = std::env::temp_dir().join(format!("ccstore-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -619,6 +957,27 @@ mod tests {
                 assert_eq!(out, page(k as u8), "key {k} corrupted");
             }
             assert!(store.stats().hits_spill > 0);
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn shutdown_then_reads_still_work() {
+        let dir = std::env::temp_dir().join(format!("ccstore-shut-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spill.bin");
+        {
+            let store = CompressedStore::new(StoreConfig::with_spill(8 * 1024, &path));
+            for k in 0..32u64 {
+                store.put(k, &page(k as u8)).unwrap();
+            }
+            store.shutdown();
+            let mut out = vec![0u8; 4096];
+            for k in 0..32u64 {
+                assert!(store.get(k, &mut out).unwrap(), "key {k} lost");
+                assert_eq!(out, page(k as u8));
+            }
         }
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
@@ -666,7 +1025,9 @@ mod tests {
                     let base = t * 1000;
                     let mut out = vec![0u8; 4096];
                     for i in 0..200u64 {
-                        store.put(base + i, &page(((base + i) % 251) as u8)).unwrap();
+                        store
+                            .put(base + i, &page(((base + i) % 251) as u8))
+                            .unwrap();
                         if i % 3 == 0 {
                             let probe = base + i / 2;
                             assert!(store.get(probe, &mut out).unwrap(), "{probe}");

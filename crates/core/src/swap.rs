@@ -349,9 +349,10 @@ impl SwapSpace {
             let sum: u16 = c.live.values().map(|&(_, n, _)| n).sum();
             assert_eq!(sum, c.live_frags, "cluster {i} frag count mismatch");
             for (&frag, &(key, nfrags, data_len)) in &c.live {
-                let info = self.map.get(&key).unwrap_or_else(|| {
-                    panic!("cluster {i} holds unmapped page {key:?}")
-                });
+                let info = self
+                    .map
+                    .get(&key)
+                    .unwrap_or_else(|| panic!("cluster {i} holds unmapped page {key:?}"));
                 assert_eq!(
                     info.loc,
                     SwapLoc {

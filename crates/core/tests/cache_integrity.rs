@@ -9,8 +9,8 @@
 
 use cc_compress::Lzrw1;
 use cc_core::{
-    cache::CpuCosts, CacheConfig, CleanEvictOutcome, CompressionCache, FaultOutcome,
-    InsertOutcome, MemBacking, PageKey,
+    cache::CpuCosts, CacheConfig, CleanEvictOutcome, CompressionCache, FaultOutcome, InsertOutcome,
+    MemBacking, PageKey,
 };
 use cc_mem::FramePool;
 use cc_util::{Ns, SplitMix64};
@@ -57,7 +57,10 @@ fn insert_then_fault_roundtrips_in_memory() {
     let mut clock = Ns::ZERO;
     let page = page_compressible(1);
     let outcome = cache.insert_evicted(&mut pool, &mut backing, &mut clock, key(1), &page, true);
-    assert!(matches!(outcome, InsertOutcome::Stored { .. }), "{outcome:?}");
+    assert!(
+        matches!(outcome, InsertOutcome::Stored { .. }),
+        "{outcome:?}"
+    );
     assert!(clock > Ns::ZERO, "compression must cost time");
     assert_eq!(cache.live_entries(), 1);
 
@@ -75,7 +78,10 @@ fn rejected_page_goes_raw_to_swap_and_comes_back() {
     let mut clock = Ns::ZERO;
     let page = page_random(7);
     let outcome = cache.insert_evicted(&mut pool, &mut backing, &mut clock, key(7), &page, true);
-    assert!(matches!(outcome, InsertOutcome::Rejected { .. }), "{outcome:?}");
+    assert!(
+        matches!(outcome, InsertOutcome::Rejected { .. }),
+        "{outcome:?}"
+    );
     assert_eq!(cache.live_entries(), 0, "rejected pages are not cached");
     assert_eq!(cache.stats().compress_rejected, 1);
 
@@ -101,7 +107,10 @@ fn cleaner_writes_then_drop_moves_home_to_swap() {
 
     // Shrink the cache to nothing; clean entries drop to swap.
     let mut released = 0;
-    while cache.release_frame(&mut pool, &mut backing, &mut clock).is_some() {
+    while cache
+        .release_frame(&mut pool, &mut backing, &mut clock)
+        .is_some()
+    {
         released += 1;
     }
     assert!(released > 0);
@@ -114,7 +123,14 @@ fn cleaner_writes_then_drop_moves_home_to_swap() {
     let mut from_swap = 0;
     for (i, p) in pages.iter().enumerate() {
         let mut out = vec![0u8; PAGE];
-        let f = cache.fault(&mut pool, &mut backing, &mut clock, key(i as u32), &mut out, true);
+        let f = cache.fault(
+            &mut pool,
+            &mut backing,
+            &mut clock,
+            key(i as u32),
+            &mut out,
+            true,
+        );
         match f {
             FaultOutcome::FromSwapCompressed { .. } => from_swap += 1,
             FaultOutcome::FromCache { .. } => {}
@@ -122,7 +138,10 @@ fn cleaner_writes_then_drop_moves_home_to_swap() {
         }
         assert_eq!(&out, p, "page {i} corrupted through swap");
         // Release the shadow so later wrap pressure can reuse space.
-        assert_ne!(cache.evict_clean(key(i as u32)), CleanEvictOutcome::NeedStore);
+        assert_ne!(
+            cache.evict_clean(key(i as u32)),
+            CleanEvictOutcome::NeedStore
+        );
     }
     assert!(from_swap > 0, "at least the first fault must hit the disk");
     cache.check_invariants();
@@ -185,8 +204,7 @@ fn buffer_mode_when_no_memory_granted() {
     let mut clock = Ns::ZERO;
 
     let page = page_compressible(9);
-    let outcome =
-        cache.insert_evicted(&mut pool, &mut backing, &mut clock, key(9), &page, false);
+    let outcome = cache.insert_evicted(&mut pool, &mut backing, &mut clock, key(9), &page, false);
     assert!(
         matches!(outcome, InsertOutcome::StoredToSwap { .. }),
         "{outcome:?}"
@@ -195,7 +213,10 @@ fn buffer_mode_when_no_memory_granted() {
 
     let mut out = vec![0u8; PAGE];
     let f = cache.fault(&mut pool, &mut backing, &mut clock, key(9), &mut out, false);
-    assert!(matches!(f, FaultOutcome::FromSwapCompressed { cached: false, .. }), "{f:?}");
+    assert!(
+        matches!(f, FaultOutcome::FromSwapCompressed { cached: false, .. }),
+        "{f:?}"
+    );
     assert_eq!(out, page);
 }
 
@@ -210,7 +231,10 @@ fn wraparound_reuses_space_without_corruption() {
         let page = page_compressible(i);
         let o = cache.insert_evicted(&mut pool, &mut backing, &mut clock, key(i), &page, true);
         assert!(
-            matches!(o, InsertOutcome::Stored { .. } | InsertOutcome::StoredToSwap { .. }),
+            matches!(
+                o,
+                InsertOutcome::Stored { .. } | InsertOutcome::StoredToSwap { .. }
+            ),
             "page {i}: {o:?}"
         );
     }
@@ -262,7 +286,10 @@ fn swap_gc_relocates_live_pages_intact() {
         }
         round += 1;
     }
-    assert!(cache.stats().gc_runs > 0, "GC never ran after {round} rounds");
+    assert!(
+        cache.stats().gc_runs > 0,
+        "GC never ran after {round} rounds"
+    );
     let _ = cache.take_moved_to_swap();
     // Every pinned page survived relocation; every churn page has its
     // final contents.
@@ -369,7 +396,10 @@ fn model_checked_random_workout() {
                 let f = cache.fault(&mut pool, &mut backing, &mut clock, key(i), &mut out, true);
                 match &model[i as usize] {
                     Some(expect) => {
-                        assert!(!matches!(f, FaultOutcome::Miss), "step {step}: lost page {i}");
+                        assert!(
+                            !matches!(f, FaultOutcome::Miss),
+                            "step {step}: lost page {i}"
+                        );
                         assert_eq!(&out, expect, "step {step}: page {i} corrupted");
                         // Half the time, declare it evicted-clean again.
                         if rng.gen_bool(0.5) {
@@ -383,7 +413,12 @@ fn model_checked_random_workout() {
                             // Re-insert as dirty with same contents.
                             let page = model[i as usize].clone().unwrap();
                             cache.insert_evicted(
-                                &mut pool, &mut backing, &mut clock, key(i), &page, true,
+                                &mut pool,
+                                &mut backing,
+                                &mut clock,
+                                key(i),
+                                &page,
+                                true,
                             );
                         }
                     }

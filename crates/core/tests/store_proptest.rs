@@ -16,8 +16,11 @@ enum Op {
 
 fn op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), any::<u16>(), any::<bool>())
-            .prop_map(|(key, seed, noisy)| Op::Put { key, seed, noisy }),
+        (any::<u8>(), any::<u16>(), any::<bool>()).prop_map(|(key, seed, noisy)| Op::Put {
+            key,
+            seed,
+            noisy
+        }),
         any::<u8>().prop_map(|key| Op::Get { key }),
         any::<u8>().prop_map(|key| Op::Remove { key }),
     ]

@@ -1,0 +1,189 @@
+//! Multi-threaded stress tests for the sharded `CompressedStore`.
+//!
+//! Eight threads hammer an overlapping key space with puts, gets,
+//! removes, and flushes while a sampler thread watches the memory
+//! accounting. Two invariants must hold throughout:
+//!
+//! 1. **Round-trip integrity** — a `get` either misses or returns exactly
+//!    the page deterministically derived from its key; torn, stale-beyond
+//!    -replacement, or cross-key data is a failure.
+//! 2. **Budget** — `stats().resident_bytes` never exceeds the configured
+//!    memory budget, at any sampled instant, under full contention.
+
+use cc_core::store::{CompressedStore, StoreConfig, StoreError};
+use cc_util::SplitMix64;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const PAGE: usize = 4096;
+const THREADS: u64 = 8;
+/// Shared key space: every key is touched by several threads.
+const KEYS: u64 = 512;
+
+/// The one true page for `key`: mixed compressible/incompressible
+/// content so stores exercise both the keep and reject threshold paths.
+fn page_for(key: u64) -> Vec<u8> {
+    let mut p = vec![0u8; PAGE];
+    if key.is_multiple_of(3) {
+        let mut rng = SplitMix64::new(key.wrapping_mul(0x9E37_79B9));
+        for b in p.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+    } else {
+        for (i, b) in p.iter_mut().enumerate() {
+            *b = (key as u8).wrapping_add((i / 61) as u8);
+        }
+    }
+    p
+}
+
+fn hammer(store: Arc<CompressedStore>, ops_per_thread: u64, allow_oom: bool) {
+    let stop = Arc::new(AtomicBool::new(false));
+    // Budget watcher: samples the gauge as fast as it can while the
+    // worker threads churn.
+    let budget = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_seen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                max_seen = max_seen.max(store.stats().resident_bytes);
+            }
+            max_seen
+        })
+    };
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let store = Arc::clone(&store);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(t + 1);
+            let mut out = vec![0u8; PAGE];
+            for i in 0..ops_per_thread {
+                let key = rng.next_u64() % KEYS;
+                match rng.next_u64() % 10 {
+                    // 50% puts keep the store full and churning.
+                    0..=4 => match store.put(key, &page_for(key)) {
+                        Ok(()) => {}
+                        Err(StoreError::OutOfMemory) if allow_oom => {}
+                        Err(e) => panic!("put({key}) failed: {e}"),
+                    },
+                    5..=7 => {
+                        if store.get(key, &mut out).unwrap() {
+                            assert_eq!(out, page_for(key), "key {key} corrupted");
+                        }
+                    }
+                    8 => {
+                        store.remove(key);
+                    }
+                    _ => {
+                        if i % 64 == 0 {
+                            store.flush();
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let max_seen = budget.join().unwrap();
+    let limit = store.stats().resident_bytes.max(max_seen);
+    assert!(
+        limit <= 48 * 1024 * 1024,
+        "sanity: observed resident {limit}"
+    );
+}
+
+#[test]
+fn stress_in_memory_unbounded() {
+    // Budget far above working set: no eviction, pure lock-striping churn.
+    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(48 << 20)));
+    hammer(Arc::clone(&store), 4000, false);
+    // Every surviving key must still round-trip.
+    let mut out = vec![0u8; PAGE];
+    for key in 0..KEYS {
+        if store.get(key, &mut out).unwrap() {
+            assert_eq!(out, page_for(key), "final key {key}");
+        }
+    }
+    let s = store.stats();
+    assert!(s.resident_bytes <= 48 << 20);
+    assert_eq!(s.resident_bytes, s.memory_bytes);
+}
+
+#[test]
+fn stress_spill_under_budget_pressure() {
+    let dir = std::env::temp_dir().join(format!("ccstore-stress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spill.bin");
+    const BUDGET: usize = 256 * 1024; // a few dozen compressed pages
+    {
+        let store = Arc::new(CompressedStore::new(StoreConfig::with_spill(BUDGET, &path)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let watcher = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut max_seen = 0u64;
+                let mut samples = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    max_seen = max_seen.max(store.stats().resident_bytes);
+                    samples += 1;
+                }
+                (max_seen, samples)
+            })
+        };
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0xC0FFEE + t);
+                let mut out = vec![0u8; PAGE];
+                for i in 0..1500u64 {
+                    let key = rng.next_u64() % KEYS;
+                    match rng.next_u64() % 8 {
+                        0..=3 => store.put(key, &page_for(key)).unwrap(),
+                        4..=5 => {
+                            if store.get(key, &mut out).unwrap() {
+                                assert_eq!(out, page_for(key), "key {key} corrupted");
+                            }
+                        }
+                        6 => {
+                            store.remove(key);
+                        }
+                        _ => {
+                            if i % 100 == 0 {
+                                store.flush();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (max_seen, samples) = watcher.join().unwrap();
+        assert!(samples > 0);
+        assert!(
+            max_seen <= BUDGET as u64,
+            "budget exceeded: saw {max_seen} resident with budget {BUDGET}"
+        );
+        store.flush();
+        let s = store.stats();
+        assert!(s.resident_bytes <= BUDGET as u64);
+        assert!(s.spilled > 0, "pressure test never spilled: {s:?}");
+        // Full final verification through every residence class.
+        let mut out = vec![0u8; PAGE];
+        for key in 0..KEYS {
+            if store.get(key, &mut out).unwrap() {
+                assert_eq!(out, page_for(key), "final key {key}");
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}

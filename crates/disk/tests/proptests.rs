@@ -38,7 +38,7 @@ proptest! {
         let mut bytes = 0u64;
         for r in &reqs {
             now += Ns::from_us(r.gap_us as u64);
-            let nb = r.nblocks.min(8).max(1) as u32;
+            let nb = r.nblocks.clamp(1, 8) as u32;
             let block = r.block.min(params.blocks - nb as u64);
             let c = if r.read {
                 disk.read(now, block, nb)

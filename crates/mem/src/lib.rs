@@ -196,10 +196,7 @@ impl FramePool {
     /// Return a frame to the free pool.
     pub fn free(&mut self, id: FrameId) {
         let class = self.frames[id.0 as usize].owner.class();
-        debug_assert!(
-            !self.free.contains(&id),
-            "double free of frame {id:?}"
-        );
+        debug_assert!(!self.free.contains(&id), "double free of frame {id:?}");
         match class {
             OwnerClass::Vm => self.counts.vm -= 1,
             OwnerClass::FileCache => self.counts.file_cache -= 1,
@@ -277,7 +274,10 @@ mod tests {
         let _c = p.alloc(FrameOwner::FileCache { tag: 3 }).unwrap();
         let c = p.counts();
         assert_eq!(c.total(), 10);
-        assert_eq!((c.vm, c.file_cache, c.compression_cache, c.free), (1, 1, 1, 7));
+        assert_eq!(
+            (c.vm, c.file_cache, c.compression_cache, c.free),
+            (1, 1, 1, 7)
+        );
         p.free(a);
         p.free(b);
         let c = p.counts();
@@ -294,10 +294,7 @@ mod tests {
         assert_eq!(p.data(f), &[9u8; 16]);
         assert_eq!(p.counts().compression_cache, 1);
         assert_eq!(p.counts().vm, 0);
-        assert_eq!(
-            p.owner(f),
-            FrameOwner::CompressionCache { tag: 5 }
-        );
+        assert_eq!(p.owner(f), FrameOwner::CompressionCache { tag: 5 });
     }
 
     #[test]

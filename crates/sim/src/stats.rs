@@ -4,7 +4,6 @@ use cc_core::CoreStats;
 use cc_disk::DiskStats;
 use cc_util::{fmt, Ns};
 use cc_vm::VmStats;
-use serde::Serialize;
 
 /// Counters owned by the `System` itself (the substrates keep their own).
 #[derive(Debug, Clone, Default)]
@@ -49,7 +48,7 @@ impl SystemStats {
 
 /// A flattened, serializable summary of a finished run, consumed by the
 /// bench harnesses and EXPERIMENTS.md generation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SystemReport {
     /// Mode label ("std" or "cc").
     pub mode: String,
@@ -109,9 +108,7 @@ impl SystemReport {
             accesses: vm.accesses,
             faults,
             faults_from_cache: core.faults_from_cache,
-            faults_from_disk: core.faults_from_swap
-                + core.faults_from_swap_raw
-                + sys.std_swapins,
+            faults_from_disk: core.faults_from_swap + core.faults_from_swap_raw + sys.std_swapins,
             faults_zero_fill: vm.zero_fill_faults,
             mean_access_ms: if vm.accesses == 0 {
                 0.0

@@ -120,7 +120,12 @@ impl System {
                 let swap_blocks = cfg.cc.swap_bytes / cfg.disk.block_bytes as u64;
                 let file = fs.create("ccswap", swap_blocks);
                 (
-                    Some(CompressionCache::new(ccfg, codec, cfg.cpu, cfg.cc.swap_bytes)),
+                    Some(CompressionCache::new(
+                        ccfg,
+                        codec,
+                        cfg.cpu,
+                        cfg.cc.swap_bytes,
+                    )),
                     Some(file),
                 )
             }
@@ -175,10 +180,7 @@ impl System {
                 self.pool.free(frame);
             }
             if let Some(cache) = self.cache.as_mut() {
-                cache.drop_page(PageKey {
-                    seg: seg.0,
-                    page,
-                });
+                cache.drop_page(PageKey { seg: seg.0, page });
             }
         }
         self.drain_cc_transitions();
@@ -532,7 +534,9 @@ impl System {
             &mut self.page_scratch,
             false,
         );
-        if outcome == FaultOutcome::Miss { panic!("PTE says compressed/swapped but cache lost {vp:?}") }
+        if outcome == FaultOutcome::Miss {
+            panic!("PTE says compressed/swapped but cache lost {vp:?}")
+        }
         let frame = self
             .pool
             .alloc(FrameOwner::Vm { tag: vp.tag() })
@@ -641,8 +645,7 @@ impl System {
                     let file = *self.std_swap.get(&vp.seg).expect("std swap file");
                     let pb = self.cfg.page_bytes as u64;
                     // Asynchronous page-out; later reads queue behind it.
-                    self.page_scratch
-                        .copy_from_slice(self.pool.data(frame));
+                    self.page_scratch.copy_from_slice(self.pool.data(frame));
                     let scratch = std::mem::take(&mut self.page_scratch);
                     self.fs
                         .write_bytes(self.clock, file, vp.page as u64 * pb, &scratch);
@@ -719,12 +722,8 @@ impl System {
         if evicted.dirty {
             let bb = self.fs.block_bytes() as u64;
             let data = self.pool.data(evicted.frame).to_vec();
-            self.fs.write_bytes(
-                self.clock,
-                evicted.key.file,
-                evicted.key.block * bb,
-                &data,
-            );
+            self.fs
+                .write_bytes(self.clock, evicted.key.file, evicted.key.block * bb, &data);
         }
         // §6 extension: retain a discardable compressed copy so a future
         // re-read decompresses instead of hitting the disk. A clean block
@@ -737,7 +736,8 @@ impl System {
                 self.pool.free(evicted.frame);
                 return;
             }
-            self.page_scratch.copy_from_slice(self.pool.data(evicted.frame));
+            self.page_scratch
+                .copy_from_slice(self.pool.data(evicted.frame));
             self.pool.free(evicted.frame);
             let scratch = std::mem::take(&mut self.page_scratch);
             let cache = self.cache.as_mut().expect("cc mode");
@@ -751,10 +751,7 @@ impl System {
     /// Serve a file-cache miss from the compressed file cache, if the
     /// extension is on and the block is present. Allocates a frame,
     /// decompresses into it, and installs it in the buffer cache.
-    fn try_fill_from_compressed_file_cache(
-        &mut self,
-        key: CacheBlockKey,
-    ) -> Option<FrameId> {
+    fn try_fill_from_compressed_file_cache(&mut self, key: CacheBlockKey) -> Option<FrameId> {
         if self.cfg.mode != Mode::Cc || !self.cfg.cc.compress_file_cache {
             return None;
         }

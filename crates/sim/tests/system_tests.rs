@@ -58,7 +58,11 @@ fn integrity_under_heavy_paging() {
             let slot = rng.gen_range(4);
             let off = page * 4096 + slot * 1000;
             let v = sys.read_u32(seg, off);
-            assert_eq!(v, (page * 31 + slot * 7) as u32, "mode {mode:?} page {page}");
+            assert_eq!(
+                v,
+                (page * 31 + slot * 7) as u32,
+                "mode {mode:?} page {page}"
+            );
         }
         sys.check_invariants();
         assert!(sys.vm_stats().faults() > 0, "workload must page");
@@ -319,10 +323,7 @@ fn adaptive_disable_reduces_wasted_compression() {
             }
             sys.write_slice(seg, p * 4096, &page);
         }
-        (
-            sys.now(),
-            sys.core_stats().unwrap().compress_attempts,
-        )
+        (sys.now(), sys.core_stats().unwrap().compress_attempts)
     };
     let (t_plain, attempts_plain) = run(0);
     let (t_adaptive, attempts_adaptive) = run(8);
@@ -368,7 +369,10 @@ fn compressed_file_cache_cuts_rereads() {
     let (reads_off, secs_off, cc_hits_off) = run(false);
     let (reads_on, secs_on, cc_hits_on) = run(true);
     assert_eq!(cc_hits_off, 0);
-    assert!(cc_hits_on > 200, "extension should serve re-reads: {cc_hits_on}");
+    assert!(
+        cc_hits_on > 200,
+        "extension should serve re-reads: {cc_hits_on}"
+    );
     assert!(
         reads_on * 2 < reads_off,
         "disk reads should drop: {reads_on} vs {reads_off}"

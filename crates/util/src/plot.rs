@@ -74,11 +74,7 @@ pub fn line_chart(
         out.push_str(&row.iter().collect::<String>());
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>10}  {}\n",
-        "",
-        "-".repeat(width.min(width))
-    ));
+    out.push_str(&format!("{:>10}  {}\n", "", "-".repeat(width.min(width))));
     out.push_str(&format!(
         "{:>10}  {:<10.2}{:>width$.2}\n",
         "",
@@ -101,12 +97,7 @@ pub fn line_chart(
 /// selects glyph boundaries.
 ///
 /// `grid[row][col]`; row 0 is printed at the top.
-pub fn heatmap(
-    title: &str,
-    grid: &[Vec<f64>],
-    thresholds: &[(f64, char)],
-    below: char,
-) -> String {
+pub fn heatmap(title: &str, grid: &[Vec<f64>], thresholds: &[(f64, char)], below: char) -> String {
     let mut out = format!("{title}\n");
     for row in grid {
         for &v in row {

@@ -253,12 +253,12 @@ impl Vm {
     /// The least recently used resident page and its last access time,
     /// without removing it — the VM's bid in the three-way age comparison.
     pub fn oldest_resident(&self) -> Option<(VPage, Ns)> {
-        self.resident.peek_lru().map(|(_, &vp)| {
-            match self.state(vp) {
+        self.resident
+            .peek_lru()
+            .map(|(_, &vp)| match self.state(vp) {
                 PageState::Resident { last_access, .. } => (vp, last_access),
                 other => unreachable!("LRU entry {vp:?} not resident: {other:?}"),
-            }
-        })
+            })
     }
 
     /// Detach the LRU resident page for eviction: removes it from the LRU

@@ -20,11 +20,13 @@ impl WordList {
     pub fn generate(n: usize, seed: u64) -> Self {
         let mut rng = SplitMix64::new(seed);
         let onsets = [
-            "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l",
-            "m", "n", "p", "pr", "qu", "r", "s", "sh", "sl", "st", "t", "th", "tr", "v", "w",
+            "b", "br", "c", "ch", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m",
+            "n", "p", "pr", "qu", "r", "s", "sh", "sl", "st", "t", "th", "tr", "v", "w",
         ];
         let vowels = ["a", "e", "i", "o", "u", "ai", "ea", "ou"];
-        let codas = ["", "b", "ck", "d", "g", "l", "m", "n", "nd", "ng", "r", "s", "st", "t"];
+        let codas = [
+            "", "b", "ck", "d", "g", "l", "m", "n", "nd", "ng", "r", "s", "st", "t",
+        ];
         let mut words = Vec::with_capacity(n);
         let mut seen = std::collections::HashSet::new();
         while words.len() < n {
@@ -228,7 +230,11 @@ mod tests {
         }
         let mut set = std::collections::HashSet::new();
         for i in 0..100 {
-            assert!(set.insert(a.word(i).to_string()), "duplicate {:?}", a.word(i));
+            assert!(
+                set.insert(a.word(i).to_string()),
+                "duplicate {:?}",
+                a.word(i)
+            );
         }
     }
 

@@ -125,8 +125,8 @@ impl GoldApp {
                 sys.write_slice(seg, bump, &blob[..len]);
                 bump += len as u64;
             }
-            let nwords = self.words_per_message / 2
-                + rng.gen_range(self.words_per_message as u64) as u32;
+            let nwords =
+                self.words_per_message / 2 + rng.gen_range(self.words_per_message as u64) as u32;
             for _ in 0..nwords {
                 // Zipf-ish term choice: square the uniform to skew.
                 let u = rng.gen_f64();
@@ -298,7 +298,10 @@ mod tests {
             let mut sums = Vec::new();
             for mode in [Mode::Std, Mode::Cc] {
                 let mut sys = System::new(SimConfig::decstation(512 * 1024, mode));
-                let mut w = GoldWorkload { app: small(), phase };
+                let mut w = GoldWorkload {
+                    app: small(),
+                    phase,
+                };
                 sums.push(w.run(&mut sys).checksum);
             }
             assert_eq!(sums[0], sums[1], "{phase:?}");
@@ -332,10 +335,7 @@ mod tests {
         let frac = core.mean_kept_fraction();
         // Paper: ~59-60% for gold create/cold ("slightly worse than
         // 2:1"). The fingerprint words keep this off the floor.
-        assert!(
-            (0.30..0.75).contains(&frac),
-            "gold kept fraction {frac}"
-        );
+        assert!((0.30..0.75).contains(&frac), "gold kept fraction {frac}");
         assert!(
             core.rejected_fraction() > 0.02,
             "gold should have uncompressible pages: {}",

@@ -135,10 +135,7 @@ pub fn measure_cycle_access_time(sys: &mut System, t: &Thrasher) -> (f64, u64) {
     // read+write pair).
     let page_visits = t.passes as u64 * npages;
     let _ = accesses_before;
-    (
-        elapsed.as_ms_f64() / page_visits as f64,
-        page_visits,
-    )
+    (elapsed.as_ms_f64() / page_visits as f64, page_visits)
 }
 
 #[cfg(test)]

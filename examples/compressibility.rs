@@ -28,7 +28,11 @@ fn classes() -> Vec<(&'static str, &'static str, Vec<u8>)> {
     let mut rng = SplitMix64::new(1);
     let noise: Vec<u8> = (0..16 * PAGE).map(|_| rng.next_u64() as u8).collect();
     vec![
-        ("zero pages", "(fresh zero-fill memory)", vec![0u8; 16 * PAGE]),
+        (
+            "zero pages",
+            "(fresh zero-fill memory)",
+            vec![0u8; 16 * PAGE],
+        ),
         ("thrasher fill", "(paper: ~4:1)", four_to_one),
         ("DP stripe", "(compare; paper: ~3:1)", dp),
         (

@@ -60,7 +60,10 @@ fn main() {
     println!("pages stored:        {}", store.len());
     println!("logical bytes:       {} MB", logical / (1024 * 1024));
     println!("memory budget:       {} MB", budget / (1024 * 1024));
-    println!("compressed resident: {:.2} MB", s.memory_bytes as f64 / 1e6);
+    println!(
+        "compressed resident: {:.2} MB",
+        s.memory_bytes as f64 / (1024.0 * 1024.0)
+    );
     println!("spilled to disk:     {} pages", s.spilled);
     println!("verified:            {checked} sampled pages intact");
     println!(

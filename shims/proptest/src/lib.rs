@@ -1,0 +1,63 @@
+//! A vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! This workspace builds in a container without network access to a crates
+//! registry, so the real `proptest` cannot be fetched. The tests in this
+//! repository use a small, well-defined subset of its API; this shim
+//! implements exactly that subset on top of a deterministic SplitMix64
+//! generator:
+//!
+//! - [`Strategy`] with `prop_map`, implemented for integer/bool `any`,
+//!   integer ranges, tuples, [`Just`], boxed strategies and unions;
+//! - [`collection::vec`] for variable-length vectors;
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! - [`test_runner::ProptestConfig`] (`with_cases`) and
+//!   [`test_runner::TestCaseError`].
+//!
+//! Differences from the real crate: cases are generated from a fixed seed
+//! (override with `PROPTEST_SEED`), and failing cases are reported with
+//! their seed but **not shrunk**. Re-running with the printed seed
+//! reproduces the failure deterministically.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic 64-bit generator (SplitMix64), the engine behind every
+/// strategy in this shim.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection-free multiply-shift; bias is negligible for test data.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}

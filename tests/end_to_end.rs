@@ -199,7 +199,10 @@ fn cache_grows_and_shrinks() {
         sys.write_u32(big, p * 4096, p as u32);
     }
     let grown = sys.frame_counts().compression_cache;
-    assert!(grown > 64, "cache should hold a large share: {grown} frames");
+    assert!(
+        grown > 64,
+        "cache should hold a large share: {grown} frames"
+    );
 
     // Pressure moves to a nearly memory-sized hot segment of
     // *incompressible* pages (they cannot live in the cache), touched

@@ -26,8 +26,11 @@ enum Op {
 
 fn op_strategy(npages: u16) -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..npages, 0..200u8, any::<u32>())
-            .prop_map(|(page, slot, value)| Op::Write { page, slot, value }),
+        (0..npages, 0..200u8, any::<u32>()).prop_map(|(page, slot, value)| Op::Write {
+            page,
+            slot,
+            value
+        }),
         (0..npages, 0..200u8).prop_map(|(page, slot)| Op::Read { page, slot }),
         (0..npages, any::<u8>()).prop_map(|(page, byte)| Op::FillPage { page, byte }),
         (1..50u16).prop_map(|ms| Op::Think { ms }),
