@@ -156,6 +156,11 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries spilled to disk.
     pub spilled: u64,
+    /// Bytes in the spill file belonging to removed or replaced entries
+    /// (gauge). The spill file is append-only, so without this the file
+    /// would look fully live forever; it is the ground truth a future
+    /// compactor needs to decide when collecting is worth it.
+    pub spill_dead_bytes: u64,
     /// Current compressed bytes resident in memory (same as
     /// [`StoreStats::resident_bytes`]; kept for source compatibility).
     pub memory_bytes: u64,
@@ -302,6 +307,9 @@ pub struct CompressedStore {
     page_size: AtomicUsize,
     /// Next free offset in the spill file.
     spill_cursor: AtomicU64,
+    /// Bytes on the spill file stranded by removes/replaces of `Spilled`
+    /// entries (and by completions for entries that no longer want them).
+    spill_dead_bytes: AtomicU64,
     /// Generation stamp for spill jobs.
     next_gen: AtomicU64,
     writer: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -362,6 +370,7 @@ impl CompressedStore {
             resident: AtomicUsize::new(0),
             page_size: AtomicUsize::new(0),
             spill_cursor: AtomicU64::new(0),
+            spill_dead_bytes: AtomicU64::new(0),
             next_gen: AtomicU64::new(0),
             writer: Mutex::new(writer),
             read_file,
@@ -636,6 +645,7 @@ impl CompressedStore {
         let resident = self.resident.load(Ordering::Relaxed) as u64;
         total.resident_bytes = resident;
         total.memory_bytes = resident;
+        total.spill_dead_bytes = self.spill_dead_bytes.load(Ordering::Relaxed);
         total
     }
 
@@ -653,10 +663,21 @@ impl CompressedStore {
     fn remove_locked(&self, shard: &mut Shard, key: u64) -> bool {
         match shard.entries.remove(&key) {
             Some(e) => {
-                if let Residence::Memory { data, handle } = e.residence {
-                    self.resident.fetch_sub(data.len(), Ordering::Relaxed);
-                    shard.lru.remove(handle);
-                    shard.release_buf(data);
+                match e.residence {
+                    Residence::Memory { data, handle } => {
+                        self.resident.fetch_sub(data.len(), Ordering::Relaxed);
+                        shard.lru.remove(handle);
+                        shard.release_buf(data);
+                    }
+                    Residence::Spilled { len, .. } => {
+                        // The extent stays behind in the append-only file;
+                        // record it as dead rather than leaking it silently.
+                        self.spill_dead_bytes
+                            .fetch_add(len as u64, Ordering::Relaxed);
+                    }
+                    // An in-flight job's bytes become dead when its now-
+                    // orphaned completion is absorbed.
+                    Residence::Spilling { .. } => {}
                 }
                 true
             }
@@ -748,11 +769,25 @@ impl CompressedStore {
         for (key, gen, offset, len) in done {
             let mut shard = self.shard(key);
             let Some(e) = shard.entries.get_mut(&key) else {
+                // Removed while its write was queued: the write landed
+                // anyway (unless it failed) and its bytes are dead.
+                if offset != u64::MAX {
+                    self.spill_dead_bytes
+                        .fetch_add(len as u64, Ordering::Relaxed);
+                }
                 continue;
             };
             let data = match &e.residence {
                 Residence::Spilling { gen: g, data } if *g == gen => Arc::clone(data),
-                _ => continue,
+                _ => {
+                    // Replaced (and possibly re-spilled under a newer
+                    // generation) while this write was queued.
+                    if offset != u64::MAX {
+                        self.spill_dead_bytes
+                            .fetch_add(len as u64, Ordering::Relaxed);
+                    }
+                    continue;
+                }
             };
             if offset == u64::MAX {
                 // Write failed: fall back to memory residence. This is the
@@ -957,6 +992,39 @@ mod tests {
                 assert_eq!(out, page(k as u8), "key {k} corrupted");
             }
             assert!(store.stats().hits_spill > 0);
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn remove_and_replace_account_dead_bytes() {
+        let dir = std::env::temp_dir().join(format!("ccstore-dead-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spill.bin");
+        {
+            let store = CompressedStore::new(StoreConfig::with_spill(4 * 1024, &path));
+            for k in 0..32u64 {
+                store.put(k, &page(k as u8)).unwrap();
+            }
+            store.flush();
+            assert_eq!(store.stats().spill_dead_bytes, 0);
+            // Removing spilled entries strands their extents.
+            for k in 0..8u64 {
+                assert!(store.remove(k));
+            }
+            let after_remove = store.stats().spill_dead_bytes;
+            assert!(after_remove > 0, "removes must strand dead bytes");
+            // Replacing spilled entries strands their old extents too.
+            for k in 8..16u64 {
+                store.put(k, &page(100 + k as u8)).unwrap();
+            }
+            store.flush();
+            let after_replace = store.stats().spill_dead_bytes;
+            assert!(
+                after_replace > after_remove,
+                "replaces must strand dead bytes: {after_remove} -> {after_replace}"
+            );
         }
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
