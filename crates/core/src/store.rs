@@ -4,9 +4,9 @@
 //! The simulator in this workspace reproduces the 1993 system; this
 //! module is the same mechanism packaged the way its descendants (zram,
 //! zswap, the macOS/Windows compressed memory managers) expose it: a
-//! bounded in-memory store that keeps pages compressed, with optional
-//! spill of the coldest entries to a backing file handled by a background
-//! writer thread — the §4.2 cleaner, for real this time.
+//! bounded in-memory store that keeps pages compressed, with spill of the
+//! coldest entries to a backing file handled by a background writer
+//! thread — the §4.2 cleaner, for real this time.
 //!
 //! # Concurrency
 //!
@@ -19,6 +19,21 @@
 //! proceed fully in parallel. Compression and decompression always run
 //! outside any shard lock, on thread-local reusable buffers, so the
 //! steady-state hot path performs no heap allocation.
+//!
+//! # Spill pipeline
+//!
+//! Evicted entries travel through a batched write pipeline that mirrors
+//! the paper's §4.3 backing-store interface: the writer thread coalesces
+//! queued entries into [`StoreConfig::spill_batch_bytes`]-sized batches
+//! (32 KB by default, the paper's batch size) and issues one seek + one
+//! write per batch, publishing each entry's `{offset, len}` only after
+//! the batch is durable. Removed or replaced spilled entries leave dead
+//! bytes behind; when the dead fraction of the file crosses
+//! [`StoreConfig::gc_dead_ratio`] the writer compacts live extents toward
+//! the file head and truncates — the paper's fragment garbage collection.
+//! Pages that are a single repeated machine word (zswap's "same-filled"
+//! pages) bypass the compressor entirely and are stored as an 8-byte
+//! pattern with zero residency cost.
 //!
 //! ```
 //! use cc_core::store::{CompressedStore, StoreConfig};
@@ -38,8 +53,9 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use cc_compress::{CompressDecision, Compressor, Lzrw1, ThresholdPolicy};
 use cc_util::LruList;
@@ -59,7 +75,19 @@ pub struct StoreConfig {
     /// Number of lock-striped shards, rounded up to a power of two.
     /// `0` (the default) sizes the striping to the hardware parallelism.
     pub shards: usize,
+    /// Target bytes per coalesced spill batch. The writer thread packs
+    /// queued entries until a batch reaches this size (or the queue goes
+    /// briefly idle) and writes it with a single seek + write. Default is
+    /// the paper's §4.3 batch size, 32 KB.
+    pub spill_batch_bytes: usize,
+    /// Dead-space fraction of the spill file (`spill_dead_bytes /
+    /// bytes_on_spill`) beyond which the writer compacts live extents
+    /// toward the file head and truncates. Default `0.5`.
+    pub gc_dead_ratio: f64,
 }
+
+/// The paper's §4.3 write-back batch size.
+const DEFAULT_SPILL_BATCH: usize = 32 * 1024;
 
 impl StoreConfig {
     /// Memory-only store with the paper's 4:3 threshold.
@@ -69,6 +97,8 @@ impl StoreConfig {
             spill_path: None,
             threshold: ThresholdPolicy::default(),
             shards: 0,
+            spill_batch_bytes: DEFAULT_SPILL_BATCH,
+            gc_dead_ratio: 0.5,
         }
     }
 
@@ -79,6 +109,8 @@ impl StoreConfig {
             spill_path: Some(path.into()),
             threshold: ThresholdPolicy::default(),
             shards: 0,
+            spill_batch_bytes: DEFAULT_SPILL_BATCH,
+            gc_dead_ratio: 0.5,
         }
     }
 
@@ -87,6 +119,20 @@ impl StoreConfig {
     /// scaling baseline).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Override the spill batch target (clamped to at least one byte, so
+    /// `1` degenerates to one-entry-per-write, useful as a baseline).
+    pub fn with_spill_batch_bytes(mut self, bytes: usize) -> Self {
+        self.spill_batch_bytes = bytes.max(1);
+        self
+    }
+
+    /// Override the dead-space ratio that triggers spill-file compaction.
+    /// Values ≥ 1.0 effectively disable GC.
+    pub fn with_gc_dead_ratio(mut self, ratio: f64) -> Self {
+        self.gc_dead_ratio = ratio.max(0.0);
         self
     }
 
@@ -141,6 +187,18 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// Which tier served a successful [`CompressedStore::get_tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitTier {
+    /// Served from compressed bytes resident in memory (including entries
+    /// still queued for the writer thread).
+    Memory,
+    /// Reconstructed from an 8-byte same-filled pattern; no decompression.
+    SameFilled,
+    /// Read back from the spill file.
+    Spill,
+}
+
 /// Counters (all monotonic except the byte gauges).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StoreStats {
@@ -148,6 +206,9 @@ pub struct StoreStats {
     pub compressed: u64,
     /// Pages stored raw (failed the threshold).
     pub stored_raw: u64,
+    /// Pages detected as a single repeated word and stored as an 8-byte
+    /// pattern, bypassing the compressor and the memory budget.
+    pub same_filled: u64,
     /// Gets served from memory.
     pub hits_memory: u64,
     /// Gets served from the spill file.
@@ -156,10 +217,15 @@ pub struct StoreStats {
     pub misses: u64,
     /// Entries spilled to disk.
     pub spilled: u64,
-    /// Bytes in the spill file belonging to removed or replaced entries
-    /// (gauge). The spill file is append-only, so without this the file
-    /// would look fully live forever; it is the ground truth a future
-    /// compactor needs to decide when collecting is worth it.
+    /// Coalesced batches the spill writer has committed
+    /// (`spilled / spill_batches` is the achieved batching factor).
+    pub spill_batches: u64,
+    /// Spill-file compaction passes completed.
+    pub gc_runs: u64,
+    /// Current spill-file size in bytes (gauge).
+    pub bytes_on_spill: u64,
+    /// Bytes in the spill file belonging to removed or replaced entries,
+    /// reclaimable by the next compaction (gauge).
     pub spill_dead_bytes: u64,
     /// Current compressed bytes resident in memory (same as
     /// [`StoreStats::resident_bytes`]; kept for source compatibility).
@@ -173,6 +239,7 @@ impl StoreStats {
     fn absorb(&mut self, other: &StoreStats) {
         self.compressed += other.compressed;
         self.stored_raw += other.stored_raw;
+        self.same_filled += other.same_filled;
         self.hits_memory += other.hits_memory;
         self.hits_spill += other.hits_spill;
         self.misses += other.misses;
@@ -187,13 +254,19 @@ enum Residence {
         data: Vec<u8>,
         handle: cc_util::LruHandle,
     },
+    /// The whole page is one repeated 8-byte word; nothing is stored but
+    /// the pattern. Never LRU-tracked or spilled: reconstructing it is
+    /// cheaper than any I/O, and it occupies no budget.
+    SameFilled { pattern: u64 },
     /// Handed to the writer; data still readable until the write lands.
     /// The generation ties the eventual completion to *this* hand-off: a
     /// key can be replaced and re-spilled while an older job is still
     /// queued, and the stale completion must not be believed.
     Spilling { data: Arc<Vec<u8>>, gen: u64 },
-    /// On the spill file.
-    Spilled { offset: u64, len: u32 },
+    /// On the spill file. The generation survives from the spill job so a
+    /// reader can detect (and retry across) a concurrent replacement even
+    /// if GC relocates extents while its read is in flight.
+    Spilled { offset: u64, len: u32, gen: u64 },
 }
 
 struct Entry {
@@ -263,16 +336,62 @@ impl Shard {
 #[repr(align(128))]
 struct Padded<T>(T);
 
+/// An entry handed to the writer thread. The file offset is chosen by the
+/// writer at batch-commit time, not by the producer — that is what lets
+/// the writer pack many entries into one contiguous write and lets GC
+/// reset the allocation cursor.
 struct SpillJob {
     key: u64,
     gen: u64,
     data: Arc<Vec<u8>>,
-    offset: u64,
 }
 
-struct SharedSpillState {
-    /// Completed writes: (key, generation, offset, len).
-    done: Mutex<Vec<(u64, u64, u64, u32)>>,
+/// Completion offset reported when the batch write itself failed.
+const SPILL_FAILED: u64 = u64::MAX;
+
+/// A durable (or failed) write the store must fold into its entry maps.
+struct Completion {
+    key: u64,
+    gen: u64,
+    /// File offset, or [`SPILL_FAILED`].
+    offset: u64,
+    len: u32,
+}
+
+/// Detect a page that is one 8-byte word repeated end to end (zswap's
+/// "same-filled" pages: zero pages and memset patterns). Pages shorter
+/// than a word qualify when all their bytes are equal; a tail shorter
+/// than a word must match the leading bytes of the pattern.
+fn same_filled_pattern(page: &[u8]) -> Option<u64> {
+    if page.is_empty() {
+        return None;
+    }
+    if page.len() < 8 {
+        let b = page[0];
+        return page[1..]
+            .iter()
+            .all(|&x| x == b)
+            .then_some(u64::from_ne_bytes([b; 8]));
+    }
+    let word: [u8; 8] = page[..8].try_into().expect("8-byte prefix");
+    let mut chunks = page.chunks_exact(8);
+    if !chunks.by_ref().all(|c| c == word) {
+        return None;
+    }
+    let rem = chunks.remainder();
+    (*rem == word[..rem.len()]).then_some(u64::from_ne_bytes(word))
+}
+
+/// Reconstruct a same-filled page from its pattern word.
+fn expand_same_filled(out: &mut [u8], pattern: u64) {
+    let word = pattern.to_ne_bytes();
+    let mut chunks = out.chunks_exact_mut(8);
+    for c in chunks.by_ref() {
+        c.copy_from_slice(&word);
+    }
+    let rem = chunks.into_remainder();
+    let n = rem.len();
+    rem.copy_from_slice(&word[..n]);
 }
 
 /// Scratch space reused across calls on each thread: codec state plus
@@ -293,9 +412,9 @@ thread_local! {
     });
 }
 
-/// The thread-safe compressed page store. Cloneable handles are not
-/// provided; share it behind an `Arc`.
-pub struct CompressedStore {
+/// Everything shared between the public handle and the writer thread:
+/// the shards, the budget gauge, and the spill-file bookkeeping.
+struct StoreCore {
     cfg: StoreConfig,
     shards: Vec<Padded<Mutex<Shard>>>,
     shard_mask: u64,
@@ -305,18 +424,30 @@ pub struct CompressedStore {
     resident: AtomicUsize,
     /// Fixed at first put; 0 = not yet fixed.
     page_size: AtomicUsize,
-    /// Next free offset in the spill file.
-    spill_cursor: AtomicU64,
-    /// Bytes on the spill file stranded by removes/replaces of `Spilled`
-    /// entries (and by completions for entries that no longer want them).
-    spill_dead_bytes: AtomicU64,
     /// Generation stamp for spill jobs.
     next_gen: AtomicU64,
-    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// The spill file for reads (independent handle from the writer's).
     read_file: Option<Mutex<File>>,
-    /// Shared with the writer thread to mark entries spilled.
-    shared: Arc<SharedSpillState>,
+    /// Completed writes, published by the writer after each batch.
+    done: Mutex<Vec<Completion>>,
+    /// Coalesced batches committed by the writer.
+    spill_batches: AtomicU64,
+    /// Compaction passes completed by the writer.
+    gc_runs: AtomicU64,
+    /// Current spill-file length (the writer's allocation cursor).
+    spill_file_bytes: AtomicU64,
+    /// Bytes on the spill file belonging to removed/replaced entries.
+    /// Approximate under concurrent churn (it can momentarily lag removes
+    /// racing a compaction) but self-correcting: GC subtracts exactly
+    /// what it physically reclaimed.
+    spill_dead_bytes: AtomicU64,
+}
+
+/// The thread-safe compressed page store. Cloneable handles are not
+/// provided; share it behind an `Arc`.
+pub struct CompressedStore {
+    core: Arc<StoreCore>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl CompressedStore {
@@ -326,13 +457,11 @@ impl CompressedStore {
     ///
     /// Panics if the spill file cannot be created.
     pub fn new(cfg: StoreConfig) -> Self {
-        let shared = Arc::new(SharedSpillState {
-            done: Mutex::new(Vec::new()),
-        });
-        let (tx, writer, read_file) = match &cfg.spill_path {
+        let (tx, write_file, read_file) = match &cfg.spill_path {
             Some(path) => {
                 let write_file = OpenOptions::new()
                     .create(true)
+                    .read(true)
                     .write(true)
                     .truncate(true)
                     .open(path)
@@ -342,14 +471,17 @@ impl CompressedStore {
                     .open(path)
                     .expect("open spill file for reads");
                 let (tx, rx): (Sender<SpillJob>, Receiver<SpillJob>) = channel();
-                let shared2 = Arc::clone(&shared);
-                let handle = std::thread::Builder::new()
-                    .name("cc-store-cleaner".into())
-                    .spawn(move || writer_loop(write_file, rx, shared2))
-                    .expect("spawn cleaner thread");
-                (Some(tx), Some(handle), Some(Mutex::new(read_file)))
+                (
+                    Some((tx, rx)),
+                    Some(write_file),
+                    Some(Mutex::new(read_file)),
+                )
             }
             None => (None, None, None),
+        };
+        let (tx, rx) = match tx {
+            Some((tx, rx)) => (Some(tx), Some(rx)),
+            None => (None, None),
         };
         let nshards = cfg.resolved_shards();
         let shards = (0..nshards)
@@ -363,26 +495,134 @@ impl CompressedStore {
                 }))
             })
             .collect();
-        CompressedStore {
+        drop(tx);
+        let core = Arc::new(StoreCore {
             cfg,
             shards,
             shard_mask: nshards as u64 - 1,
             resident: AtomicUsize::new(0),
             page_size: AtomicUsize::new(0),
-            spill_cursor: AtomicU64::new(0),
-            spill_dead_bytes: AtomicU64::new(0),
             next_gen: AtomicU64::new(0),
-            writer: Mutex::new(writer),
             read_file,
-            shared,
+            done: Mutex::new(Vec::new()),
+            spill_batches: AtomicU64::new(0),
+            gc_runs: AtomicU64::new(0),
+            spill_file_bytes: AtomicU64::new(0),
+            spill_dead_bytes: AtomicU64::new(0),
+        });
+        let writer = match (write_file, rx) {
+            (Some(file), Some(rx)) => {
+                let writer_core = Arc::clone(&core);
+                Some(
+                    std::thread::Builder::new()
+                        .name("cc-store-cleaner".into())
+                        .spawn(move || {
+                            SpillWriter {
+                                core: writer_core,
+                                file,
+                                cursor: 0,
+                            }
+                            .run(rx)
+                        })
+                        .expect("spawn cleaner thread"),
+                )
+            }
+            _ => None,
+        };
+        CompressedStore {
+            core,
+            writer: Mutex::new(writer),
         }
     }
 
     /// Number of lock stripes in use.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
+    /// Store (or replace) `key`'s page.
+    pub fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
+        self.core.put(key, page)
+    }
+
+    /// Fetch `key`'s page into `out` (must be page-sized). Returns false
+    /// if the key is unknown.
+    pub fn get(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
+        Ok(self.core.get(key, out)?.is_some())
+    }
+
+    /// Like [`CompressedStore::get`], but reports which tier served the
+    /// hit — memory, the same-filled fast path, or the spill file.
+    pub fn get_tier(&self, key: u64, out: &mut [u8]) -> Result<Option<HitTier>, StoreError> {
+        self.core.get(key, out)
+    }
+
+    /// Remove a key (e.g. the page was freed). Returns whether it existed.
+    pub fn remove(&self, key: u64) -> bool {
+        self.core.absorb_completed_spills();
+        let mut shard = self.core.shard(key);
+        self.core.remove_locked(&mut shard, key)
+    }
+
+    /// Whether the store currently knows `key`.
+    pub fn contains(&self, key: u64) -> bool {
+        self.core.absorb_completed_spills();
+        self.core.shard(key).entries.contains_key(&key)
+    }
+
+    /// Number of stored pages (memory + spill).
+    pub fn len(&self) -> usize {
+        self.core
+            .shards
+            .iter()
+            .map(|s| s.0.lock().expect("shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the counters, aggregated across shards.
+    pub fn stats(&self) -> StoreStats {
+        self.core.stats()
+    }
+
+    /// Block until the cleaner has drained all pending spills (tests and
+    /// orderly shutdown). Entries sitting in a partially-filled batch are
+    /// committed by the writer's bounded linger, so this terminates even
+    /// mid-batch.
+    pub fn flush(&self) {
+        self.core.flush()
+    }
+
+    /// Drain pending spills, stop the cleaner thread, and join it. The
+    /// store remains readable; further puts that need to spill will fail.
+    pub fn shutdown(&self) {
+        self.core.flush();
+        for s in &self.core.shards {
+            s.0.lock().expect("shard poisoned").tx = None;
+        }
+        if let Some(handle) = self.writer.lock().expect("writer handle poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CompressedStore {
+    fn drop(&mut self) {
+        // Closing every Sender clone stops the writer.
+        for s in &self.core.shards {
+            s.0.lock().expect("shard poisoned").tx = None;
+        }
+        if let Some(handle) = self.writer.lock().expect("writer handle poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl StoreCore {
     #[inline]
     fn shard_index(&self, key: u64) -> usize {
         // splitmix64 finalizer: decorrelates the shard choice from any
@@ -405,8 +645,7 @@ impl CompressedStore {
         self.read_file.is_some()
     }
 
-    /// Store (or replace) `key`'s page.
-    pub fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
+    fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
         // Fix the page size (or reject a mismatch) before compressing.
         match self
             .page_size
@@ -420,6 +659,23 @@ impl CompressedStore {
                     got: page.len(),
                 })
             }
+        }
+
+        // Same-filled fast path: a repeated-word page never touches the
+        // compressor, the budget, or the buffer pool — the pattern *is*
+        // the stored form.
+        if let Some(pattern) = same_filled_pattern(page) {
+            let mut shard = self.shard(key);
+            self.remove_locked(&mut shard, key);
+            shard.stats.same_filled += 1;
+            shard.entries.insert(
+                key,
+                Entry {
+                    residence: Residence::SameFilled { pattern },
+                    orig_len: page.len() as u32,
+                },
+            );
+            return Ok(());
         }
 
         // Compress outside any lock, into this thread's reusable buffer.
@@ -494,14 +750,12 @@ impl CompressedStore {
                 // Straight-to-spill path (see above): never resident.
                 let data = Arc::new(compressed.to_vec());
                 let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
-                let offset = self.spill_cursor.fetch_add(len as u64, Ordering::Relaxed);
                 shard.stats.spilled += 1;
                 let tx = shard.tx.as_ref().expect("no-spill store cannot bypass");
                 tx.send(SpillJob {
                     key,
                     gen,
                     data: Arc::clone(&data),
-                    offset,
                 })
                 .expect("cleaner thread died");
                 Residence::Spilling { data, gen }
@@ -517,126 +771,85 @@ impl CompressedStore {
         Ok(())
     }
 
-    /// Fetch `key`'s page into `out` (must be page-sized). Returns false
-    /// if the key is unknown.
-    pub fn get(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
+    fn get(&self, key: u64, out: &mut [u8]) -> Result<Option<HitTier>, StoreError> {
         self.absorb_completed_spills();
-        enum Found {
-            /// Compressed bytes staged into the thread-local buffer.
-            Staged,
-            /// Still in the writer's hands; decode from the shared copy.
-            InFlight(Arc<Vec<u8>>),
-            OnDisk(u64, u32),
-        }
-        let mut shard = self.shard(key);
-        let Some(entry) = shard.entries.get(&key) else {
-            shard.stats.misses += 1;
-            return Ok(false);
-        };
-        let orig_len = entry.orig_len as usize;
-        if out.len() != orig_len {
-            return Err(StoreError::BadPageSize {
-                expected: orig_len,
-                got: out.len(),
-            });
-        }
-        let (found, touch) = match &entry.residence {
-            Residence::Memory { data, handle } => {
-                // Copy the (small) compressed bytes out under the lock so
-                // decompression runs without it.
-                SCRATCH.with(|c| {
-                    let s = &mut *c.borrow_mut();
-                    s.stage.clear();
-                    s.stage.extend_from_slice(data);
+        // The loop retries a disk hit whose extent was replaced or
+        // relocated by GC while the read was in flight; every other arm
+        // returns on the first pass.
+        loop {
+            let mut shard = self.shard(key);
+            let Some(entry) = shard.entries.get(&key) else {
+                shard.stats.misses += 1;
+                return Ok(None);
+            };
+            let orig_len = entry.orig_len as usize;
+            if out.len() != orig_len {
+                return Err(StoreError::BadPageSize {
+                    expected: orig_len,
+                    got: out.len(),
                 });
-                (Found::Staged, Some(*handle))
             }
-            Residence::Spilling { data, .. } => (Found::InFlight(Arc::clone(data)), None),
-            Residence::Spilled { offset, len } => (Found::OnDisk(*offset, *len), None),
-        };
-        if let Some(handle) = touch {
-            shard.lru.touch(handle);
-        }
-        if matches!(found, Found::OnDisk(..)) {
-            shard.stats.hits_spill += 1;
-        } else {
-            shard.stats.hits_memory += 1;
-        }
-        drop(shard);
-        match found {
-            Found::Staged => SCRATCH.with(|c| {
-                let s = &mut *c.borrow_mut();
-                let Scratch {
-                    codec,
-                    stage,
-                    decomp,
-                    ..
-                } = s;
-                codec
-                    .decompress(stage, decomp, orig_len)
-                    .expect("corrupt page in store");
-                out.copy_from_slice(decomp);
-            }),
-            Found::InFlight(data) => self.decompress_into(&data, orig_len, out),
-            Found::OnDisk(offset, len) => {
-                SCRATCH.with(|c| {
-                    let s = &mut *c.borrow_mut();
-                    s.stage.clear();
-                    s.stage.resize(len as usize, 0);
-                    let mut f = self
-                        .read_file
-                        .as_ref()
-                        .expect("spilled entry without spill file")
-                        .lock()
-                        .expect("spill file poisoned");
-                    f.seek(SeekFrom::Start(offset))?;
-                    f.read_exact(&mut s.stage)?;
-                    drop(f);
-                    let Scratch {
-                        codec,
-                        stage,
-                        decomp,
-                        ..
-                    } = &mut *s;
-                    codec
-                        .decompress(stage, decomp, orig_len)
-                        .expect("corrupt page in store");
-                    out.copy_from_slice(decomp);
-                    Ok::<(), StoreError>(())
-                })?;
+            match &entry.residence {
+                Residence::SameFilled { pattern } => {
+                    let pattern = *pattern;
+                    shard.stats.hits_memory += 1;
+                    drop(shard);
+                    expand_same_filled(out, pattern);
+                    return Ok(Some(HitTier::SameFilled));
+                }
+                Residence::Memory { data, handle } => {
+                    // Copy the (small) compressed bytes out under the lock
+                    // so decompression runs without it.
+                    let handle = *handle;
+                    SCRATCH.with(|c| {
+                        let s = &mut *c.borrow_mut();
+                        s.stage.clear();
+                        s.stage.extend_from_slice(data);
+                    });
+                    shard.lru.touch(handle);
+                    shard.stats.hits_memory += 1;
+                    drop(shard);
+                    self.decompress_staged(orig_len, out);
+                    return Ok(Some(HitTier::Memory));
+                }
+                Residence::Spilling { data, .. } => {
+                    let data = Arc::clone(data);
+                    shard.stats.hits_memory += 1;
+                    drop(shard);
+                    self.decompress_into(&data, orig_len, out);
+                    return Ok(Some(HitTier::Memory));
+                }
+                Residence::Spilled { offset, len, gen } => {
+                    let (offset, len, gen) = (*offset, *len, *gen);
+                    drop(shard);
+                    let io = self.read_spill(offset, len);
+                    // Validate after the read: if the entry still names
+                    // this exact extent, GC cannot have clobbered it (it
+                    // republishes an extent, under this shard's lock,
+                    // before any byte of its old home is overwritten).
+                    let mut shard = self.shard(key);
+                    let valid = matches!(
+                        shard.entries.get(&key).map(|e| &e.residence),
+                        Some(Residence::Spilled {
+                            offset: o,
+                            len: l,
+                            gen: g
+                        }) if *o == offset && *l == len && *g == gen
+                    );
+                    if !valid {
+                        continue;
+                    }
+                    shard.stats.hits_spill += 1;
+                    drop(shard);
+                    io?;
+                    self.decompress_staged(orig_len, out);
+                    return Ok(Some(HitTier::Spill));
+                }
             }
         }
-        Ok(true)
     }
 
-    /// Remove a key (e.g. the page was freed). Returns whether it existed.
-    pub fn remove(&self, key: u64) -> bool {
-        self.absorb_completed_spills();
-        let mut shard = self.shard(key);
-        self.remove_locked(&mut shard, key)
-    }
-
-    /// Whether the store currently knows `key`.
-    pub fn contains(&self, key: u64) -> bool {
-        self.absorb_completed_spills();
-        self.shard(key).entries.contains_key(&key)
-    }
-
-    /// Number of stored pages (memory + spill).
-    pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.0.lock().expect("shard poisoned").entries.len())
-            .sum()
-    }
-
-    /// Whether the store is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// A snapshot of the counters, aggregated across shards.
-    pub fn stats(&self) -> StoreStats {
+    fn stats(&self) -> StoreStats {
         self.absorb_completed_spills();
         let mut total = StoreStats::default();
         for s in &self.shards {
@@ -645,8 +858,46 @@ impl CompressedStore {
         let resident = self.resident.load(Ordering::Relaxed) as u64;
         total.resident_bytes = resident;
         total.memory_bytes = resident;
+        total.spill_batches = self.spill_batches.load(Ordering::Relaxed);
+        total.gc_runs = self.gc_runs.load(Ordering::Relaxed);
+        total.bytes_on_spill = self.spill_file_bytes.load(Ordering::Relaxed);
         total.spill_dead_bytes = self.spill_dead_bytes.load(Ordering::Relaxed);
         total
+    }
+
+    /// Read `len` bytes at `offset` into this thread's staging buffer.
+    fn read_spill(&self, offset: u64, len: u32) -> Result<(), StoreError> {
+        SCRATCH.with(|c| {
+            let s = &mut *c.borrow_mut();
+            s.stage.clear();
+            s.stage.resize(len as usize, 0);
+            let mut f = self
+                .read_file
+                .as_ref()
+                .expect("spilled entry without spill file")
+                .lock()
+                .expect("spill file poisoned");
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(&mut s.stage)?;
+            Ok(())
+        })
+    }
+
+    /// Decompress this thread's staging buffer into `out`.
+    fn decompress_staged(&self, orig_len: usize, out: &mut [u8]) {
+        SCRATCH.with(|c| {
+            let s = &mut *c.borrow_mut();
+            let Scratch {
+                codec,
+                stage,
+                decomp,
+                ..
+            } = &mut *s;
+            codec
+                .decompress(stage, decomp, orig_len)
+                .expect("corrupt page in store");
+            out.copy_from_slice(decomp);
+        });
     }
 
     fn decompress_into(&self, data: &[u8], orig_len: usize, out: &mut [u8]) {
@@ -670,14 +921,15 @@ impl CompressedStore {
                         shard.release_buf(data);
                     }
                     Residence::Spilled { len, .. } => {
-                        // The extent stays behind in the append-only file;
-                        // record it as dead rather than leaking it silently.
+                        // The extent's bytes stay behind on the file as
+                        // dead space; the gauge feeds the GC trigger.
                         self.spill_dead_bytes
                             .fetch_add(len as u64, Ordering::Relaxed);
                     }
                     // An in-flight job's bytes become dead when its now-
-                    // orphaned completion is absorbed.
-                    Residence::Spilling { .. } => {}
+                    // orphaned completion is absorbed; same-filled entries
+                    // occupy nothing anywhere.
+                    Residence::Spilling { .. } | Residence::SameFilled { .. } => {}
                 }
                 true
             }
@@ -735,9 +987,6 @@ impl CompressedStore {
         let handle = *handle;
         let data = Arc::new(std::mem::take(data));
         let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
-        let offset = self
-            .spill_cursor
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
         entry.residence = Residence::Spilling {
             data: Arc::clone(&data),
             gen,
@@ -749,7 +998,6 @@ impl CompressedStore {
             key: victim,
             gen,
             data,
-            offset,
         })
         .expect("cleaner thread died");
         true
@@ -757,57 +1005,65 @@ impl CompressedStore {
 
     /// Fold completed writer jobs into the entry maps. A completion only
     /// lands if the entry is still waiting on that exact generation —
-    /// replaced-and-respilled keys ignore stale completions.
+    /// replaced-and-respilled keys ignore stale completions, whose bytes
+    /// on the file are accounted dead.
+    ///
+    /// The done-list lock is held across the entire fold (not just the
+    /// drain): GC relies on "after my own absorb returns, every committed
+    /// offset is published" to take a complete live-extent snapshot, and
+    /// releasing the lock before publishing would let a concurrent
+    /// absorber (e.g. `flush`) publish a pre-GC offset after GC has
+    /// compacted and truncated that region. Lock order is done → shard,
+    /// everywhere.
     fn absorb_completed_spills(&self) {
         if !self.has_spill() {
             return;
         }
-        let done: Vec<(u64, u64, u64, u32)> = {
-            let mut d = self.shared.done.lock().expect("done list poisoned");
-            std::mem::take(&mut *d)
-        };
-        for (key, gen, offset, len) in done {
-            let mut shard = self.shard(key);
-            let Some(e) = shard.entries.get_mut(&key) else {
+        let mut done = self.done.lock().expect("done list poisoned");
+        for c in done.drain(..) {
+            let mut shard = self.shard(c.key);
+            let Some(e) = shard.entries.get_mut(&c.key) else {
                 // Removed while its write was queued: the write landed
                 // anyway (unless it failed) and its bytes are dead.
-                if offset != u64::MAX {
+                if c.offset != SPILL_FAILED {
                     self.spill_dead_bytes
-                        .fetch_add(len as u64, Ordering::Relaxed);
+                        .fetch_add(c.len as u64, Ordering::Relaxed);
                 }
                 continue;
             };
             let data = match &e.residence {
-                Residence::Spilling { gen: g, data } if *g == gen => Arc::clone(data),
+                Residence::Spilling { gen, data } if *gen == c.gen => Arc::clone(data),
                 _ => {
                     // Replaced (and possibly re-spilled under a newer
                     // generation) while this write was queued.
-                    if offset != u64::MAX {
+                    if c.offset != SPILL_FAILED {
                         self.spill_dead_bytes
-                            .fetch_add(len as u64, Ordering::Relaxed);
+                            .fetch_add(c.len as u64, Ordering::Relaxed);
                     }
                     continue;
                 }
             };
-            if offset == u64::MAX {
+            if c.offset == SPILL_FAILED {
                 // Write failed: fall back to memory residence. This is the
                 // one path that may push `resident` past the budget — the
                 // alternative is losing the page.
-                let handle = shard.lru.push_mru(key);
+                let handle = shard.lru.push_mru(c.key);
                 let bytes = data.len();
                 let buf = Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone());
-                let e = shard.entries.get_mut(&key).expect("just looked up");
+                let e = shard.entries.get_mut(&c.key).expect("just looked up");
                 e.residence = Residence::Memory { data: buf, handle };
                 self.resident.fetch_add(bytes, Ordering::Relaxed);
             } else {
-                e.residence = Residence::Spilled { offset, len };
+                e.residence = Residence::Spilled {
+                    offset: c.offset,
+                    len: c.len,
+                    gen: c.gen,
+                };
             }
         }
     }
 
-    /// Block until the cleaner has drained all pending spills (tests and
-    /// orderly shutdown).
-    pub fn flush(&self) {
+    fn flush(&self) {
         loop {
             self.absorb_completed_spills();
             let pending = self.shards.iter().any(|s| {
@@ -823,18 +1079,6 @@ impl CompressedStore {
             std::thread::yield_now();
         }
     }
-
-    /// Drain pending spills, stop the cleaner thread, and join it. The
-    /// store remains readable; further puts that need to spill will fail.
-    pub fn shutdown(&self) {
-        self.flush();
-        for s in &self.shards {
-            s.0.lock().expect("shard poisoned").tx = None;
-        }
-        if let Some(handle) = self.writer.lock().expect("writer handle poisoned").take() {
-            let _ = handle.join();
-        }
-    }
 }
 
 enum Progress {
@@ -843,33 +1087,209 @@ enum Progress {
     Blocked,
 }
 
-impl Drop for CompressedStore {
-    fn drop(&mut self) {
-        // Closing every Sender clone stops the writer.
-        for s in &self.shards {
-            s.0.lock().expect("shard poisoned").tx = None;
-        }
-        if let Some(handle) = self.writer.lock().expect("writer handle poisoned").take() {
-            let _ = handle.join();
-        }
-    }
+/// How long the writer holds a partially-filled batch open waiting for
+/// more jobs. Bounds both the batching opportunity and the extra latency
+/// `flush()` can observe for an entry caught mid-batch.
+const BATCH_LINGER: Duration = Duration::from_micros(200);
+
+/// The background spill thread: drains the job channel, packs entries
+/// into [`StoreConfig::spill_batch_bytes`] batches written with a single
+/// seek + write each, and runs spill-file compaction between batches.
+/// It is the sole allocator of file space (`cursor`), which is what makes
+/// both contiguous batch packing and post-GC cursor reset race-free.
+struct SpillWriter {
+    core: Arc<StoreCore>,
+    file: File,
+    cursor: u64,
 }
 
-fn writer_loop(mut file: File, rx: Receiver<SpillJob>, shared: Arc<SharedSpillState>) {
-    while let Ok(job) = rx.recv() {
-        let ok =
-            file.seek(SeekFrom::Start(job.offset)).is_ok() && file.write_all(&job.data).is_ok();
-        let _ = file.flush();
-        // A failed write reports offset u64::MAX: the store reverts the
-        // entry to memory residence rather than losing the data or hanging
-        // `flush` on a completion that never comes.
-        let offset = if ok { job.offset } else { u64::MAX };
-        shared.done.lock().expect("done list poisoned").push((
-            job.key,
-            job.gen,
-            offset,
-            job.data.len() as u32,
-        ));
+/// A job staged into the current batch: its place in the batch buffer
+/// plus the identity its completion must carry.
+struct StagedJob {
+    key: u64,
+    gen: u64,
+    rel: usize,
+    len: usize,
+}
+
+impl SpillWriter {
+    fn run(mut self, rx: Receiver<SpillJob>) {
+        let target = self.core.cfg.spill_batch_bytes.max(1);
+        let mut buf: Vec<u8> = Vec::with_capacity(target * 2);
+        let mut staged: Vec<StagedJob> = Vec::new();
+        // Block for the first job of each batch, then coalesce whatever
+        // else is queued (lingering briefly for stragglers) into one write.
+        while let Ok(first) = rx.recv() {
+            buf.clear();
+            staged.clear();
+            Self::stage(&mut buf, &mut staged, first);
+            let deadline = Instant::now() + BATCH_LINGER;
+            let mut disconnected = false;
+            while buf.len() < target {
+                match rx.try_recv() {
+                    Ok(j) => Self::stage(&mut buf, &mut staged, j),
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
+                    }
+                    Err(TryRecvError::Empty) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(j) => Self::stage(&mut buf, &mut staged, j),
+                            Err(RecvTimeoutError::Timeout) => break,
+                            Err(RecvTimeoutError::Disconnected) => {
+                                disconnected = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            self.commit_batch(&buf, &staged);
+            self.maybe_gc();
+            if disconnected {
+                break;
+            }
+        }
+    }
+
+    fn stage(buf: &mut Vec<u8>, staged: &mut Vec<StagedJob>, job: SpillJob) {
+        staged.push(StagedJob {
+            key: job.key,
+            gen: job.gen,
+            rel: buf.len(),
+            len: job.data.len(),
+        });
+        buf.extend_from_slice(&job.data);
+    }
+
+    /// Write one coalesced batch at the cursor and publish per-entry
+    /// completions. Entries become visible as `Spilled` only after the
+    /// whole batch is on the file.
+    fn commit_batch(&mut self, buf: &[u8], staged: &[StagedJob]) {
+        let base = self.cursor;
+        let ok = self.file.seek(SeekFrom::Start(base)).is_ok()
+            && self.file.write_all(buf).is_ok()
+            && self.file.flush().is_ok();
+        if ok {
+            self.cursor += buf.len() as u64;
+            self.core
+                .spill_file_bytes
+                .store(self.cursor, Ordering::Relaxed);
+            self.core.spill_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut done = self.core.done.lock().expect("done list poisoned");
+        for j in staged {
+            // A failed batch reports SPILL_FAILED for every member: the
+            // store reverts those entries to memory residence rather than
+            // losing data or hanging `flush` on completions that never
+            // come.
+            let offset = if ok {
+                base + j.rel as u64
+            } else {
+                SPILL_FAILED
+            };
+            done.push(Completion {
+                key: j.key,
+                gen: j.gen,
+                offset,
+                len: j.len as u32,
+            });
+        }
+    }
+
+    /// Compact the spill file if enough of it is dead. Runs between
+    /// batches on this thread — the sole producer of completions and the
+    /// sole writer of the file — which is what makes the live-extent
+    /// snapshot complete and the cursor reset safe.
+    fn maybe_gc(&mut self) {
+        let dead = self.core.spill_dead_bytes.load(Ordering::Relaxed);
+        let min_dead = self.core.cfg.spill_batch_bytes.max(1) as u64;
+        if self.cursor == 0 || dead < min_dead {
+            return;
+        }
+        if (dead as f64) < self.core.cfg.gc_dead_ratio * self.cursor as f64 {
+            return;
+        }
+        // Absorb pending completions first: entries only become `Spilled`
+        // through completions, no new ones can appear while this thread
+        // is sweeping, and absorb holds the done-list lock across its
+        // publishes — so once this call returns, no other absorber is
+        // mid-publish and the snapshot below sees every live extent.
+        self.core.absorb_completed_spills();
+        let mut extents: Vec<(u64, u64, u32, u64)> = Vec::new();
+        for s in &self.core.shards {
+            let guard = s.0.lock().expect("shard poisoned");
+            for (&k, e) in &guard.entries {
+                if let Residence::Spilled { offset, len, gen } = e.residence {
+                    extents.push((k, offset, len, gen));
+                }
+            }
+        }
+        extents.sort_unstable_by_key(|&(_, off, _, _)| off);
+        let old_len = self.cursor;
+        let mut new_cursor = 0u64;
+        let mut buf = Vec::new();
+        for (key, old_off, len, gen) in extents {
+            if old_off == new_cursor {
+                // Already compact; nothing to move.
+                new_cursor += len as u64;
+                continue;
+            }
+            buf.resize(len as usize, 0);
+            if self.file.seek(SeekFrom::Start(old_off)).is_err()
+                || self.file.read_exact(&mut buf).is_err()
+            {
+                // Abort mid-GC: extents moved so far are already
+                // republished and valid; the rest stay where they were.
+                return;
+            }
+            // Copy + republish under the owning shard's lock. A reader
+            // validates its (offset, len, gen) snapshot under this same
+            // lock *after* its file read, so it can never accept bytes a
+            // compaction write clobbered: any clobber of a region implies
+            // the extent that lived there was republished first.
+            let mut shard = self.core.shard(key);
+            let Some(e) = shard.entries.get_mut(&key) else {
+                continue; // removed since the snapshot: now dead, skip
+            };
+            match &mut e.residence {
+                Residence::Spilled {
+                    offset,
+                    len: l,
+                    gen: g,
+                } if *offset == old_off && *l == len && *g == gen => {
+                    if self.file.seek(SeekFrom::Start(new_cursor)).is_err()
+                        || self.file.write_all(&buf).is_err()
+                    {
+                        return;
+                    }
+                    *offset = new_cursor;
+                    new_cursor += len as u64;
+                }
+                // Replaced since the snapshot: its bytes are dead, skip.
+                _ => {}
+            }
+        }
+        let _ = self.file.flush();
+        let _ = self.file.set_len(new_cursor);
+        self.cursor = new_cursor;
+        let reclaimed = old_len - new_cursor;
+        // Saturating: removes racing the sweep may have counted bytes this
+        // pass already reclaimed.
+        let _ =
+            self.core
+                .spill_dead_bytes
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                    Some(d.saturating_sub(reclaimed))
+                });
+        self.core
+            .spill_file_bytes
+            .store(new_cursor, Ordering::Relaxed);
+        self.core.gc_runs.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -883,6 +1303,17 @@ mod tests {
             *b = tag.wrapping_add((i / 97) as u8);
         }
         p
+    }
+
+    fn temp_path(name: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("ccstore-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        (dir.clone(), dir.join("spill.bin"))
+    }
+
+    fn cleanup(dir: std::path::PathBuf, path: std::path::PathBuf) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir(dir);
     }
 
     #[test]
@@ -972,10 +1403,100 @@ mod tests {
     }
 
     #[test]
+    fn same_filled_detection() {
+        // Repeated word, any alignment of content.
+        assert_eq!(same_filled_pattern(&[0u8; 4096]), Some(0));
+        let word = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let repeated: Vec<u8> = word.iter().copied().cycle().take(4096).collect();
+        assert_eq!(
+            same_filled_pattern(&repeated),
+            Some(u64::from_ne_bytes(word))
+        );
+        // Length not a multiple of the word: tail must match the prefix.
+        let odd: Vec<u8> = word.iter().copied().cycle().take(4093).collect();
+        assert_eq!(same_filled_pattern(&odd), Some(u64::from_ne_bytes(word)));
+        let mut bad_tail = odd.clone();
+        *bad_tail.last_mut().unwrap() ^= 1;
+        assert_eq!(same_filled_pattern(&bad_tail), None);
+        // One byte off anywhere defeats the pattern.
+        let mut near = repeated.clone();
+        near[2048] ^= 0x80;
+        assert_eq!(same_filled_pattern(&near), None);
+        // Shorter than a word: all-equal qualifies.
+        assert_eq!(
+            same_filled_pattern(&[9u8; 5]),
+            Some(u64::from_ne_bytes([9; 8]))
+        );
+        assert_eq!(same_filled_pattern(&[9, 9, 8, 9, 9]), None);
+        assert_eq!(same_filled_pattern(&[]), None);
+    }
+
+    #[test]
+    fn same_filled_pages_bypass_compressor_and_budget() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        store.put(1, &vec![0u8; 4096]).unwrap();
+        store.put(2, &vec![0xABu8; 4096]).unwrap();
+        let word: Vec<u8> = [1u8, 2, 3, 4, 5, 6, 7, 8]
+            .iter()
+            .copied()
+            .cycle()
+            .take(4096)
+            .collect();
+        store.put(3, &word).unwrap();
+        let s = store.stats();
+        assert_eq!(s.same_filled, 3);
+        assert_eq!(s.compressed, 0);
+        assert_eq!(s.resident_bytes, 0, "same-filled pages cost no budget");
+        let mut out = vec![0u8; 4096];
+        assert_eq!(
+            store.get_tier(1, &mut out).unwrap(),
+            Some(HitTier::SameFilled)
+        );
+        assert_eq!(out, vec![0u8; 4096]);
+        assert!(store.get(2, &mut out).unwrap());
+        assert_eq!(out, vec![0xABu8; 4096]);
+        assert!(store.get(3, &mut out).unwrap());
+        assert_eq!(out, word);
+        // Replacing a same-filled page with a normal one and back works.
+        store.put(1, &page(5)).unwrap();
+        assert!(store.get(1, &mut out).unwrap());
+        assert_eq!(out, page(5));
+        store.put(1, &vec![7u8; 4096]).unwrap();
+        assert_eq!(
+            store.get_tier(1, &mut out).unwrap(),
+            Some(HitTier::SameFilled)
+        );
+        assert_eq!(out, vec![7u8; 4096]);
+    }
+
+    #[test]
+    fn same_filled_odd_page_size_roundtrip() {
+        // 1021 is not a multiple of 8: the pattern tail is partial.
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        let word = [0xDEu8, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4];
+        let pg: Vec<u8> = word.iter().copied().cycle().take(1021).collect();
+        store.put(1, &pg).unwrap();
+        assert_eq!(store.stats().same_filled, 1);
+        let mut out = vec![0u8; 1021];
+        assert_eq!(
+            store.get_tier(1, &mut out).unwrap(),
+            Some(HitTier::SameFilled)
+        );
+        assert_eq!(out, pg);
+        // A near-pattern of the same size takes the compressor path.
+        let mut near = pg.clone();
+        near[500] ^= 1;
+        store.put(2, &near).unwrap();
+        let s = store.stats();
+        assert_eq!(s.same_filled, 1);
+        assert_eq!(s.compressed + s.stored_raw, 1);
+        assert!(store.get(2, &mut out).unwrap());
+        assert_eq!(out, near);
+    }
+
+    #[test]
     fn spills_to_file_and_reads_back() {
-        let dir = std::env::temp_dir().join(format!("ccstore-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("spill.bin");
+        let (dir, path) = temp_path("test");
         {
             // Budget fits only a handful of compressed pages.
             let store = CompressedStore::new(StoreConfig::with_spill(8 * 1024, &path));
@@ -986,6 +1507,8 @@ mod tests {
             let s = store.stats();
             assert!(s.spilled > 0, "must have spilled: {s:?}");
             assert!(s.memory_bytes <= 8 * 1024);
+            assert!(s.spill_batches > 0, "spills imply batches: {s:?}");
+            assert!(s.bytes_on_spill > 0);
             let mut out = vec![0u8; 4096];
             for k in 0..64u64 {
                 assert!(store.get(k, &mut out).unwrap(), "key {k} lost");
@@ -993,17 +1516,80 @@ mod tests {
             }
             assert!(store.stats().hits_spill > 0);
         }
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_dir(&dir);
+        cleanup(dir, path);
+    }
+
+    #[test]
+    fn spill_batches_coalesce_entries() {
+        let (dir, path) = temp_path("batch");
+        {
+            // Budget of ~2 compressed pages: nearly every put evicts, and
+            // the single-threaded put loop outruns the 200 µs linger, so
+            // the writer must pack multiple entries per batch.
+            let store = CompressedStore::new(StoreConfig::with_spill(4 * 1024, &path));
+            for k in 0..256u64 {
+                store.put(k, &page(k as u8)).unwrap();
+            }
+            store.flush();
+            let s = store.stats();
+            assert!(s.spilled >= 200, "expected heavy spilling: {s:?}");
+            let per_batch = s.spilled as f64 / s.spill_batches.max(1) as f64;
+            assert!(
+                per_batch >= 2.0,
+                "writer failed to coalesce: {} spills in {} batches",
+                s.spilled,
+                s.spill_batches
+            );
+            let mut out = vec![0u8; 4096];
+            for k in 0..256u64 {
+                assert!(store.get(k, &mut out).unwrap(), "key {k} lost");
+                assert_eq!(out, page(k as u8), "key {k} corrupted");
+            }
+        }
+        cleanup(dir, path);
+    }
+
+    #[test]
+    fn flush_makes_partial_batch_readable() {
+        let (dir, path) = temp_path("midbatch");
+        {
+            // A batch target far larger than the data guarantees the
+            // entries sit in a partially-filled batch; flush() must still
+            // make them durable and readable.
+            let store = CompressedStore::new(
+                StoreConfig::with_spill(4 * 1024, &path).with_spill_batch_bytes(1 << 20),
+            );
+            for k in 0..8u64 {
+                store.put(k, &page(k as u8)).unwrap();
+            }
+            store.flush();
+            let s = store.stats();
+            assert!(s.spilled > 0, "must have spilled: {s:?}");
+            // After flush, nothing is mid-air: every spilled entry must be
+            // servable from the file.
+            let mut out = vec![0u8; 4096];
+            let mut disk_hits = 0;
+            for k in 0..8u64 {
+                let tier = store.get_tier(k, &mut out).unwrap();
+                assert!(tier.is_some(), "key {k} lost");
+                assert_eq!(out, page(k as u8), "key {k} corrupted");
+                if tier == Some(HitTier::Spill) {
+                    disk_hits += 1;
+                }
+            }
+            assert!(disk_hits > 0, "flush left no entries on disk: {s:?}");
+        }
+        cleanup(dir, path);
     }
 
     #[test]
     fn remove_and_replace_account_dead_bytes() {
-        let dir = std::env::temp_dir().join(format!("ccstore-dead-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("spill.bin");
+        let (dir, path) = temp_path("dead");
         {
-            let store = CompressedStore::new(StoreConfig::with_spill(4 * 1024, &path));
+            // GC disabled so the gauge is observable without compaction.
+            let store = CompressedStore::new(
+                StoreConfig::with_spill(4 * 1024, &path).with_gc_dead_ratio(1e9),
+            );
             for k in 0..32u64 {
                 store.put(k, &page(k as u8)).unwrap();
             }
@@ -1026,15 +1612,60 @@ mod tests {
                 "replaces must strand dead bytes: {after_remove} -> {after_replace}"
             );
         }
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_dir(&dir);
+        cleanup(dir, path);
+    }
+
+    #[test]
+    fn gc_compacts_dead_space_and_preserves_data() {
+        let (dir, path) = temp_path("gc");
+        {
+            // Tiny batches + aggressive ratio so compaction triggers
+            // repeatedly under replace churn.
+            let store = CompressedStore::new(
+                StoreConfig::with_spill(4 * 1024, &path)
+                    .with_spill_batch_bytes(2 * 1024)
+                    .with_gc_dead_ratio(0.3),
+            );
+            const KEYS: u64 = 24;
+            let mut total_spilled_bytes = 0u64;
+            for round in 0..40u64 {
+                for k in 0..KEYS {
+                    store.put(k, &page((k + round) as u8)).unwrap();
+                    total_spilled_bytes += 1024; // rough lower bound per put
+                }
+            }
+            store.flush();
+            let s = store.stats();
+            assert!(s.gc_runs > 0, "churn never triggered GC: {s:?}");
+            // The file must stay near the live working set, far below the
+            // total bytes ever written through it.
+            assert!(
+                s.bytes_on_spill < total_spilled_bytes / 4,
+                "file not compacted: {} bytes on spill, ~{} written",
+                s.bytes_on_spill,
+                total_spilled_bytes
+            );
+            // Every key survives compaction with its latest contents.
+            let mut out = vec![0u8; 4096];
+            for k in 0..KEYS {
+                assert!(store.get(k, &mut out).unwrap(), "key {k} lost");
+                assert_eq!(out, page((k + 39) as u8), "key {k} corrupted");
+            }
+            // The on-disk file really is the size the gauge reports.
+            let fs_len = std::fs::metadata(&path).unwrap().len();
+            let s = store.stats();
+            assert!(
+                fs_len <= s.bytes_on_spill + store.core.cfg.spill_batch_bytes as u64 * 2,
+                "fs={fs_len} gauge={}",
+                s.bytes_on_spill
+            );
+        }
+        cleanup(dir, path);
     }
 
     #[test]
     fn shutdown_then_reads_still_work() {
-        let dir = std::env::temp_dir().join(format!("ccstore-shut-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("spill.bin");
+        let (dir, path) = temp_path("shut");
         {
             let store = CompressedStore::new(StoreConfig::with_spill(8 * 1024, &path));
             for k in 0..32u64 {
@@ -1047,8 +1678,7 @@ mod tests {
                 assert_eq!(out, page(k as u8));
             }
         }
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_dir(&dir);
+        cleanup(dir, path);
     }
 
     #[test]
@@ -1078,9 +1708,7 @@ mod tests {
 
     #[test]
     fn concurrent_with_spill_pressure() {
-        let dir = std::env::temp_dir().join(format!("ccstore-mt-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("spill.bin");
+        let (dir, path) = temp_path("mt");
         {
             let store = Arc::new(CompressedStore::new(StoreConfig::with_spill(
                 16 * 1024,
@@ -1117,7 +1745,6 @@ mod tests {
                 }
             }
         }
-        let _ = std::fs::remove_file(&path);
-        let _ = std::fs::remove_dir(&dir);
+        cleanup(dir, path);
     }
 }

@@ -187,3 +187,113 @@ fn stress_spill_under_budget_pressure() {
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_dir(&dir);
 }
+
+/// Budget + integrity under *aggressive compaction*: tiny spill batches
+/// and a low dead ratio make the writer run GC constantly while eight
+/// threads churn replaces and removes, so extents relocate under live
+/// readers. The budget gauge must never exceed the budget — including
+/// during compaction passes — and same-filled pages (mixed into the
+/// workload) must round-trip through their pattern encoding.
+#[test]
+fn stress_gc_churn_with_same_filled() {
+    let dir = std::env::temp_dir().join(format!("ccstore-gcstress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spill.bin");
+    const BUDGET: usize = 128 * 1024;
+    {
+        let store = Arc::new(CompressedStore::new(
+            StoreConfig::with_spill(BUDGET, &path)
+                .with_spill_batch_bytes(4 * 1024)
+                .with_gc_dead_ratio(0.25),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let watcher = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut max_seen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    max_seen = max_seen.max(store.stats().resident_bytes);
+                }
+                max_seen
+            })
+        };
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0x6C_5EED + t);
+                let mut out = vec![0u8; PAGE];
+                for i in 0..1200u64 {
+                    let key = rng.next_u64() % KEYS;
+                    match rng.next_u64() % 10 {
+                        // Heavy replace churn feeds dead bytes to GC.
+                        0..=4 => store.put(key, &page_for(key)).unwrap(),
+                        // Every 10th op stores a same-filled page under a
+                        // dedicated key range so both encodings coexist.
+                        5 => {
+                            let sf = KEYS + (key % 16);
+                            store.put(sf, &vec![(sf % 251) as u8; PAGE]).unwrap();
+                        }
+                        6..=7 => {
+                            if store.get(key, &mut out).unwrap() {
+                                assert_eq!(out, page_for(key), "key {key} corrupted");
+                            }
+                        }
+                        8 => {
+                            let sf = KEYS + (key % 16);
+                            if store.get(sf, &mut out).unwrap() {
+                                assert_eq!(
+                                    out,
+                                    vec![(sf % 251) as u8; PAGE],
+                                    "same-filled key {sf} corrupted"
+                                );
+                            }
+                        }
+                        _ => {
+                            store.remove(key);
+                            if i % 200 == 0 {
+                                store.flush();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let max_seen = watcher.join().unwrap();
+        assert!(
+            max_seen <= BUDGET as u64,
+            "budget exceeded during GC churn: saw {max_seen} with budget {BUDGET}"
+        );
+        store.flush();
+        let s = store.stats();
+        assert!(s.spilled > 0, "GC stress never spilled: {s:?}");
+        assert!(s.gc_runs > 0, "GC never ran under replace churn: {s:?}");
+        assert!(s.same_filled > 0, "same-filled path unexercised: {s:?}");
+        // The file stays bounded by the live working set: thousands of
+        // replace-spills flowed through it (several × KEYS × PAGE bytes),
+        // so without reclamation it would dwarf the key space. With GC it
+        // cannot exceed one uncompressed copy of every key.
+        assert!(
+            s.bytes_on_spill < (KEYS + 16) * PAGE as u64,
+            "spill file unbounded under churn: {s:?}"
+        );
+        let mut out = vec![0u8; PAGE];
+        for key in 0..KEYS {
+            if store.get(key, &mut out).unwrap() {
+                assert_eq!(out, page_for(key), "final key {key}");
+            }
+        }
+        for sf in KEYS..KEYS + 16 {
+            if store.get(sf, &mut out).unwrap() {
+                assert_eq!(out, vec![(sf % 251) as u8; PAGE], "final same-filled {sf}");
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}

@@ -7,8 +7,10 @@
 //! generator:
 //!
 //! - [`Strategy`] with `prop_map`, implemented for integer/bool `any`,
-//!   integer ranges, tuples, [`Just`], boxed strategies and unions;
-//! - [`collection::vec`] for variable-length vectors;
+//!   integer ranges, tuples, [`Just`], boxed strategies and unions
+//!   (uniform and weighted);
+//! - [`collection::vec`] for variable-length vectors and [`option::of`]
+//!   for optional values;
 //! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
 //!   [`prop_assert_eq!`] macros;
 //! - [`test_runner::ProptestConfig`] (`with_cases`) and
@@ -24,6 +26,34 @@
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;
+
+/// Strategies for `Option<T>`, mirroring `proptest::option`.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Yields `Some` of the inner strategy's value three times out of
+    /// four, `None` otherwise (the real crate's default bias).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
 
 /// The glob-importable prelude, mirroring `proptest::prelude::*`.
 pub mod prelude {

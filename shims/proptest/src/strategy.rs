@@ -80,6 +80,39 @@ impl<V> Strategy for Union<V> {
     }
 }
 
+/// Picks an arm with probability proportional to its weight (the
+/// `weight => strategy` form of [`prop_oneof!`]).
+pub struct WeightedUnion<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V> WeightedUnion<V> {
+    /// Build from `(weight, arm)` pairs; panics if empty or all-zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(
+            total > 0,
+            "prop_oneof! weights must sum to a positive value"
+        );
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<V> Strategy for WeightedUnion<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick below total weight")
+    }
+}
+
 /// The `any::<T>()` entry point: the full-range strategy for `T`.
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
     AnyStrategy(PhantomData)
@@ -150,9 +183,16 @@ tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 
-/// Uniformly choose among several strategies yielding the same value type.
+/// Choose among several strategies yielding the same value type —
+/// uniformly (`prop_oneof![a, b]`) or by weight (`prop_oneof![3 => a,
+/// 1 => b]`), mirroring the real crate's two forms.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(
+            vec![$(($weight as u32, $crate::strategy::boxed($arm))),+],
+        )
+    };
     ($($arm:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
     };
