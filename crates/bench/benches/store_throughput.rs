@@ -9,6 +9,11 @@
 //!   split across 1/2/4/8 threads, for both `shards = 1` (the old single
 //!   global lock) and the auto-sharded configuration. Elements/sec across
 //!   the thread counts shows the lock-striping win.
+//! * `store_same_filled` — puts and gets of repeated-word pages, which
+//!   take the pattern-elision fast path; compare against `store_hot_path`
+//!   to see the cost of LZRW1 they skip.
+//! * `store_spill_path` — gets served from the spill file (seek + read +
+//!   decompress + revalidate) under a tight budget, the cold-tier cost.
 
 use cc_core::store::{CompressedStore, StoreConfig};
 use cc_util::SplitMix64;
@@ -101,6 +106,76 @@ fn mixed_batch(store: &Arc<CompressedStore>, threads: usize, round: u64) {
     }
 }
 
+fn bench_same_filled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_same_filled");
+    group.throughput(Throughput::Bytes(PAGE as u64));
+
+    // A repeated-word page: detected on put, stored as 8 bytes.
+    fn same_page_for(key: u64, buf: &mut [u8]) {
+        let word = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_ne_bytes();
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = word[i % 8];
+        }
+    }
+
+    group.bench_function("put", |b| {
+        let store = prefilled(0);
+        let mut page = vec![0u8; PAGE];
+        let mut n = 0u64;
+        b.iter(|| {
+            let key = n % KEYS;
+            n += 1;
+            same_page_for(key, &mut page);
+            store.put(key, &page).expect("put")
+        });
+    });
+
+    group.bench_function("get", |b| {
+        let store = prefilled(0);
+        let mut page = vec![0u8; PAGE];
+        for key in 0..KEYS {
+            same_page_for(key, &mut page);
+            store.put(key, &page).expect("prefill");
+        }
+        let mut out = vec![0u8; PAGE];
+        let mut n = 0u64;
+        b.iter(|| {
+            let key = n % KEYS;
+            n += 1;
+            store.get(key, &mut out).expect("get")
+        });
+    });
+    group.finish();
+}
+
+fn bench_spill_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_spill_path");
+    group.throughput(Throughput::Bytes(PAGE as u64));
+
+    group.bench_function("get_disk", |b| {
+        let path = std::env::temp_dir().join(format!("storebench-crit-{}.bin", std::process::id()));
+        // Budget of ~2 compressed pages: after the fill, effectively the
+        // whole key space lives on the spill file.
+        let store = CompressedStore::new(StoreConfig::with_spill(8 * 1024, &path));
+        let mut page = vec![0u8; PAGE];
+        for key in 0..KEYS {
+            page_for(key, &mut page);
+            store.put(key, &page).expect("prefill");
+        }
+        store.flush();
+        let mut out = vec![0u8; PAGE];
+        let mut n = 0u64;
+        b.iter(|| {
+            let key = n % KEYS;
+            n += 1;
+            store.get(key, &mut out).expect("get")
+        });
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    });
+    group.finish();
+}
+
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("store_scaling");
     group.throughput(Throughput::Elements(BATCH));
@@ -122,6 +197,6 @@ fn bench_scaling(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(12).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(1500));
-    targets = bench_hot_path, bench_scaling
+    targets = bench_hot_path, bench_same_filled, bench_spill_path, bench_scaling
 }
 criterion_main!(benches);

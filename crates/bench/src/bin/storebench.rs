@@ -1,21 +1,38 @@
 //! `storebench` — reproducible multi-threaded throughput benchmark for the
 //! sharded `CompressedStore`.
 //!
-//! Drives `T` worker threads over a zipfian key distribution with a mixed
-//! put/get/remove workload (50/40/10) and reports ops/s, p50/p99 per-op
-//! latency and the achieved compression ratio for every thread count, for
-//! both the lock-striped store and a `shards = 1` baseline (the behaviour
-//! of the old single-`Mutex` store). Results land in `BENCH_store.json`.
+//! Three workloads:
+//!
+//! 1. **In-memory scaling** — `T` worker threads over a zipfian key
+//!    distribution with a mixed put/get/remove workload (50/40/10), for
+//!    both the lock-striped store and a `shards = 1` baseline (the
+//!    behaviour of the old single-`Mutex` store).
+//! 2. **Spill pipeline** — the same mix against a budget ~10× smaller
+//!    than the working set, so most entries live on the spill file.
+//!    Latency percentiles are split by serving tier (memory hit vs disk
+//!    hit) via `get_tier`, and the batching factor, GC activity, and
+//!    final file size are reported.
+//! 3. **Same-filled fast path** — a put-heavy mix where half the pages
+//!    are a single repeated word, reporting the elided-put p50 against
+//!    the compressed-put p50.
+//!
+//! Results land in `BENCH_store.json`.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p cc-bench --bin storebench [-- --ops N --out PATH]
+//! cargo run --release -p cc-bench --bin storebench -- --smoke
 //! ```
+//!
+//! `--smoke` runs a reduced-ops spill + same-filled pass and exits
+//! nonzero if the resident-bytes budget is ever exceeded or the spill
+//! pipeline goes unexercised — CI runs it on every push.
 
-use cc_core::store::{CompressedStore, StoreConfig};
+use cc_core::store::{CompressedStore, HitTier, StoreConfig};
 use cc_util::SplitMix64;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -23,9 +40,13 @@ const PAGE: usize = 4096;
 const KEYS: u64 = 4096;
 const ZIPF_S: f64 = 0.99;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-/// Budget comfortably above the compressed working set so the benchmark
-/// measures the lock/compression hot path, not eviction policy.
+/// Budget comfortably above the compressed working set so the in-memory
+/// trials measure the lock/compression hot path, not eviction policy.
 const BUDGET: usize = 64 << 20;
+/// Spill-trial budget: ~10× smaller than the compressed working set, so
+/// the disk tier carries most of the key space.
+const SPILL_BUDGET: usize = 1 << 20;
+const SPILL_THREADS: usize = 4;
 
 /// Zipfian sampler over `0..KEYS`: precomputed CDF + binary search, so a
 /// draw is one `SplitMix64` step and a `partition_point`.
@@ -66,6 +87,21 @@ fn page_for(key: u64, buf: &mut [u8]) {
             *b = ((key as usize + i / 13) % 64) as u8 + b' ';
         }
     }
+}
+
+/// A same-filled page for `key`: one derived 8-byte word repeated.
+fn same_page_for(key: u64, buf: &mut [u8]) {
+    let word = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_ne_bytes();
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = word[i % 8];
+    }
+}
+
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
 }
 
 struct Trial {
@@ -124,7 +160,6 @@ fn run_trial(shards: usize, threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf
     }
     let elapsed = start.elapsed().as_secs_f64();
     lat.sort_unstable();
-    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
 
     let s = store.stats();
     let ratio = if s.memory_bytes > 0 {
@@ -135,9 +170,183 @@ fn run_trial(shards: usize, threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf
     Trial {
         threads,
         ops_per_sec: lat.len() as f64 / elapsed,
-        p50_ns: pct(0.50),
-        p99_ns: pct(0.99),
+        p50_ns: pct(&lat, 0.50),
+        p99_ns: pct(&lat, 0.99),
         ratio,
+    }
+}
+
+/// Results of the spill-pipeline trial: tier-split latencies plus the
+/// writer's batching/GC counters and the file's final size.
+struct SpillTrial {
+    threads: usize,
+    ops_per_sec: f64,
+    put_p50_ns: u64,
+    put_p99_ns: u64,
+    get_memory_p50_ns: u64,
+    get_memory_p99_ns: u64,
+    get_spill_p50_ns: u64,
+    get_spill_p99_ns: u64,
+    spilled: u64,
+    spill_batches: u64,
+    entries_per_batch: f64,
+    gc_runs: u64,
+    bytes_on_spill: u64,
+    spill_dead_bytes: u64,
+    file_bytes_on_disk: u64,
+    max_resident_seen: u64,
+}
+
+fn run_spill_trial(threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> SpillTrial {
+    let path = std::env::temp_dir().join(format!("storebench-spill-{}.bin", std::process::id()));
+    let store = Arc::new(CompressedStore::new(StoreConfig::with_spill(
+        SPILL_BUDGET,
+        &path,
+    )));
+    let mut page = vec![0u8; PAGE];
+    for key in 0..KEYS {
+        page_for(key, &mut page);
+        store.put(key, &page).expect("prefill");
+    }
+    store.flush();
+
+    // Budget watcher: samples the resident gauge as fast as it can while
+    // the workers churn; the spill path must never overshoot the budget.
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_seen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                max_seen = max_seen.max(store.stats().resident_bytes);
+            }
+            max_seen
+        })
+    };
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let store = Arc::clone(&store);
+        let zipf = Arc::clone(zipf);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(0xD15C + t as u64);
+            let mut page = vec![0u8; PAGE];
+            let mut out = vec![0u8; PAGE];
+            let mut put_ns = Vec::new();
+            let mut mem_ns = Vec::new();
+            let mut disk_ns = Vec::new();
+            let mut ops = 0u64;
+            for _ in 0..ops_per_thread {
+                let key = zipf.sample(&mut rng);
+                let op = rng.next_u64() % 10;
+                ops += 1;
+                match op {
+                    0..=4 => {
+                        page_for(key, &mut page);
+                        let t0 = Instant::now();
+                        store.put(key, &page).expect("put");
+                        put_ns.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    5..=8 => {
+                        let t0 = Instant::now();
+                        let tier = store.get_tier(key, &mut out).expect("get");
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        match tier {
+                            Some(HitTier::Spill) => disk_ns.push(ns),
+                            Some(_) => mem_ns.push(ns),
+                            None => {}
+                        }
+                    }
+                    _ => {
+                        store.remove(key);
+                    }
+                }
+            }
+            (ops, put_ns, mem_ns, disk_ns)
+        }));
+    }
+    let (mut ops, mut put_ns, mut mem_ns, mut disk_ns) = (0u64, Vec::new(), Vec::new(), Vec::new());
+    for h in handles {
+        let (o, p, m, d) = h.join().expect("worker panicked");
+        ops += o;
+        put_ns.extend(p);
+        mem_ns.extend(m);
+        disk_ns.extend(d);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    store.flush();
+    stop.store(true, Ordering::Relaxed);
+    let max_resident_seen = watcher.join().expect("watcher panicked");
+    put_ns.sort_unstable();
+    mem_ns.sort_unstable();
+    disk_ns.sort_unstable();
+
+    let s = store.stats();
+    let file_bytes_on_disk = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+    SpillTrial {
+        threads,
+        ops_per_sec: ops as f64 / elapsed,
+        put_p50_ns: pct(&put_ns, 0.50),
+        put_p99_ns: pct(&put_ns, 0.99),
+        get_memory_p50_ns: pct(&mem_ns, 0.50),
+        get_memory_p99_ns: pct(&mem_ns, 0.99),
+        get_spill_p50_ns: pct(&disk_ns, 0.50),
+        get_spill_p99_ns: pct(&disk_ns, 0.99),
+        spilled: s.spilled,
+        spill_batches: s.spill_batches,
+        entries_per_batch: s.spilled as f64 / s.spill_batches.max(1) as f64,
+        gc_runs: s.gc_runs,
+        bytes_on_spill: s.bytes_on_spill,
+        spill_dead_bytes: s.spill_dead_bytes,
+        file_bytes_on_disk,
+        max_resident_seen,
+    }
+}
+
+/// Results of the same-filled-heavy trial: elided puts vs compressed puts.
+struct SameFilledTrial {
+    same_filled_puts: u64,
+    compressed_puts: u64,
+    put_same_filled_p50_ns: u64,
+    put_compressed_p50_ns: u64,
+    same_filled_counter: u64,
+}
+
+fn run_same_filled_trial(ops: u64) -> SameFilledTrial {
+    let store = CompressedStore::new(StoreConfig::in_memory(BUDGET));
+    let mut rng = SplitMix64::new(0x5A5A);
+    let mut page = vec![0u8; PAGE];
+    let mut same_ns = Vec::new();
+    let mut comp_ns = Vec::new();
+    for _ in 0..ops {
+        let key = rng.next_u64() % KEYS;
+        // Half the key space holds repeated-word pages (zeroed or
+        // memset-style), the other half normal compressible content.
+        if key.is_multiple_of(2) {
+            same_page_for(key, &mut page);
+            let t0 = Instant::now();
+            store.put(key, &page).expect("put");
+            same_ns.push(t0.elapsed().as_nanos() as u64);
+        } else {
+            page_for(key, &mut page);
+            let t0 = Instant::now();
+            store.put(key, &page).expect("put");
+            comp_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    same_ns.sort_unstable();
+    comp_ns.sort_unstable();
+    let s = store.stats();
+    SameFilledTrial {
+        same_filled_puts: same_ns.len() as u64,
+        compressed_puts: comp_ns.len() as u64,
+        put_same_filled_p50_ns: pct(&same_ns, 0.50),
+        put_compressed_p50_ns: pct(&comp_ns, 0.50),
+        same_filled_counter: s.same_filled,
     }
 }
 
@@ -154,9 +363,91 @@ fn json_trials(trials: &[Trial]) -> String {
     format!("[\n{}\n  ]", rows.join(",\n"))
 }
 
+fn json_spill(t: &SpillTrial) -> String {
+    format!(
+        "{{\n    \"budget_bytes\": {SPILL_BUDGET},\n    \"threads\": {},\n    \"ops_per_sec\": {:.0},\n    \"put_p50_ns\": {},\n    \"put_p99_ns\": {},\n    \"get_memory_p50_ns\": {},\n    \"get_memory_p99_ns\": {},\n    \"get_spill_p50_ns\": {},\n    \"get_spill_p99_ns\": {},\n    \"spilled\": {},\n    \"spill_batches\": {},\n    \"entries_per_batch\": {:.2},\n    \"gc_runs\": {},\n    \"bytes_on_spill\": {},\n    \"spill_dead_bytes\": {},\n    \"file_bytes_on_disk\": {},\n    \"max_resident_seen\": {}\n  }}",
+        t.threads,
+        t.ops_per_sec,
+        t.put_p50_ns,
+        t.put_p99_ns,
+        t.get_memory_p50_ns,
+        t.get_memory_p99_ns,
+        t.get_spill_p50_ns,
+        t.get_spill_p99_ns,
+        t.spilled,
+        t.spill_batches,
+        t.entries_per_batch,
+        t.gc_runs,
+        t.bytes_on_spill,
+        t.spill_dead_bytes,
+        t.file_bytes_on_disk,
+        t.max_resident_seen,
+    )
+}
+
+fn json_same_filled(t: &SameFilledTrial) -> String {
+    format!(
+        "{{\n    \"same_filled_puts\": {},\n    \"compressed_puts\": {},\n    \"put_same_filled_p50_ns\": {},\n    \"put_compressed_p50_ns\": {},\n    \"same_filled_counter\": {}\n  }}",
+        t.same_filled_puts,
+        t.compressed_puts,
+        t.put_same_filled_p50_ns,
+        t.put_compressed_p50_ns,
+        t.same_filled_counter,
+    )
+}
+
+/// Reduced-ops CI gate: exercise the spill pipeline and same-filled path
+/// for real, and fail loudly if an invariant breaks.
+fn run_smoke() -> i32 {
+    let zipf = Arc::new(Zipf::new(KEYS, ZIPF_S));
+    eprintln!("storebench --smoke: spill pipeline + same-filled gate");
+    let spill = run_spill_trial(SPILL_THREADS, 10_000, &zipf);
+    let same = run_same_filled_trial(20_000);
+    eprintln!(
+        "  spill: {:.0} ops/s, {} spilled in {} batches ({:.1}/batch), gc_runs={}, file={} B, max_resident={} B (budget {SPILL_BUDGET})",
+        spill.ops_per_sec,
+        spill.spilled,
+        spill.spill_batches,
+        spill.entries_per_batch,
+        spill.gc_runs,
+        spill.file_bytes_on_disk,
+        spill.max_resident_seen,
+    );
+    eprintln!(
+        "  same-filled: {} elided puts, p50 {} ns vs compressed p50 {} ns",
+        same.same_filled_counter, same.put_same_filled_p50_ns, same.put_compressed_p50_ns,
+    );
+    let mut failures = Vec::new();
+    if spill.max_resident_seen > SPILL_BUDGET as u64 {
+        failures.push(format!(
+            "budget exceeded: saw {} resident bytes with budget {SPILL_BUDGET}",
+            spill.max_resident_seen
+        ));
+    }
+    if spill.spilled == 0 {
+        failures.push("spill pipeline unexercised: nothing spilled".into());
+    }
+    if spill.spill_batches == 0 {
+        failures.push("spill writer committed no batches".into());
+    }
+    if same.same_filled_counter == 0 {
+        failures.push("same-filled fast path unexercised".into());
+    }
+    if failures.is_empty() {
+        eprintln!("  smoke OK");
+        0
+    } else {
+        for f in &failures {
+            eprintln!("  smoke FAILED: {f}");
+        }
+        1
+    }
+}
+
 fn main() {
     let mut ops_per_thread: u64 = 200_000;
     let mut out_path = String::from("BENCH_store.json");
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -172,11 +463,17 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--smoke" => smoke = true,
             other => {
-                eprintln!("unknown arg: {other}\nusage: storebench [--ops N] [--out PATH]");
+                eprintln!(
+                    "unknown arg: {other}\nusage: storebench [--ops N] [--out PATH] [--smoke]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if smoke {
+        std::process::exit(run_smoke());
     }
 
     let zipf = Arc::new(Zipf::new(KEYS, ZIPF_S));
@@ -209,10 +506,41 @@ fn main() {
             .unwrap_or(1.0);
     eprintln!("  sharded 8-thread / 1-thread scaling: {scaling:.2}x (upper bound: min(8, {host_cpus} host cpus))");
 
+    let spill = run_spill_trial(SPILL_THREADS, ops_per_thread / 4, &zipf);
+    eprintln!(
+        "  [spill]    threads={:<2} {:>12.0} ops/s  put p50={} ns  get(mem) p50={} ns  get(disk) p50={} ns",
+        spill.threads,
+        spill.ops_per_sec,
+        spill.put_p50_ns,
+        spill.get_memory_p50_ns,
+        spill.get_spill_p50_ns,
+    );
+    eprintln!(
+        "  [spill]    {} spilled in {} batches = {:.1} entries/batch, {} GC runs, file {} B ({} dead), max resident {} B / budget {SPILL_BUDGET}",
+        spill.spilled,
+        spill.spill_batches,
+        spill.entries_per_batch,
+        spill.gc_runs,
+        spill.file_bytes_on_disk,
+        spill.spill_dead_bytes,
+        spill.max_resident_seen,
+    );
+
+    let same = run_same_filled_trial(ops_per_thread);
+    eprintln!(
+        "  [same-fill] {} elided puts p50={} ns vs {} compressed puts p50={} ns",
+        same.same_filled_puts,
+        same.put_same_filled_p50_ns,
+        same.compressed_puts,
+        same.put_compressed_p50_ns,
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal\"\n}}\n",
+        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"spill\": {},\n  \"same_filled\": {},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal. spill.entries_per_batch is the write-coalescing factor (1.0 = one syscall per entry, the pre-pipeline behaviour); gc_runs > 0 with a bounded file_bytes_on_disk shows dead-extent compaction under churn.\"\n}}\n",
         json_trials(&baseline),
         json_trials(&sharded),
+        json_spill(&spill),
+        json_same_filled(&same),
     );
     let mut f = std::fs::File::create(&out_path).expect("create output");
     f.write_all(json.as_bytes()).expect("write output");

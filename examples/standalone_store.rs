@@ -65,6 +65,18 @@ fn main() {
         s.memory_bytes as f64 / (1024.0 * 1024.0)
     );
     println!("spilled to disk:     {} pages", s.spilled);
+    println!(
+        "spill batching:      {} pages in {} batched writes ({:.1}/batch)",
+        s.spilled,
+        s.spill_batches,
+        s.spilled as f64 / s.spill_batches.max(1) as f64
+    );
+    println!(
+        "spill file:          {} KB ({} KB dead, {} GC runs)",
+        s.bytes_on_spill / 1024,
+        s.spill_dead_bytes / 1024,
+        s.gc_runs
+    );
     println!("verified:            {checked} sampled pages intact");
     println!(
         "amplification:       {:.1}x the pages a raw 4 MB cache could hold",
