@@ -15,6 +15,11 @@
 //! 3. **Same-filled fast path** — a put-heavy mix where half the pages
 //!    are a single repeated word, reporting the elided-put p50 against
 //!    the compressed-put p50.
+//! 4. **Telemetry** — the spill trial's own `telemetry_snapshot()` is
+//!    embedded verbatim (per-tier put/get histograms, spill-writer and
+//!    GC event counts from the ring), and an interleaved best-of-3
+//!    probe measures the throughput cost of telemetry against a
+//!    `with_telemetry(false)` run of the same zipfian mixed trial.
 //!
 //! Results land in `BENCH_store.json`.
 //!
@@ -26,10 +31,13 @@
 //! ```
 //!
 //! `--smoke` runs a reduced-ops spill + same-filled pass and exits
-//! nonzero if the resident-bytes budget is ever exceeded or the spill
-//! pipeline goes unexercised — CI runs it on every push.
+//! nonzero if the resident-bytes budget is ever exceeded, the spill
+//! pipeline goes unexercised, the latency histograms fail basic sanity
+//! (empty, or p50/p99/max out of order), or telemetry costs more than
+//! 5% of throughput — CI runs it on every push.
 
 use cc_core::store::{CompressedStore, HitTier, StoreConfig};
+use cc_telemetry::Snapshot;
 use cc_util::SplitMix64;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -112,9 +120,17 @@ struct Trial {
     ratio: f64,
 }
 
-fn run_trial(shards: usize, threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> Trial {
+fn run_trial(
+    shards: usize,
+    threads: usize,
+    ops_per_thread: u64,
+    zipf: &Arc<Zipf>,
+    telemetry: bool,
+) -> Trial {
     let store = Arc::new(CompressedStore::new(
-        StoreConfig::in_memory(BUDGET).with_shards(shards),
+        StoreConfig::in_memory(BUDGET)
+            .with_shards(shards)
+            .with_telemetry(telemetry),
     ));
     // Pre-populate the whole key space so gets mostly hit.
     let mut page = vec![0u8; PAGE];
@@ -195,6 +211,10 @@ struct SpillTrial {
     spill_dead_bytes: u64,
     file_bytes_on_disk: u64,
     max_resident_seen: u64,
+    /// Full telemetry snapshot taken after the final flush: per-tier
+    /// latency histograms plus ring event counts, embedded in the JSON
+    /// output and sanity-gated by `--smoke`.
+    telemetry: Snapshot,
 }
 
 fn run_spill_trial(threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> SpillTrial {
@@ -284,6 +304,7 @@ fn run_spill_trial(threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> Spi
     disk_ns.sort_unstable();
 
     let s = store.stats();
+    let telemetry = store.telemetry_snapshot();
     let file_bytes_on_disk = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     drop(store);
     let _ = std::fs::remove_file(&path);
@@ -304,6 +325,32 @@ fn run_spill_trial(threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> Spi
         spill_dead_bytes: s.spill_dead_bytes,
         file_bytes_on_disk,
         max_resident_seen,
+        telemetry,
+    }
+}
+
+/// Throughput cost of telemetry: the single-thread zipfian mixed trial
+/// run with telemetry on vs `with_telemetry(false)`, interleaved
+/// best-of-3 so machine noise hits both configurations alike.
+struct Overhead {
+    ops_per_sec_on: f64,
+    ops_per_sec_off: f64,
+    /// Throughput lost to telemetry, percent of the telemetry-off rate
+    /// (clamped at 0 — on a noisy host "on" can measure faster).
+    overhead_pct: f64,
+}
+
+fn run_overhead_probe(ops_per_thread: u64, zipf: &Arc<Zipf>) -> Overhead {
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    for _ in 0..3 {
+        best_off = best_off.max(run_trial(1, 1, ops_per_thread, zipf, false).ops_per_sec);
+        best_on = best_on.max(run_trial(1, 1, ops_per_thread, zipf, true).ops_per_sec);
+    }
+    Overhead {
+        ops_per_sec_on: best_on,
+        ops_per_sec_off: best_off,
+        overhead_pct: ((1.0 - best_on / best_off.max(1.0)) * 100.0).max(0.0),
     }
 }
 
@@ -385,6 +432,35 @@ fn json_spill(t: &SpillTrial) -> String {
     )
 }
 
+fn json_telemetry(snap: &Snapshot, ovh: &Overhead) -> String {
+    format!(
+        "{{\n    \"spill_trial\": {},\n    \"overhead\": {{\"ops_per_sec_on\": {:.0}, \"ops_per_sec_off\": {:.0}, \"overhead_pct\": {:.2}}}\n  }}",
+        snap.to_json(4),
+        ovh.ops_per_sec_on,
+        ovh.ops_per_sec_off,
+        ovh.overhead_pct,
+    )
+}
+
+/// Histogram sanity for the smoke gate: the op must have been recorded
+/// and its percentiles must be ordered. Returns a failure message or
+/// `None` when the summary is sane.
+fn check_hist(snap: &Snapshot, op: &str) -> Option<String> {
+    let Some(s) = snap.op(op) else {
+        return Some(format!("telemetry op {op:?} missing from snapshot"));
+    };
+    if s.count == 0 {
+        return Some(format!("telemetry op {op:?} recorded no samples"));
+    }
+    if !(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max) {
+        return Some(format!(
+            "telemetry op {op:?} percentiles out of order: p50 {} p90 {} p99 {} max {}",
+            s.p50, s.p90, s.p99, s.max
+        ));
+    }
+    None
+}
+
 fn json_same_filled(t: &SameFilledTrial) -> String {
     format!(
         "{{\n    \"same_filled_puts\": {},\n    \"compressed_puts\": {},\n    \"put_same_filled_p50_ns\": {},\n    \"put_compressed_p50_ns\": {},\n    \"same_filled_counter\": {}\n  }}",
@@ -396,13 +472,14 @@ fn json_same_filled(t: &SameFilledTrial) -> String {
     )
 }
 
-/// Reduced-ops CI gate: exercise the spill pipeline and same-filled path
-/// for real, and fail loudly if an invariant breaks.
+/// Reduced-ops CI gate: exercise the spill pipeline, same-filled path,
+/// and telemetry plane for real, and fail loudly if an invariant breaks.
 fn run_smoke() -> i32 {
     let zipf = Arc::new(Zipf::new(KEYS, ZIPF_S));
-    eprintln!("storebench --smoke: spill pipeline + same-filled gate");
+    eprintln!("storebench --smoke: spill pipeline + same-filled + telemetry gate");
     let spill = run_spill_trial(SPILL_THREADS, 10_000, &zipf);
     let same = run_same_filled_trial(20_000);
+    let ovh = run_overhead_probe(20_000, &zipf);
     eprintln!(
         "  spill: {:.0} ops/s, {} spilled in {} batches ({:.1}/batch), gc_runs={}, file={} B, max_resident={} B (budget {SPILL_BUDGET})",
         spill.ops_per_sec,
@@ -416,6 +493,14 @@ fn run_smoke() -> i32 {
     eprintln!(
         "  same-filled: {} elided puts, p50 {} ns vs compressed p50 {} ns",
         same.same_filled_counter, same.put_same_filled_p50_ns, same.put_compressed_p50_ns,
+    );
+    eprintln!(
+        "  telemetry: overhead {:.2}% ({:.0} ops/s on vs {:.0} ops/s off), {} events recorded ({} dropped)",
+        ovh.overhead_pct,
+        ovh.ops_per_sec_on,
+        ovh.ops_per_sec_off,
+        spill.telemetry.events_recorded,
+        spill.telemetry.events_dropped,
     );
     let mut failures = Vec::new();
     if spill.max_resident_seen > SPILL_BUDGET as u64 {
@@ -432,6 +517,36 @@ fn run_smoke() -> i32 {
     }
     if same.same_filled_counter == 0 {
         failures.push("same-filled fast path unexercised".into());
+    }
+    // Telemetry gates: every tier the spill trial exercises must have a
+    // sane histogram, ring event counts must agree with the counters
+    // they shadow, and the measured overhead must stay within budget.
+    for op in [
+        "put",
+        "get_memory",
+        "get_spill",
+        "spill_write",
+        "spill_read",
+    ] {
+        if let Some(f) = check_hist(&spill.telemetry, op) {
+            failures.push(f);
+        }
+    }
+    let batch_events = spill.telemetry.event_count("batch_commit").unwrap_or(0);
+    if batch_events != spill.spill_batches {
+        failures.push(format!(
+            "batch_commit events ({batch_events}) disagree with spill_batches counter ({})",
+            spill.spill_batches
+        ));
+    }
+    if spill.telemetry.events_recorded == 0 {
+        failures.push("event ring recorded nothing".into());
+    }
+    if ovh.overhead_pct > 5.0 {
+        failures.push(format!(
+            "telemetry overhead {:.2}% exceeds the 5% budget ({:.0} ops/s on vs {:.0} ops/s off)",
+            ovh.overhead_pct, ovh.ops_per_sec_on, ovh.ops_per_sec_off
+        ));
     }
     if failures.is_empty() {
         eprintln!("  smoke OK");
@@ -486,7 +601,7 @@ fn main() {
     let run_set = |label: &str, shards: usize| -> Vec<Trial> {
         let mut trials = Vec::new();
         for &t in &THREAD_COUNTS {
-            let trial = run_trial(shards, t, ops_per_thread, &zipf);
+            let trial = run_trial(shards, t, ops_per_thread, &zipf, true);
             eprintln!(
                 "  [{label}] threads={:<2} {:>12.0} ops/s  p50={:>6} ns  p99={:>7} ns  ratio={:.2}",
                 trial.threads, trial.ops_per_sec, trial.p50_ns, trial.p99_ns, trial.ratio
@@ -535,12 +650,19 @@ fn main() {
         same.put_compressed_p50_ns,
     );
 
+    let ovh = run_overhead_probe(ops_per_thread / 2, &zipf);
+    eprintln!(
+        "  [telemetry] overhead {:.2}% ({:.0} ops/s on vs {:.0} ops/s off, interleaved best-of-3)",
+        ovh.overhead_pct, ovh.ops_per_sec_on, ovh.ops_per_sec_off,
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"spill\": {},\n  \"same_filled\": {},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal. spill.entries_per_batch is the write-coalescing factor (1.0 = one syscall per entry, the pre-pipeline behaviour); gc_runs > 0 with a bounded file_bytes_on_disk shows dead-extent compaction under churn.\"\n}}\n",
+        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"spill\": {},\n  \"same_filled\": {},\n  \"telemetry\": {},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal. spill.entries_per_batch is the write-coalescing factor (1.0 = one syscall per entry, the pre-pipeline behaviour); gc_runs > 0 with a bounded file_bytes_on_disk shows dead-extent compaction under churn. telemetry.spill_trial is the spill trial's own snapshot: ops are nanosecond latency histograms split by serving tier, events are ring counts; telemetry.overhead is the throughput cost of the telemetry plane vs with_telemetry(false), gated at 5% by --smoke.\"\n}}\n",
         json_trials(&baseline),
         json_trials(&sharded),
         json_spill(&spill),
         json_same_filled(&same),
+        json_telemetry(&spill.telemetry, &ovh),
     );
     let mut f = std::fs::File::create(&out_path).expect("create output");
     f.write_all(json.as_bytes()).expect("write output");

@@ -35,6 +35,18 @@
 //! pages) bypass the compressor entirely and are stored as an 8-byte
 //! pattern with zero residency cost.
 //!
+//! # Telemetry
+//!
+//! Every store carries a [`cc_telemetry::Telemetry`] instance:
+//! [`StoreStats`] is assembled from its shard-striped counter bank (so a
+//! stats read takes no shard lock and no field can tear), put/get/spill
+//! I/O and GC pauses feed lock-free latency histograms, and structural
+//! events (batch commits, GC passes, evictions, threshold rejects,
+//! same-filled elisions) flow through a bounded lossy event ring. Get a
+//! [`cc_telemetry::Snapshot`] via [`CompressedStore::telemetry_snapshot`];
+//! disable the sampling (never the counters) with
+//! [`StoreConfig::with_telemetry`].
+//!
 //! ```
 //! use cc_core::store::{CompressedStore, StoreConfig};
 //!
@@ -58,7 +70,86 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use cc_compress::{CompressDecision, Compressor, Lzrw1, ThresholdPolicy};
+use cc_telemetry::{Telemetry, TelemetrySpec};
 use cc_util::LruList;
+
+/// Counter indices into the store's [`TelemetrySpec`] (one striped,
+/// cache-padded atomic per shard per counter — the statistics of record,
+/// live even when latency sampling is disabled).
+mod tstat {
+    pub const COMPRESSED: usize = 0;
+    pub const STORED_RAW: usize = 1;
+    pub const SAME_FILLED: usize = 2;
+    pub const HITS_MEMORY: usize = 3;
+    pub const HITS_SPILL: usize = 4;
+    pub const MISSES: usize = 5;
+    pub const SPILLED: usize = 6;
+    pub const SPILL_BATCHES: usize = 7;
+    pub const GC_RUNS: usize = 8;
+    pub const GC_BYTES_RELOCATED: usize = 9;
+    pub const NAMES: &[&str] = &[
+        "compressed",
+        "stored_raw",
+        "same_filled",
+        "hits_memory",
+        "hits_spill",
+        "misses",
+        "spilled",
+        "spill_batches",
+        "gc_runs",
+        "gc_bytes_relocated",
+    ];
+}
+
+/// Timed-operation indices (one lock-free latency histogram each).
+mod top {
+    pub const PUT: usize = 0;
+    pub const GET_MEMORY: usize = 1;
+    pub const GET_SAME_FILLED: usize = 2;
+    pub const GET_SPILL: usize = 3;
+    pub const SPILL_WRITE: usize = 4;
+    pub const SPILL_READ: usize = 5;
+    pub const GC_PAUSE: usize = 6;
+    pub const NAMES: &[&str] = &[
+        "put",
+        "get_memory",
+        "get_same_filled",
+        "get_spill",
+        "spill_write",
+        "spill_read",
+        "gc_pause",
+    ];
+}
+
+/// Structured event kinds pushed into the telemetry ring.
+mod tevent {
+    /// `a` = entries in the batch, `b` = batch bytes.
+    pub const BATCH_COMMIT: usize = 0;
+    /// `a` = bytes relocated, `b` = pause nanoseconds.
+    pub const GC_RUN: usize = 1;
+    /// `a` = victim key, `b` = compressed bytes spilled.
+    pub const EVICT: usize = 2;
+    /// `a` = key, `b` = bytes stored raw after the threshold rejected
+    /// the compressed form.
+    pub const THRESHOLD_REJECT: usize = 3;
+    /// `a` = key, `b` = the repeated 8-byte pattern.
+    pub const SAME_FILLED: usize = 4;
+    pub const NAMES: &[&str] = &[
+        "batch_commit",
+        "gc_run",
+        "evict",
+        "threshold_reject",
+        "same_filled",
+    ];
+}
+
+/// The store's telemetry layout: shard-striped counters, per-operation
+/// latency histograms, and the structured event kinds above.
+const STORE_TELEMETRY: TelemetrySpec = TelemetrySpec {
+    counters: tstat::NAMES,
+    ops: top::NAMES,
+    events: tevent::NAMES,
+};
 
 /// Configuration of a [`CompressedStore`].
 #[derive(Debug, Clone)]
@@ -84,6 +175,11 @@ pub struct StoreConfig {
     /// bytes_on_spill`) beyond which the writer compacts live extents
     /// toward the file head and truncates. Default `0.5`.
     pub gc_dead_ratio: f64,
+    /// Whether latency sampling and hot-path event capture are enabled
+    /// (default `true`). Counters stay live either way — [`StoreStats`]
+    /// is always exact — and the writer thread's batch/GC timings are
+    /// always recorded since they are off the data path.
+    pub telemetry: bool,
 }
 
 /// The paper's §4.3 write-back batch size.
@@ -99,6 +195,7 @@ impl StoreConfig {
             shards: 0,
             spill_batch_bytes: DEFAULT_SPILL_BATCH,
             gc_dead_ratio: 0.5,
+            telemetry: true,
         }
     }
 
@@ -111,6 +208,7 @@ impl StoreConfig {
             shards: 0,
             spill_batch_bytes: DEFAULT_SPILL_BATCH,
             gc_dead_ratio: 0.5,
+            telemetry: true,
         }
     }
 
@@ -133,6 +231,14 @@ impl StoreConfig {
     /// Values ≥ 1.0 effectively disable GC.
     pub fn with_gc_dead_ratio(mut self, ratio: f64) -> Self {
         self.gc_dead_ratio = ratio.max(0.0);
+        self
+    }
+
+    /// Enable or disable latency sampling and hot-path event capture
+    /// (counters are unaffected). `false` is the baseline the bench
+    /// harness compares against to measure telemetry overhead.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
         self
     }
 
@@ -200,6 +306,11 @@ pub enum HitTier {
 }
 
 /// Counters (all monotonic except the byte gauges).
+///
+/// Assembled from the store's telemetry counter bank: every field is an
+/// independent per-shard-striped atomic summed at read time, so a
+/// snapshot is per-field exact — no shard locks are taken and no field
+/// can tear, even while every shard is being hammered.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StoreStats {
     /// Pages stored compressed.
@@ -222,6 +333,11 @@ pub struct StoreStats {
     pub spill_batches: u64,
     /// Spill-file compaction passes completed.
     pub gc_runs: u64,
+    /// Bytes of live extents physically copied by compaction passes
+    /// (extents already at their compacted position are not counted).
+    pub gc_bytes_relocated: u64,
+    /// Longest single compaction pass observed, in nanoseconds.
+    pub gc_pause_max_ns: u64,
     /// Current spill-file size in bytes (gauge).
     pub bytes_on_spill: u64,
     /// Bytes in the spill file belonging to removed or replaced entries,
@@ -233,18 +349,6 @@ pub struct StoreStats {
     /// Current compressed bytes resident in memory, never above the
     /// configured budget.
     pub resident_bytes: u64,
-}
-
-impl StoreStats {
-    fn absorb(&mut self, other: &StoreStats) {
-        self.compressed += other.compressed;
-        self.stored_raw += other.stored_raw;
-        self.same_filled += other.same_filled;
-        self.hits_memory += other.hits_memory;
-        self.hits_spill += other.hits_spill;
-        self.misses += other.misses;
-        self.spilled += other.spilled;
-    }
 }
 
 enum Residence {
@@ -307,8 +411,6 @@ struct Shard {
     entries: EntryMap,
     /// Coldest-first spill ordering over the keys with `Memory` residence.
     lru: LruList<u64>,
-    /// Monotonic counters owned by this shard (aggregated by `stats`).
-    stats: StoreStats,
     /// Recycled entry buffers: steady-state puts allocate nothing.
     pool: Vec<Vec<u8>>,
     /// Clone of the cleaner channel (kept per shard so no shared `Sender`
@@ -430,10 +532,10 @@ struct StoreCore {
     read_file: Option<Mutex<File>>,
     /// Completed writes, published by the writer after each batch.
     done: Mutex<Vec<Completion>>,
-    /// Coalesced batches committed by the writer.
-    spill_batches: AtomicU64,
-    /// Compaction passes completed by the writer.
-    gc_runs: AtomicU64,
+    /// Counters, latency histograms, and the event ring. Counters are
+    /// striped by shard index and are the statistics of record behind
+    /// [`StoreStats`]; sampling obeys [`StoreConfig::telemetry`].
+    tel: Telemetry,
     /// Current spill-file length (the writer's allocation cursor).
     spill_file_bytes: AtomicU64,
     /// Bytes on the spill file belonging to removed/replaced entries.
@@ -489,13 +591,18 @@ impl CompressedStore {
                 Padded(Mutex::new(Shard {
                     entries: EntryMap::default(),
                     lru: LruList::new(),
-                    stats: StoreStats::default(),
                     pool: Vec::new(),
                     tx: tx.clone(),
                 }))
             })
             .collect();
         drop(tx);
+        let tel = Telemetry::with_options(
+            STORE_TELEMETRY,
+            nshards,
+            cc_telemetry::DEFAULT_RING_CAPACITY,
+            cfg.telemetry,
+        );
         let core = Arc::new(StoreCore {
             cfg,
             shards,
@@ -505,8 +612,7 @@ impl CompressedStore {
             next_gen: AtomicU64::new(0),
             read_file,
             done: Mutex::new(Vec::new()),
-            spill_batches: AtomicU64::new(0),
-            gc_runs: AtomicU64::new(0),
+            tel,
             spill_file_bytes: AtomicU64::new(0),
             spill_dead_bytes: AtomicU64::new(0),
         });
@@ -589,6 +695,39 @@ impl CompressedStore {
         self.core.stats()
     }
 
+    /// The store's telemetry instance: striped counters, per-operation
+    /// latency histograms (`put`, `get_memory`, `get_same_filled`,
+    /// `get_spill`, `spill_write`, `spill_read`, `gc_pause`), and the
+    /// structured event ring.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.core.tel
+    }
+
+    /// A full telemetry snapshot — counter sums, latency summaries,
+    /// event counts, the ring window since the last snapshot — with the
+    /// store's byte gauges attached. Feed it to
+    /// [`cc_telemetry::Snapshot::to_json`], `to_prometheus`, or
+    /// `render_text`, or hand a closure over it to
+    /// [`cc_telemetry::Exporter::spawn`].
+    pub fn telemetry_snapshot(&self) -> cc_telemetry::Snapshot {
+        self.core.absorb_completed_spills();
+        self.core
+            .tel
+            .snapshot()
+            .gauge(
+                "resident_bytes",
+                self.core.resident.load(Ordering::Relaxed) as u64,
+            )
+            .gauge(
+                "bytes_on_spill",
+                self.core.spill_file_bytes.load(Ordering::Relaxed),
+            )
+            .gauge(
+                "spill_dead_bytes",
+                self.core.spill_dead_bytes.load(Ordering::Relaxed),
+            )
+    }
+
     /// Block until the cleaner has drained all pending spills (tests and
     /// orderly shutdown). Entries sitting in a partially-filled batch are
     /// committed by the writer's bounded linger, so this terminates even
@@ -645,7 +784,27 @@ impl StoreCore {
         self.read_file.is_some()
     }
 
+    /// Start a latency sample iff sampling is enabled — the hot paths
+    /// never call the clock when telemetry is off.
+    #[inline]
+    fn sample_start(&self) -> Option<Instant> {
+        if self.tel.timing_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Finish a latency sample started by [`StoreCore::sample_start`].
+    #[inline]
+    fn sample_end(&self, op: usize, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.tel.record(op, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
     fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
+        let t0 = self.sample_start();
         // Fix the page size (or reject a mismatch) before compressing.
         match self
             .page_size
@@ -665,9 +824,9 @@ impl StoreCore {
         // compressor, the budget, or the buffer pool — the pattern *is*
         // the stored form.
         if let Some(pattern) = same_filled_pattern(page) {
-            let mut shard = self.shard(key);
+            let shard_idx = self.shard_index(key);
+            let mut shard = self.shards[shard_idx].0.lock().expect("shard poisoned");
             self.remove_locked(&mut shard, key);
-            shard.stats.same_filled += 1;
             shard.entries.insert(
                 key,
                 Entry {
@@ -675,6 +834,12 @@ impl StoreCore {
                     orig_len: page.len() as u32,
                 },
             );
+            drop(shard);
+            self.tel.count(shard_idx, tstat::SAME_FILLED, 1);
+            if self.tel.timing_enabled() {
+                self.tel.event(tevent::SAME_FILLED, key, pattern);
+            }
+            self.sample_end(top::PUT, t0);
             return Ok(());
         }
 
@@ -698,9 +863,12 @@ impl StoreCore {
         let mut shard = self.shard(key);
         self.remove_locked(&mut shard, key);
         if raw {
-            shard.stats.stored_raw += 1;
+            self.tel.count(shard_idx, tstat::STORED_RAW, 1);
+            if self.tel.timing_enabled() {
+                self.tel.event(tevent::THRESHOLD_REJECT, key, len as u64);
+            }
         } else {
-            shard.stats.compressed += 1;
+            self.tel.count(shard_idx, tstat::COMPRESSED, 1);
         }
 
         // Reserve budget for the new entry before publishing it. The CAS
@@ -750,7 +918,7 @@ impl StoreCore {
                 // Straight-to-spill path (see above): never resident.
                 let data = Arc::new(compressed.to_vec());
                 let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
-                shard.stats.spilled += 1;
+                self.tel.count(shard_idx, tstat::SPILLED, 1);
                 let tx = shard.tx.as_ref().expect("no-spill store cannot bypass");
                 tx.send(SpillJob {
                     key,
@@ -768,18 +936,23 @@ impl StoreCore {
                 orig_len: page.len() as u32,
             },
         );
+        drop(shard);
+        self.sample_end(top::PUT, t0);
         Ok(())
     }
 
     fn get(&self, key: u64, out: &mut [u8]) -> Result<Option<HitTier>, StoreError> {
         self.absorb_completed_spills();
+        let t0 = self.sample_start();
+        let shard_idx = self.shard_index(key);
         // The loop retries a disk hit whose extent was replaced or
         // relocated by GC while the read was in flight; every other arm
         // returns on the first pass.
         loop {
-            let mut shard = self.shard(key);
+            let mut shard = self.shards[shard_idx].0.lock().expect("shard poisoned");
             let Some(entry) = shard.entries.get(&key) else {
-                shard.stats.misses += 1;
+                drop(shard);
+                self.tel.count(shard_idx, tstat::MISSES, 1);
                 return Ok(None);
             };
             let orig_len = entry.orig_len as usize;
@@ -792,9 +965,10 @@ impl StoreCore {
             match &entry.residence {
                 Residence::SameFilled { pattern } => {
                     let pattern = *pattern;
-                    shard.stats.hits_memory += 1;
                     drop(shard);
                     expand_same_filled(out, pattern);
+                    self.tel.count(shard_idx, tstat::HITS_MEMORY, 1);
+                    self.sample_end(top::GET_SAME_FILLED, t0);
                     return Ok(Some(HitTier::SameFilled));
                 }
                 Residence::Memory { data, handle } => {
@@ -807,27 +981,31 @@ impl StoreCore {
                         s.stage.extend_from_slice(data);
                     });
                     shard.lru.touch(handle);
-                    shard.stats.hits_memory += 1;
                     drop(shard);
                     self.decompress_staged(orig_len, out);
+                    self.tel.count(shard_idx, tstat::HITS_MEMORY, 1);
+                    self.sample_end(top::GET_MEMORY, t0);
                     return Ok(Some(HitTier::Memory));
                 }
                 Residence::Spilling { data, .. } => {
                     let data = Arc::clone(data);
-                    shard.stats.hits_memory += 1;
                     drop(shard);
                     self.decompress_into(&data, orig_len, out);
+                    self.tel.count(shard_idx, tstat::HITS_MEMORY, 1);
+                    self.sample_end(top::GET_MEMORY, t0);
                     return Ok(Some(HitTier::Memory));
                 }
                 Residence::Spilled { offset, len, gen } => {
                     let (offset, len, gen) = (*offset, *len, *gen);
                     drop(shard);
+                    let rt0 = self.sample_start();
                     let io = self.read_spill(offset, len);
+                    self.sample_end(top::SPILL_READ, rt0);
                     // Validate after the read: if the entry still names
                     // this exact extent, GC cannot have clobbered it (it
                     // republishes an extent, under this shard's lock,
                     // before any byte of its old home is overwritten).
-                    let mut shard = self.shard(key);
+                    let shard = self.shards[shard_idx].0.lock().expect("shard poisoned");
                     let valid = matches!(
                         shard.entries.get(&key).map(|e| &e.residence),
                         Some(Residence::Spilled {
@@ -836,13 +1014,14 @@ impl StoreCore {
                             gen: g
                         }) if *o == offset && *l == len && *g == gen
                     );
+                    drop(shard);
                     if !valid {
                         continue;
                     }
-                    shard.stats.hits_spill += 1;
-                    drop(shard);
+                    self.tel.count(shard_idx, tstat::HITS_SPILL, 1);
                     io?;
                     self.decompress_staged(orig_len, out);
+                    self.sample_end(top::GET_SPILL, t0);
                     return Ok(Some(HitTier::Spill));
                 }
             }
@@ -851,18 +1030,24 @@ impl StoreCore {
 
     fn stats(&self) -> StoreStats {
         self.absorb_completed_spills();
-        let mut total = StoreStats::default();
-        for s in &self.shards {
-            total.absorb(&s.0.lock().expect("shard poisoned").stats);
-        }
         let resident = self.resident.load(Ordering::Relaxed) as u64;
-        total.resident_bytes = resident;
-        total.memory_bytes = resident;
-        total.spill_batches = self.spill_batches.load(Ordering::Relaxed);
-        total.gc_runs = self.gc_runs.load(Ordering::Relaxed);
-        total.bytes_on_spill = self.spill_file_bytes.load(Ordering::Relaxed);
-        total.spill_dead_bytes = self.spill_dead_bytes.load(Ordering::Relaxed);
-        total
+        StoreStats {
+            compressed: self.tel.counter_sum(tstat::COMPRESSED),
+            stored_raw: self.tel.counter_sum(tstat::STORED_RAW),
+            same_filled: self.tel.counter_sum(tstat::SAME_FILLED),
+            hits_memory: self.tel.counter_sum(tstat::HITS_MEMORY),
+            hits_spill: self.tel.counter_sum(tstat::HITS_SPILL),
+            misses: self.tel.counter_sum(tstat::MISSES),
+            spilled: self.tel.counter_sum(tstat::SPILLED),
+            spill_batches: self.tel.counter_sum(tstat::SPILL_BATCHES),
+            gc_runs: self.tel.counter_sum(tstat::GC_RUNS),
+            gc_bytes_relocated: self.tel.counter_sum(tstat::GC_BYTES_RELOCATED),
+            gc_pause_max_ns: self.tel.op_summary(top::GC_PAUSE).max,
+            bytes_on_spill: self.spill_file_bytes.load(Ordering::Relaxed),
+            spill_dead_bytes: self.spill_dead_bytes.load(Ordering::Relaxed),
+            memory_bytes: resident,
+            resident_bytes: resident,
+        }
     }
 
     /// Read `len` bytes at `offset` into this thread's staging buffer.
@@ -993,13 +1178,17 @@ impl StoreCore {
         };
         shard.lru.remove(handle);
         self.resident.fetch_sub(data.len(), Ordering::Relaxed);
-        shard.stats.spilled += 1;
+        let len = data.len() as u64;
         tx.send(SpillJob {
             key: victim,
             gen,
             data,
         })
         .expect("cleaner thread died");
+        self.tel.count(self.shard_index(victim), tstat::SPILLED, 1);
+        if self.tel.timing_enabled() {
+            self.tel.event(tevent::EVICT, victim, len);
+        }
         true
     }
 
@@ -1171,6 +1360,9 @@ impl SpillWriter {
     /// whole batch is on the file.
     fn commit_batch(&mut self, buf: &[u8], staged: &[StagedJob]) {
         let base = self.cursor;
+        // Always timed: this thread is off the data path, and the write
+        // histogram is what the bench gates sanity-check.
+        let t0 = Instant::now();
         let ok = self.file.seek(SeekFrom::Start(base)).is_ok()
             && self.file.write_all(buf).is_ok()
             && self.file.flush().is_ok();
@@ -1179,7 +1371,13 @@ impl SpillWriter {
             self.core
                 .spill_file_bytes
                 .store(self.cursor, Ordering::Relaxed);
-            self.core.spill_batches.fetch_add(1, Ordering::Relaxed);
+            self.core
+                .tel
+                .record(top::SPILL_WRITE, t0.elapsed().as_nanos() as u64);
+            self.core.tel.count(0, tstat::SPILL_BATCHES, 1);
+            self.core
+                .tel
+                .event(tevent::BATCH_COMMIT, staged.len() as u64, buf.len() as u64);
         }
         let mut done = self.core.done.lock().expect("done list poisoned");
         for j in staged {
@@ -1220,6 +1418,10 @@ impl SpillWriter {
         // publishes — so once this call returns, no other absorber is
         // mid-publish and the snapshot below sees every live extent.
         self.core.absorb_completed_spills();
+        // Pause clock + relocation meter: the paper's cleaner cost, the
+        // modern system's GC stall. Always timed (writer thread).
+        let t0 = Instant::now();
+        let mut moved = 0u64;
         let mut extents: Vec<(u64, u64, u32, u64)> = Vec::new();
         for s in &self.core.shards {
             let guard = s.0.lock().expect("shard poisoned");
@@ -1269,6 +1471,7 @@ impl SpillWriter {
                     }
                     *offset = new_cursor;
                     new_cursor += len as u64;
+                    moved += len as u64;
                 }
                 // Replaced since the snapshot: its bytes are dead, skip.
                 _ => {}
@@ -1289,7 +1492,11 @@ impl SpillWriter {
         self.core
             .spill_file_bytes
             .store(new_cursor, Ordering::Relaxed);
-        self.core.gc_runs.fetch_add(1, Ordering::Relaxed);
+        let pause = t0.elapsed().as_nanos() as u64;
+        self.core.tel.record(top::GC_PAUSE, pause);
+        self.core.tel.count(0, tstat::GC_RUNS, 1);
+        self.core.tel.count(0, tstat::GC_BYTES_RELOCATED, moved);
+        self.core.tel.event(tevent::GC_RUN, moved, pause);
     }
 }
 
@@ -1628,13 +1835,27 @@ mod tests {
             );
             const KEYS: u64 = 24;
             let mut total_spilled_bytes = 0u64;
-            for round in 0..40u64 {
+            let mut last_round = 0u64;
+            // 40 rounds of whole-keyspace replacement normally trigger
+            // several GC passes, but on a loaded host the writer can lag:
+            // queued spill jobs are superseded before they commit, so no
+            // dead bytes strand and the trigger never fires. Flushing
+            // between extra rounds forces the writer to catch up, making
+            // the next round's replaces strand real extents — bounded so
+            // a genuinely broken trigger still fails.
+            for round in 0..200u64 {
                 for k in 0..KEYS {
                     store.put(k, &page((k + round) as u8)).unwrap();
                     total_spilled_bytes += 1024; // rough lower bound per put
                 }
+                last_round = round;
+                if round >= 39 {
+                    store.flush();
+                    if store.stats().gc_runs > 0 {
+                        break;
+                    }
+                }
             }
-            store.flush();
             let s = store.stats();
             assert!(s.gc_runs > 0, "churn never triggered GC: {s:?}");
             // The file must stay near the live working set, far below the
@@ -1649,7 +1870,7 @@ mod tests {
             let mut out = vec![0u8; 4096];
             for k in 0..KEYS {
                 assert!(store.get(k, &mut out).unwrap(), "key {k} lost");
-                assert_eq!(out, page((k + 39) as u8), "key {k} corrupted");
+                assert_eq!(out, page((k + last_round) as u8), "key {k} corrupted");
             }
             // The on-disk file really is the size the gauge reports.
             let fs_len = std::fs::metadata(&path).unwrap().len();
@@ -1661,6 +1882,71 @@ mod tests {
             );
         }
         cleanup(dir, path);
+    }
+
+    #[test]
+    fn telemetry_snapshot_covers_tiers_and_events() {
+        let (dir, path) = temp_path("tel");
+        {
+            let store = CompressedStore::new(
+                StoreConfig::with_spill(8 * 1024, &path).with_spill_batch_bytes(2 * 1024),
+            );
+            for k in 0..64u64 {
+                store.put(k, &page(k as u8)).unwrap();
+            }
+            store.put(100, &vec![0u8; 4096]).unwrap();
+            store.flush();
+            let mut out = vec![0u8; 4096];
+            for k in 0..64u64 {
+                assert!(store.get(k, &mut out).unwrap());
+            }
+            assert_eq!(
+                store.get_tier(100, &mut out).unwrap(),
+                Some(HitTier::SameFilled)
+            );
+            assert!(!store.get(999, &mut out).unwrap());
+
+            let snap = store.telemetry_snapshot();
+            assert_eq!(snap.counter("compressed"), Some(64));
+            assert_eq!(snap.counter("same_filled"), Some(1));
+            assert_eq!(snap.counter("misses"), Some(1));
+            assert_eq!(snap.op("put").unwrap().count, 65);
+            assert!(snap.op("get_memory").unwrap().count > 0);
+            assert_eq!(snap.op("get_same_filled").unwrap().count, 1);
+            assert!(snap.op("get_spill").unwrap().count > 0, "{snap:?}");
+            assert!(snap.op("spill_write").unwrap().count > 0);
+            assert!(snap.op("spill_read").unwrap().count > 0);
+            assert!(snap.event_count("batch_commit").unwrap() > 0);
+            assert!(snap.event_count("evict").unwrap() > 0);
+            assert!(!snap.recent.is_empty());
+            let g = snap.op("get_spill").unwrap();
+            assert!(g.p50 <= g.p99 && g.p99 <= g.max, "{g:?}");
+            assert!(snap.gauges.iter().any(|(n, _)| *n == "bytes_on_spill"));
+            // Stats and telemetry are the same counters, not two books.
+            let s = store.stats();
+            assert_eq!(s.compressed, 64);
+            assert_eq!(s.hits_spill, snap.counter("hits_spill").unwrap());
+        }
+        cleanup(dir, path);
+    }
+
+    #[test]
+    fn telemetry_disabled_keeps_stats_exact() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20).with_telemetry(false));
+        for k in 0..16u64 {
+            store.put(k, &page(k as u8)).unwrap();
+        }
+        let mut out = vec![0u8; 4096];
+        for k in 0..16u64 {
+            assert!(store.get(k, &mut out).unwrap());
+        }
+        let s = store.stats();
+        assert_eq!(s.compressed, 16);
+        assert_eq!(s.hits_memory, 16);
+        let snap = store.telemetry_snapshot();
+        assert_eq!(snap.op("put").unwrap().count, 0, "sampling must be off");
+        assert_eq!(snap.counter("compressed"), Some(16), "counters stay live");
+        assert_eq!(snap.event_count("evict"), Some(0));
     }
 
     #[test]

@@ -274,6 +274,24 @@ fn stress_gc_churn_with_same_filled() {
         assert!(s.spilled > 0, "GC stress never spilled: {s:?}");
         assert!(s.gc_runs > 0, "GC never ran under replace churn: {s:?}");
         assert!(s.same_filled > 0, "same-filled path unexercised: {s:?}");
+        // GC detail telemetry: under this much replace churn compaction
+        // must physically move live extents, and every pass is timed.
+        assert!(
+            s.gc_bytes_relocated > 0,
+            "GC ran but relocated no bytes: {s:?}"
+        );
+        assert!(s.gc_pause_max_ns > 0, "GC pauses went unmeasured: {s:?}");
+        // One pause sample per completed GC pass. `>=` rather than `==`:
+        // the writer may legally finish one more pass between the two
+        // reads.
+        let gc_pause = store.telemetry_snapshot().op("gc_pause").unwrap();
+        assert!(
+            gc_pause.count >= s.gc_runs,
+            "pause samples ({}) < GC runs ({})",
+            gc_pause.count,
+            s.gc_runs
+        );
+        assert!(gc_pause.max >= s.gc_pause_max_ns);
         // The file stays bounded by the live working set: thousands of
         // replace-spills flowed through it (several × KEYS × PAGE bytes),
         // so without reclamation it would dwarf the key space. With GC it

@@ -2,6 +2,7 @@
 
 use cc_core::CoreStats;
 use cc_disk::DiskStats;
+use cc_telemetry::HistSummary;
 use cc_util::{fmt, Ns};
 use cc_vm::VmStats;
 
@@ -86,6 +87,10 @@ pub struct SystemReport {
     pub cc_peak_mb: f64,
     /// Time stalled on in-flight cleaner writes, seconds.
     pub write_stall_secs: f64,
+    /// Per-fault-class virtual-time latency summaries (`fault_zero_fill`,
+    /// `fault_cc`, `fault_std`), populated by `System::report` from its
+    /// telemetry histograms; empty when a run had no faults of any class.
+    pub fault_latency: Vec<(String, HistSummary)>,
 }
 
 impl SystemReport {
@@ -125,6 +130,7 @@ impl SystemReport {
             cc_mean_mb: sys.cc_mean_frames() * page_bytes as f64 / (1024.0 * 1024.0),
             cc_peak_mb: sys.cc_size_peak as f64 * page_bytes as f64 / (1024.0 * 1024.0),
             write_stall_secs: core.write_stall.as_secs_f64(),
+            fault_latency: Vec::new(),
         }
     }
 
@@ -162,6 +168,16 @@ impl SystemReport {
             out.push_str(&format!(
                 "  cache size: mean {:.1}MB, peak {:.1}MB; write stalls {:.2}s\n",
                 self.cc_mean_mb, self.cc_peak_mb, self.write_stall_secs
+            ));
+        }
+        for (name, s) in &self.fault_latency {
+            out.push_str(&format!(
+                "  {name}: {} faults, p50 {}, p90 {}, p99 {}, max {} (virtual)\n",
+                s.count,
+                fmt::ns(s.p50),
+                fmt::ns(s.p90),
+                fmt::ns(s.p99),
+                fmt::ns(s.max)
             ));
         }
         out

@@ -11,11 +11,31 @@ use cc_core::{
 };
 use cc_disk::{Completion, Disk, DiskStats};
 use cc_mem::{FrameId, FrameOwner, FramePool};
+use cc_telemetry::{Telemetry, TelemetrySpec};
 use cc_util::Ns;
 use cc_vm::{AccessResult, FaultKind, SegId, Vm, VmStats};
 
 use crate::config::{CodecKind, Mode, SimConfig};
 use crate::stats::{SystemReport, SystemStats};
+
+/// Timed-operation indices for the simulator's telemetry: fault service
+/// latency per fault class, in **virtual** nanoseconds (clock deltas
+/// across `service_fault`, so they are exactly the latencies a paper
+/// Table 2/3-style breakdown wants, deterministic across runs).
+mod top {
+    pub const FAULT_ZERO_FILL: usize = 0;
+    pub const FAULT_CC: usize = 1;
+    pub const FAULT_STD: usize = 2;
+    pub const NAMES: &[&str] = &["fault_zero_fill", "fault_cc", "fault_std"];
+}
+
+/// The simulator's telemetry layout: latency histograms only (the
+/// simulator's counters live in [`SystemStats`] and the substrates).
+const SIM_TELEMETRY: TelemetrySpec = TelemetrySpec {
+    counters: &[],
+    ops: top::NAMES,
+    events: &[],
+};
 
 /// Page-key namespace for compressed file-cache blocks (§6 extension):
 /// the high bit of the segment id distinguishes them from VM pages so the
@@ -77,6 +97,8 @@ pub struct System {
     cc_swap: Option<FileId>,
     std_swap: HashMap<SegId, FileId>,
     stats: SystemStats,
+    /// Virtual-time fault-latency histograms (see [`SIM_TELEMETRY`]).
+    tel: Telemetry,
     adaptive: AdaptiveState,
     page_scratch: Vec<u8>,
     /// Total virtual pages over all created segments (overhead report).
@@ -142,6 +164,7 @@ impl System {
             cc_swap,
             std_swap: HashMap::new(),
             stats: SystemStats::default(),
+            tel: Telemetry::new(SIM_TELEMETRY, 1),
             adaptive: AdaptiveState::default(),
             page_scratch: vec![0u8; page_bytes],
             vm_total_pages: 0,
@@ -431,9 +454,25 @@ impl System {
         ))
     }
 
+    /// The simulator's telemetry: per-fault-class virtual-time latency
+    /// histograms (`fault_zero_fill`, `fault_cc`, `fault_std`).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// A telemetry snapshot with the frame-split gauges attached.
+    pub fn telemetry_snapshot(&self) -> cc_telemetry::Snapshot {
+        let counts = self.pool.counts();
+        self.tel
+            .snapshot()
+            .gauge("frames_vm", counts.vm as u64)
+            .gauge("frames_file_cache", counts.file_cache as u64)
+            .gauge("frames_compression_cache", counts.compression_cache as u64)
+    }
+
     /// Assemble the end-of-run report.
     pub fn report(&self) -> SystemReport {
-        SystemReport::assemble(
+        let mut report = SystemReport::assemble(
             match self.cfg.mode {
                 Mode::Std => "std",
                 Mode::Cc => "cc",
@@ -444,7 +483,14 @@ impl System {
             self.vm.stats(),
             self.fs.disk().stats(),
             self.core_stats(),
-        )
+        );
+        report.fault_latency = top::NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n.to_string(), self.tel.op_summary(i)))
+            .filter(|(_, s)| s.count > 0)
+            .collect();
+        report
     }
 
     /// Cross-structure consistency check (tests).
@@ -487,10 +533,18 @@ impl System {
     }
 
     fn service_fault(&mut self, vp: cc_vm::VPage, kind: FaultKind) -> FrameId {
+        let fault_start = self.clock;
         self.clock += self.cfg.fault_overhead;
         self.stats.fault_overhead_time += self.cfg.fault_overhead;
         self.ensure_free_frame();
 
+        let op = match kind {
+            FaultKind::ZeroFill => top::FAULT_ZERO_FILL,
+            FaultKind::Compressed | FaultKind::Swapped => match self.cfg.mode {
+                Mode::Cc => top::FAULT_CC,
+                Mode::Std => top::FAULT_STD,
+            },
+        };
         let frame = match kind {
             FaultKind::ZeroFill => {
                 let frame = self
@@ -513,6 +567,9 @@ impl System {
 
         self.cleaner_tick();
         self.sample_cc_size();
+        // Virtual time the faulting access waited, arbiter and cleaner
+        // work included — the number a Table 2/3 breakdown measures.
+        self.tel.record(op, (self.clock - fault_start).0);
         frame
     }
 

@@ -304,6 +304,37 @@ fn report_renders() {
     assert!(r.compress_attempts > 0);
     let text = r.render();
     assert!(text.contains("compression:"));
+    // Writing 4 MB through a 2 MB machine zero-fill-faults every page and
+    // cc-faults the reclaimed ones; both classes must be measured.
+    let zf = r
+        .fault_latency
+        .iter()
+        .find(|(n, _)| n == "fault_zero_fill")
+        .expect("zero-fill latency summary missing");
+    assert_eq!(zf.1.count, r.faults_zero_fill);
+    assert!(zf.1.p50 > 0 && zf.1.p50 <= zf.1.max, "{:?}", zf.1);
+    assert!(text.contains("fault_zero_fill:"), "render omits latencies");
+}
+
+#[test]
+fn fault_latencies_are_virtual_time_and_deterministic() {
+    let run = || {
+        let mut sys = small_system(Mode::Cc, 2);
+        let seg = sys.create_segment(5 * MB as u64);
+        for p in 0..(5 * MB as u64 / 4096) {
+            sys.write_u32(seg, p * 4096, p as u32);
+        }
+        for p in 0..(5 * MB as u64 / 4096) {
+            assert_eq!(sys.read_u32(seg, p * 4096), p as u32);
+        }
+        let snap = sys.telemetry_snapshot();
+        let cc = snap.op("fault_cc").unwrap();
+        (cc.count, cc.p50, cc.p99, cc.max)
+    };
+    let a = run();
+    assert!(a.0 > 0, "sweep past memory never cc-faulted: {a:?}");
+    // Virtual-time samples: a re-run is bit-identical, unlike wall time.
+    assert_eq!(a, run(), "virtual-time latencies must be reproducible");
 }
 
 #[test]

@@ -1,0 +1,178 @@
+//! Lock-free latency histograms.
+//!
+//! An [`AtomicHistogram`] is the wait-free mirror of
+//! [`cc_util::Histogram`]: the same log2 + 8-linear-sub-buckets layout
+//! (±12.5% resolution), but every bucket is an `AtomicU64` in a
+//! fixed-size array, so recording from any thread is one relaxed
+//! `fetch_add` with no allocation and no lock — cheap enough for the
+//! store's put/get hot path. Reading converts back into a plain
+//! [`cc_util::Histogram`] (via `Histogram::from_raw`) for quantiles.
+
+use cc_util::hist::{bucket_index, BUCKETS};
+use cc_util::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size, allocation-free, thread-safe histogram of `u64` samples
+/// (latencies in nanoseconds, byte counts, ...).
+///
+/// Concurrent `record`s never block; a concurrent snapshot may miss
+/// in-flight samples but never tears an individual bucket.
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Create an empty histogram (buckets allocated once, up front).
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Wait-free: four relaxed RMWs, no allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded so far (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Convert to a plain [`Histogram`] for quantile math. Taken with
+    /// relaxed loads: concurrent writers may leave the copy a few
+    /// samples behind, but no bucket is ever torn.
+    pub fn to_histogram(&self) -> Histogram {
+        let raw: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive the count from the copied buckets so count and buckets
+        // agree exactly (quantile ranks index into these buckets).
+        let count: u64 = raw.iter().sum();
+        Histogram::from_raw(
+            &raw,
+            count,
+            self.sum.load(Ordering::Relaxed) as u128,
+            self.min.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The percentile summary exported in snapshots.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary::from_histogram(&self.to_histogram())
+    }
+}
+
+/// Percentile summary of a histogram: what the JSON/Prometheus exporters
+/// and the bench gates consume.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median (lower bucket bound).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl HistSummary {
+    /// Summarize a plain histogram.
+    pub fn from_histogram(h: &Histogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            p50: h.quantile(0.50),
+            p90: h.quantile(0.90),
+            p99: h.quantile(0.99),
+            max: if h.count() == 0 { 0 } else { h.max() },
+            mean: h.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn matches_plain_histogram() {
+        let a = AtomicHistogram::new();
+        let mut p = Histogram::new();
+        let mut rng = cc_util::SplitMix64::new(42);
+        for _ in 0..20_000 {
+            let v = rng.gen_range(5_000_000);
+            a.record(v);
+            p.record(v);
+        }
+        let snap = a.to_histogram();
+        assert_eq!(snap.count(), p.count());
+        assert_eq!(snap.sum(), p.sum());
+        for &q in &[0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), p.quantile(q), "q={q}");
+        }
+        let s = a.summary();
+        assert_eq!(s.count, 20_000);
+        assert_eq!(s.p50, p.quantile(0.5));
+        assert_eq!(s.max, p.max());
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = AtomicHistogram::new().summary();
+        assert_eq!(s, HistSummary::default());
+    }
+
+    #[test]
+    fn concurrent_records_count_exactly() {
+        let h = Arc::new(AtomicHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    h.record(t * 1000 + i);
+                }
+            }));
+        }
+        for th in handles {
+            th.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        let snap = h.to_histogram();
+        assert_eq!(snap.count(), 40_000);
+        assert_eq!(snap.max(), 7 * 1000 + 4999);
+    }
+}

@@ -1,0 +1,248 @@
+//! A lock-free bounded MPMC event ring with drop counting.
+//!
+//! Structured events (batch committed, GC run, eviction, ...) are pushed
+//! from any thread with a Vyukov-style bounded-queue protocol: a producer
+//! claims a slot by CAS on the enqueue position, writes the payload, and
+//! publishes it by storing the slot's sequence stamp with `Release`; a
+//! consumer only reads a payload after an `Acquire` load of the stamp
+//! shows it published, so events are never observed torn. When the ring
+//! is full the push is *dropped and counted* rather than blocking or
+//! overwriting — telemetry must never stall the data path, and an
+//! accurate drop count tells the reader exactly how lossy the window was.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A structured telemetry event.
+///
+/// `seq` is the global claim order of successful pushes: dequeue order is
+/// strictly increasing in `seq`, and gaps never appear (dropped pushes do
+/// not consume a sequence number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the global push order.
+    pub seq: u64,
+    /// Event kind, an index into the owner's event-name table.
+    pub kind: u32,
+    /// First payload word (meaning depends on `kind`).
+    pub a: u64,
+    /// Second payload word (meaning depends on `kind`).
+    pub b: u64,
+}
+
+/// One ring slot: payload plus the Vyukov sequence stamp that hands the
+/// slot back and forth between producers and consumers.
+struct Slot {
+    /// `pos` = free for the producer claiming position `pos`;
+    /// `pos + 1` = published, readable by the consumer at `pos`;
+    /// `pos + capacity` = consumed, free for the next lap's producer.
+    stamp: AtomicU64,
+    kind: AtomicU32,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// Cache-line padding for the hot positions so producers and consumers
+/// do not false-share.
+#[repr(align(128))]
+struct Padded(AtomicU64);
+
+/// The bounded lock-free event ring. See the module docs for the
+/// protocol and loss semantics.
+pub struct EventRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    /// Enqueue position (doubles as the next sequence number).
+    head: Padded,
+    /// Dequeue position.
+    tail: Padded,
+    /// Pushes rejected because the ring was full.
+    dropped: Padded,
+    /// Pushes accepted.
+    recorded: Padded,
+}
+
+impl EventRing {
+    /// Create a ring holding `capacity` events (rounded up to a power of
+    /// two, at least 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|i| Slot {
+                stamp: AtomicU64::new(i as u64),
+                kind: AtomicU32::new(0),
+                a: AtomicU64::new(0),
+                b: AtomicU64::new(0),
+            })
+            .collect();
+        EventRing {
+            slots,
+            mask: cap as u64 - 1,
+            head: Padded(AtomicU64::new(0)),
+            tail: Padded(AtomicU64::new(0)),
+            dropped: Padded(AtomicU64::new(0)),
+            recorded: Padded(AtomicU64::new(0)),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pushes rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.0.load(Ordering::Relaxed)
+    }
+
+    /// Pushes accepted (equals drained events + events still queued).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.0.load(Ordering::Relaxed)
+    }
+
+    /// Try to push an event. Returns its sequence number, or `None` (and
+    /// bumps the drop counter) if the ring is full. Lock-free: never
+    /// blocks, never overwrites an unconsumed event.
+    pub fn push(&self, kind: u32, a: u64, b: u64) -> Option<u64> {
+        let mut pos = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == pos {
+                // Slot free for this position: claim it.
+                match self.head.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        slot.kind.store(kind, Ordering::Relaxed);
+                        slot.a.store(a, Ordering::Relaxed);
+                        slot.b.store(b, Ordering::Relaxed);
+                        // Publish: consumers acquire this stamp before
+                        // touching the payload, so it is never torn.
+                        slot.stamp.store(pos + 1, Ordering::Release);
+                        self.recorded.0.fetch_add(1, Ordering::Relaxed);
+                        return Some(pos);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (stamp.wrapping_sub(pos) as i64) < 0 {
+                // Slot still holds last lap's unconsumed event: full.
+                self.dropped.0.fetch_add(1, Ordering::Relaxed);
+                return None;
+            } else {
+                // Another producer claimed this position; chase the head.
+                pos = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop the oldest event, if any.
+    pub fn pop(&self) -> Option<Event> {
+        let mut pos = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let stamp = slot.stamp.load(Ordering::Acquire);
+            if stamp == pos + 1 {
+                // Published event at this position: claim it.
+                match self.tail.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let ev = Event {
+                            seq: pos,
+                            kind: slot.kind.load(Ordering::Relaxed),
+                            a: slot.a.load(Ordering::Relaxed),
+                            b: slot.b.load(Ordering::Relaxed),
+                        };
+                        // Hand the slot to the next lap's producer.
+                        slot.stamp
+                            .store(pos + self.slots.len() as u64, Ordering::Release);
+                        return Some(ev);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if (stamp.wrapping_sub(pos + 1) as i64) < 0 {
+                // Nothing published at this position yet: empty.
+                return None;
+            } else {
+                // Another consumer claimed this position; chase the tail.
+                pos = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain everything currently queued into `into`, in sequence order.
+    pub fn drain(&self, into: &mut Vec<Event>) {
+        while let Some(ev) = self.pop() {
+            into.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_payload() {
+        let ring = EventRing::new(8);
+        assert_eq!(ring.push(1, 10, 11), Some(0));
+        assert_eq!(ring.push(2, 20, 21), Some(1));
+        let e0 = ring.pop().unwrap();
+        assert_eq!((e0.seq, e0.kind, e0.a, e0.b), (0, 1, 10, 11));
+        let e1 = ring.pop().unwrap();
+        assert_eq!((e1.seq, e1.kind, e1.a, e1.b), (1, 2, 20, 21));
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let ring = EventRing::new(4);
+        for i in 0..4 {
+            assert!(ring.push(0, i, 0).is_some());
+        }
+        for _ in 0..3 {
+            assert!(ring.push(0, 99, 0).is_none());
+        }
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.recorded(), 4);
+        // Draining frees the slots again.
+        let mut out = Vec::new();
+        ring.drain(&mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|e| e.a < 4), "dropped event leaked: {out:?}");
+        assert!(ring.push(0, 5, 0).is_some());
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(EventRing::new(0).capacity(), 2);
+        assert_eq!(EventRing::new(3).capacity(), 4);
+        assert_eq!(EventRing::new(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let ring = EventRing::new(4);
+        let mut expect_seq = 0u64;
+        for lap in 0..100u64 {
+            for i in 0..4u64 {
+                assert_eq!(ring.push(7, lap, i), Some(expect_seq + i));
+            }
+            let mut out = Vec::new();
+            ring.drain(&mut out);
+            assert_eq!(out.len(), 4);
+            for (i, e) in out.iter().enumerate() {
+                assert_eq!(e.seq, expect_seq + i as u64);
+                assert_eq!(e.a, lap);
+            }
+            expect_seq += 4;
+        }
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Point-in-time snapshots and their renderers/exporters.
+//!
+//! A [`Snapshot`] is plain data: counter sums, caller-supplied gauges,
+//! per-operation latency summaries, cumulative event counts, and the
+//! window of events drained from the ring since the previous snapshot.
+//! It renders to hand-rolled JSON (the workspace is dependency-free; no
+//! serde), to the Prometheus text exposition format, and to an aligned
+//! human-readable table. An [`Exporter`] runs a background timer thread
+//! that writes a fresh snapshot to a file or stdout at a fixed interval.
+
+use crate::hist::HistSummary;
+use crate::ring::Event;
+use cc_util::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A point-in-time copy of everything a [`crate::Telemetry`] knows.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counter sums, in bank order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Caller-supplied point-in-time gauges (resident bytes, file size,
+    /// ...), appended after the snapshot is taken.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Per-operation latency summaries (nanoseconds), in op order.
+    pub ops: Vec<(&'static str, HistSummary)>,
+    /// Cumulative per-kind event counts (counted at record time, so they
+    /// include events the ring later dropped).
+    pub events: Vec<(&'static str, u64)>,
+    /// Events drained from the ring by *this* snapshot — the structured
+    /// window since the previous snapshot, oldest first.
+    pub recent: Vec<Event>,
+    /// Ring pushes rejected because the ring was full, cumulative.
+    pub events_dropped: u64,
+    /// Ring pushes accepted, cumulative.
+    pub events_recorded: u64,
+}
+
+impl Snapshot {
+    /// Append a gauge (chainable).
+    pub fn gauge(mut self, name: &'static str, value: u64) -> Self {
+        self.gauges.push((name, value));
+        self
+    }
+
+    /// Look up a counter sum by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up an operation summary by name.
+    pub fn op(&self, name: &str) -> Option<HistSummary> {
+        self.ops.iter().find(|(n, _)| *n == name).map(|&(_, s)| s)
+    }
+
+    /// Look up a cumulative event count by name.
+    pub fn event_count(&self, name: &str) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Render as a JSON object. `indent` is the number of spaces the
+    /// whole object is shifted right by (for embedding in a larger
+    /// hand-rolled document, as `storebench` does).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::from("{\n");
+        let kv = |pairs: &[(&'static str, u64)]| -> String {
+            pairs
+                .iter()
+                .map(|(n, v)| format!("{pad}    \"{n}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        out.push_str(&format!(
+            "{pad}  \"counters\": {{\n{}\n{pad}  }},\n",
+            kv(&self.counters)
+        ));
+        out.push_str(&format!(
+            "{pad}  \"gauges\": {{\n{}\n{pad}  }},\n",
+            kv(&self.gauges)
+        ));
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|(n, s)| {
+                format!(
+                    "{pad}    \"{n}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.0}}}",
+                    s.count, s.p50, s.p90, s.p99, s.max, s.mean
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "{pad}  \"ops\": {{\n{}\n{pad}  }},\n",
+            ops.join(",\n")
+        ));
+        out.push_str(&format!(
+            "{pad}  \"events\": {{\n{}\n{pad}  }},\n",
+            kv(&self.events)
+        ));
+        out.push_str(&format!(
+            "{pad}  \"events_recorded\": {},\n",
+            self.events_recorded
+        ));
+        out.push_str(&format!(
+            "{pad}  \"events_dropped\": {}\n",
+            self.events_dropped
+        ));
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+
+    /// Render in the Prometheus text exposition format. Counter and
+    /// event names become `<prefix>_<name>_total`, gauges
+    /// `<prefix>_<name>`, and each op a `summary` with p50/p90/p99
+    /// quantiles plus `_count` and `_max_ns`.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            out.push_str(&format!("# TYPE {prefix}_{n}_total counter\n"));
+            out.push_str(&format!("{prefix}_{n}_total {v}\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {prefix}_{n} gauge\n"));
+            out.push_str(&format!("{prefix}_{n} {v}\n"));
+        }
+        for (n, s) in &self.ops {
+            out.push_str(&format!("# TYPE {prefix}_{n}_latency_ns summary\n"));
+            for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
+                out.push_str(&format!(
+                    "{prefix}_{n}_latency_ns{{quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!("{prefix}_{n}_latency_ns_count {}\n", s.count));
+            out.push_str(&format!("{prefix}_{n}_latency_ns_max {}\n", s.max));
+        }
+        for (n, v) in &self.events {
+            out.push_str(&format!("# TYPE {prefix}_event_{n}_total counter\n"));
+            out.push_str(&format!("{prefix}_event_{n}_total {v}\n"));
+        }
+        out.push_str(&format!("# TYPE {prefix}_events_dropped_total counter\n"));
+        out.push_str(&format!(
+            "{prefix}_events_dropped_total {}\n",
+            self.events_dropped
+        ));
+        out
+    }
+
+    /// Render as aligned human-readable tables (for example binaries and
+    /// harness stdout).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut count_rows: Vec<Vec<String>> = Vec::new();
+        for (n, v) in self.counters.iter().chain(self.gauges.iter()) {
+            count_rows.push(vec![n.to_string(), v.to_string()]);
+        }
+        if !count_rows.is_empty() {
+            out.push_str(&fmt::table(&["counter", "value"], &count_rows));
+            out.push('\n');
+        }
+        let op_rows: Vec<Vec<String>> = self
+            .ops
+            .iter()
+            .filter(|(_, s)| s.count > 0)
+            .map(|(n, s)| {
+                vec![
+                    n.to_string(),
+                    s.count.to_string(),
+                    fmt::ns(s.p50),
+                    fmt::ns(s.p90),
+                    fmt::ns(s.p99),
+                    fmt::ns(s.max),
+                ]
+            })
+            .collect();
+        if !op_rows.is_empty() {
+            out.push_str(&fmt::table(
+                &["op", "count", "p50", "p90", "p99", "max"],
+                &op_rows,
+            ));
+            out.push('\n');
+        }
+        let ev_rows: Vec<Vec<String>> = self
+            .events
+            .iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(n, v)| vec![n.to_string(), v.to_string()])
+            .collect();
+        if !ev_rows.is_empty() {
+            out.push_str(&fmt::table(&["event", "count"], &ev_rows));
+            out.push_str(&format!(
+                "ring: {} recorded, {} dropped, {} in this window\n",
+                self.events_recorded,
+                self.events_dropped,
+                self.recent.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Where an [`Exporter`] writes each snapshot.
+#[derive(Debug, Clone)]
+pub enum ExportTarget {
+    /// Print to standard output.
+    Stdout,
+    /// Overwrite this file on every tick.
+    File(PathBuf),
+}
+
+/// Which rendering an [`Exporter`] writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// [`Snapshot::to_json`].
+    Json,
+    /// [`Snapshot::to_prometheus`] with the given static prefix.
+    Prometheus(&'static str),
+}
+
+/// A background timer thread exporting snapshots at a fixed interval.
+///
+/// The thread takes a fresh snapshot via the supplied closure (which may
+/// add gauges) and writes it to the target every `interval`; it exports
+/// one final snapshot when stopped or dropped, so short-lived processes
+/// still leave a complete file behind.
+pub struct Exporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// Spawn the exporter thread.
+    pub fn spawn<F>(
+        interval: Duration,
+        target: ExportTarget,
+        format: ExportFormat,
+        snap: F,
+    ) -> Exporter
+    where
+        F: Fn() -> Snapshot + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cc-telemetry-exporter".into())
+            .spawn(move || {
+                let write = |s: &Snapshot| {
+                    let text = match format {
+                        ExportFormat::Json => {
+                            let mut t = s.to_json(0);
+                            t.push('\n');
+                            t
+                        }
+                        ExportFormat::Prometheus(prefix) => s.to_prometheus(prefix),
+                    };
+                    match &target {
+                        ExportTarget::Stdout => {
+                            let mut out = std::io::stdout().lock();
+                            let _ = out.write_all(text.as_bytes());
+                            let _ = out.flush();
+                        }
+                        ExportTarget::File(path) => {
+                            let _ = std::fs::write(path, text.as_bytes());
+                        }
+                    }
+                };
+                // Sleep in short steps so stop() is honoured promptly.
+                const STEP: Duration = Duration::from_millis(10);
+                'run: loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < interval {
+                        if stop2.load(Ordering::Relaxed) {
+                            break 'run;
+                        }
+                        let step = STEP.min(interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    write(&snap());
+                }
+                // Final export so the last state is never lost.
+                write(&snap());
+            })
+            .expect("spawn telemetry exporter");
+        Exporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the thread, export once more, and join.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("puts", 10), ("gets", 20)],
+            gauges: vec![("resident_bytes", 4096)],
+            ops: vec![(
+                "put",
+                HistSummary {
+                    count: 10,
+                    p50: 100,
+                    p90: 200,
+                    p99: 300,
+                    max: 400,
+                    mean: 150.0,
+                },
+            )],
+            events: vec![("gc_run", 2)],
+            recent: vec![Event {
+                seq: 0,
+                kind: 0,
+                a: 1,
+                b: 2,
+            }],
+            events_dropped: 1,
+            events_recorded: 3,
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json(2);
+        assert!(j.contains("\"puts\": 10"), "{j}");
+        assert!(j.contains("\"p99_ns\": 300"), "{j}");
+        assert!(j.contains("\"resident_bytes\": 4096"), "{j}");
+        assert!(j.contains("\"events_dropped\": 1"), "{j}");
+        // Starts as an object and every line of the body is indented.
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("  }"));
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let p = sample().to_prometheus("cc_store");
+        assert!(p.contains("cc_store_puts_total 10"), "{p}");
+        assert!(p.contains("cc_store_resident_bytes 4096"), "{p}");
+        assert!(
+            p.contains("cc_store_put_latency_ns{quantile=\"0.99\"} 300"),
+            "{p}"
+        );
+        assert!(p.contains("cc_store_event_gc_run_total 2"), "{p}");
+        assert!(p.contains("cc_store_events_dropped_total 1"), "{p}");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in p.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn text_render_mentions_everything() {
+        let t = sample().render_text();
+        assert!(t.contains("puts"), "{t}");
+        assert!(t.contains("resident_bytes"), "{t}");
+        assert!(t.contains("gc_run"), "{t}");
+        assert!(t.contains("100ns"), "{t}");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = sample();
+        assert_eq!(s.counter("puts"), Some(10));
+        assert_eq!(s.counter("nope"), None);
+        assert_eq!(s.op("put").unwrap().p50, 100);
+        assert_eq!(s.event_count("gc_run"), Some(2));
+    }
+
+    #[test]
+    fn exporter_writes_file_and_final_snapshot() {
+        let dir = std::env::temp_dir().join(format!("cc-tel-exp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let exporter = Exporter::spawn(
+            Duration::from_millis(20),
+            ExportTarget::File(path.clone()),
+            ExportFormat::Json,
+            sample,
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        exporter.stop();
+        let text = std::fs::read_to_string(&path).expect("exporter wrote file");
+        assert!(text.contains("\"puts\": 10"), "{text}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

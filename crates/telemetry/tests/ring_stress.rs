@@ -1,0 +1,191 @@
+//! The event ring under contention: no torn events, monotone sequence
+//! numbers, and an exactly-reconciled drop count.
+//!
+//! Eight producer threads push self-checking events (the payload carries
+//! a checksum of its own fields) while a consumer drains concurrently;
+//! afterwards every observed event must verify, sequence numbers must be
+//! strictly increasing with no gaps, and `pushed = drained + dropped +
+//! still-queued` must balance to the item.
+
+use cc_telemetry::{Event, EventRing};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Payload checksum: a torn event (fields from two different pushes)
+/// cannot satisfy this relation.
+fn checksum(kind: u32, a: u64) -> u64 {
+    (kind as u64 ^ a).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5_A5A5_A5A5_A5A5
+}
+
+fn verify_events(events: &[Event]) {
+    for e in events {
+        assert_eq!(
+            e.b,
+            checksum(e.kind, e.a),
+            "torn event observed: {e:?} (checksum mismatch)"
+        );
+    }
+    for w in events.windows(2) {
+        assert!(
+            w[0].seq < w[1].seq,
+            "sequence numbers not monotone: {} then {}",
+            w[0].seq,
+            w[1].seq
+        );
+    }
+}
+
+#[test]
+fn eight_thread_contention_with_live_consumer() {
+    const THREADS: u32 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let ring = Arc::new(EventRing::new(256));
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Live consumer drains while producers hammer the ring.
+    let consumer = {
+        let ring = Arc::clone(&ring);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut drained: Vec<Event> = Vec::new();
+            loop {
+                ring.drain(&mut drained);
+                if done.load(Ordering::Relaxed) {
+                    ring.drain(&mut drained);
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            drained
+        })
+    };
+
+    let mut producers = Vec::new();
+    for t in 0..THREADS {
+        let ring = Arc::clone(&ring);
+        producers.push(std::thread::spawn(move || {
+            let mut accepted = 0u64;
+            for i in 0..PER_THREAD {
+                let a = ((t as u64) << 32) | i;
+                if ring.push(t, a, checksum(t, a)).is_some() {
+                    accepted += 1;
+                }
+            }
+            accepted
+        }));
+    }
+    let mut accepted_total = 0u64;
+    for p in producers {
+        accepted_total += p.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let drained = consumer.join().unwrap();
+
+    verify_events(&drained);
+    // Per-producer subsequences arrive in program order (a is monotone
+    // per kind) — a stronger no-reordering check than global seq order.
+    for t in 0..THREADS {
+        let mut last = None;
+        for e in drained.iter().filter(|e| e.kind == t) {
+            assert!(last.is_none_or(|l| l < e.a), "kind {t} reordered");
+            last = Some(e.a);
+        }
+    }
+    let pushed = THREADS as u64 * PER_THREAD;
+    assert_eq!(ring.recorded(), accepted_total, "recorded != CAS-accepted");
+    assert_eq!(
+        ring.recorded() + ring.dropped(),
+        pushed,
+        "every push must be accepted or counted dropped"
+    );
+    assert_eq!(
+        drained.len() as u64,
+        accepted_total,
+        "accepted events lost or duplicated: drained {} of {}",
+        drained.len(),
+        accepted_total
+    );
+}
+
+#[test]
+fn overflow_drop_count_is_exact_without_consumer() {
+    const THREADS: u32 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let ring = Arc::new(EventRing::new(64));
+    let mut producers = Vec::new();
+    for t in 0..THREADS {
+        let ring = Arc::clone(&ring);
+        producers.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                let a = ((t as u64) << 32) | i;
+                ring.push(t, a, checksum(t, a));
+            }
+        }));
+    }
+    for p in producers {
+        p.join().unwrap();
+    }
+    let pushed = THREADS as u64 * PER_THREAD;
+    // Nobody drained: exactly `capacity` events fit, the rest dropped.
+    assert_eq!(ring.recorded(), ring.capacity() as u64);
+    assert_eq!(ring.dropped(), pushed - ring.capacity() as u64);
+    let mut out = Vec::new();
+    ring.drain(&mut out);
+    assert_eq!(out.len(), ring.capacity());
+    verify_events(&out);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of pushes and drains conserves events:
+    /// pushed = drained + dropped + still-queued, every drained event
+    /// verifies, and sequences stay monotone across the whole run.
+    #[test]
+    fn push_drain_interleavings_conserve_events(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                3 => (0u32..4).prop_map(Some),   // push with kind
+                1 => Just(None),                  // drain
+            ],
+            1..400,
+        ),
+        cap in 1usize..40,
+    ) {
+        let ring = EventRing::new(cap);
+        let mut pushed = 0u64;
+        let mut drained: Vec<Event> = Vec::new();
+        let mut payload = 0u64;
+        for op in ops {
+            match op {
+                Some(kind) => {
+                    pushed += 1;
+                    payload += 1;
+                    ring.push(kind, payload, checksum(kind, payload));
+                }
+                None => ring.drain(&mut drained),
+            }
+        }
+        let mut rest = Vec::new();
+        ring.drain(&mut rest);
+        let queued = rest.len() as u64;
+        drained.extend(rest);
+        for e in &drained {
+            prop_assert_eq!(e.b, checksum(e.kind, e.a), "torn: {:?}", e);
+        }
+        for w in drained.windows(2) {
+            prop_assert!(w[0].seq < w[1].seq, "non-monotone seq");
+        }
+        // Sequence numbers are dense: accepted push k has seq k.
+        for (i, e) in drained.iter().enumerate() {
+            prop_assert_eq!(e.seq, i as u64, "gap in sequence numbers");
+        }
+        prop_assert_eq!(
+            pushed,
+            drained.len() as u64 + ring.dropped(),
+            "conservation failed: pushed {} drained {} dropped {} (queued at end {})",
+            pushed, drained.len(), ring.dropped(), queued
+        );
+    }
+}

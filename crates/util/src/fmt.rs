@@ -37,6 +37,29 @@ pub fn min_sec(secs: f64) -> String {
     format!("{}:{:02}", total / 60, total % 60)
 }
 
+/// Format a nanosecond count with an auto-scaled unit (`ns`, `us`, `ms`,
+/// `s`), keeping three significant-ish digits.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cc_util::fmt::ns(311), "311ns");
+/// assert_eq!(cc_util::fmt::ns(3_797), "3.8us");
+/// assert_eq!(cc_util::fmt::ns(12_400_000), "12.4ms");
+/// assert_eq!(cc_util::fmt::ns(2_500_000_000), "2.50s");
+/// ```
+pub fn ns(n: u64) -> String {
+    if n < 1_000 {
+        format!("{n}ns")
+    } else if n < 1_000_000 {
+        format!("{:.1}us", n as f64 / 1e3)
+    } else if n < 1_000_000_000 {
+        format!("{:.1}ms", n as f64 / 1e6)
+    } else {
+        format!("{:.2}s", n as f64 / 1e9)
+    }
+}
+
 /// Format a ratio as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
@@ -114,6 +137,17 @@ mod tests {
         assert_eq!(min_sec(974.0), "16:14");
         assert_eq!(min_sec(0.0), "0:00");
         assert_eq!(min_sec(3599.9), "60:00");
+    }
+
+    #[test]
+    fn ns_units() {
+        assert_eq!(ns(0), "0ns");
+        assert_eq!(ns(999), "999ns");
+        assert_eq!(ns(1_000), "1.0us");
+        assert_eq!(ns(999_949), "999.9us");
+        assert_eq!(ns(52_000), "52.0us");
+        assert_eq!(ns(1_500_000), "1.5ms");
+        assert_eq!(ns(60_000_000_000), "60.00s");
     }
 
     #[test]

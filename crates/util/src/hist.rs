@@ -36,6 +36,48 @@ pub struct Histogram {
 const SUB_BITS: u32 = 3;
 const SUB: usize = 1 << SUB_BITS;
 
+/// Number of buckets in the shared log2 + 8-linear-sub-buckets scheme.
+///
+/// Exposed so lock-free mirrors of [`Histogram`] (the telemetry crate's
+/// atomic histogram) can allocate a fixed array using the exact same
+/// bucket layout and convert back via [`Histogram::from_raw`].
+pub const BUCKETS: usize = 64 * SUB + 1;
+
+/// Bucket index of a sample in the shared scheme (see [`BUCKETS`]).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let log = 63 - v.leading_zeros();
+    if log <= SUB_BITS {
+        // Values < 16 get exact-ish small buckets at the front.
+        return v as usize;
+    }
+    let sub = ((v >> (log - SUB_BITS)) & ((SUB as u64) - 1)) as usize;
+    (log as usize) * SUB + sub
+}
+
+/// Representative (lower-bound) value of a bucket index in the shared
+/// scheme — the inverse of [`bucket_index`] up to bucket resolution.
+#[inline]
+pub fn bucket_lower_bound(idx: usize) -> u64 {
+    // Values below 2^(SUB_BITS + 1) get exact buckets in `bucket_index`
+    // (index == value), so the floor is the index itself.
+    if idx < (1 << (SUB_BITS + 1)) {
+        return idx as u64;
+    }
+    let log = (idx / SUB) as u32;
+    if log <= SUB_BITS {
+        // Dead zone: indexes 16..32 are never produced (values below 16
+        // map to exact buckets). Clamp to the boundary so the mapping
+        // stays monotone for callers that sweep every index.
+        return 1 << (SUB_BITS + 1);
+    }
+    let sub = (idx % SUB) as u64;
+    (1u64 << log) | (sub << (log - SUB_BITS))
+}
+
 impl Default for Histogram {
     fn default() -> Self {
         Self::new()
@@ -46,7 +88,7 @@ impl Histogram {
     /// Create an empty histogram.
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; 64 * SUB + 1],
+            buckets: vec![0; BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -55,28 +97,30 @@ impl Histogram {
     }
 
     fn bucket_of(v: u64) -> usize {
-        if v == 0 {
-            return 0;
-        }
-        let log = 63 - v.leading_zeros();
-        if log <= SUB_BITS {
-            // Values < 16 get exact-ish small buckets at the front.
-            return v as usize;
-        }
-        let sub = ((v >> (log - SUB_BITS)) & ((SUB as u64) - 1)) as usize;
-        (log as usize) * SUB + sub
+        bucket_index(v)
     }
 
     /// Representative (lower-bound) value of a bucket index.
     fn bucket_floor(idx: usize) -> u64 {
-        // Values below 2^(SUB_BITS + 1) get exact buckets in `bucket_of`
-        // (index == value), so the floor is the index itself.
-        if idx < (1 << (SUB_BITS + 1)) {
-            return idx as u64;
+        bucket_lower_bound(idx)
+    }
+
+    /// Rebuild a histogram from raw parts captured elsewhere (e.g. a
+    /// snapshot of an atomic bucket array using the same [`BUCKETS`]
+    /// scheme). `buckets` shorter than [`BUCKETS`] is padded with zeros;
+    /// longer is truncated.
+    pub fn from_raw(buckets: &[u64], count: u64, sum: u128, min: u64, max: u64) -> Self {
+        let mut b = vec![0u64; BUCKETS];
+        for (dst, &src) in b.iter_mut().zip(buckets.iter()) {
+            *dst = src;
         }
-        let log = (idx / SUB) as u32;
-        let sub = (idx % SUB) as u64;
-        (1u64 << log) | (sub << (log - SUB_BITS))
+        Histogram {
+            buckets: b,
+            count,
+            sum,
+            min,
+            max,
+        }
     }
 
     /// Record one sample.
@@ -242,6 +286,43 @@ mod tests {
         h.clear();
         assert_eq!(h.count(), 0);
         assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn from_raw_matches_recorded() {
+        let mut h = Histogram::new();
+        let mut raw = vec![0u64; BUCKETS];
+        let mut rng = crate::rng::SplitMix64::new(3);
+        let (mut count, mut sum, mut min, mut max) = (0u64, 0u128, u64::MAX, 0u64);
+        for _ in 0..5000 {
+            let v = rng.gen_range(1 << 20);
+            h.record(v);
+            raw[bucket_index(v)] += 1;
+            count += 1;
+            sum += v as u128;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let rebuilt = Histogram::from_raw(&raw, count, sum, min, max);
+        assert_eq!(rebuilt.count(), h.count());
+        assert_eq!(rebuilt.sum(), h.sum());
+        for &q in &[0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(rebuilt.quantile(q), h.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn bucket_scheme_is_inverse_consistent() {
+        for v in (0..64u32).map(|s| 1u64 << s).chain(0..256) {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS);
+            let floor = bucket_lower_bound(idx);
+            assert!(floor <= v, "floor({idx}) = {floor} > {v}");
+            // The next bucket's floor must be above the value.
+            if idx + 1 < BUCKETS {
+                assert!(bucket_lower_bound(idx + 1) > v, "v={v} idx={idx}");
+            }
+        }
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! `cc_core::store::CompressedStore` packages the paper's mechanism the
 //! way its descendants (zram, zswap) expose it: a thread-safe, bounded
 //! compressed page store with a real background spill thread. This
-//! example swaps a working set into it from several threads and prints
-//! the effective memory amplification.
+//! example swaps a working set into it from several threads, prints
+//! the effective memory amplification, and ends with the store's own
+//! telemetry snapshot — per-tier latency histograms and the structured
+//! event window — rendered through `util::fmt`.
 //!
 //! ```sh
 //! cargo run --release --example standalone_store
@@ -13,6 +15,7 @@
 use std::sync::Arc;
 
 use compression_cache::core::store::{CompressedStore, StoreConfig};
+use compression_cache::util::fmt;
 use compression_cache::workloads::datagen;
 
 const PAGE: usize = 4096;
@@ -58,12 +61,9 @@ fn main() {
     let s = store.stats();
     let logical = store.len() * PAGE;
     println!("pages stored:        {}", store.len());
-    println!("logical bytes:       {} MB", logical / (1024 * 1024));
-    println!("memory budget:       {} MB", budget / (1024 * 1024));
-    println!(
-        "compressed resident: {:.2} MB",
-        s.memory_bytes as f64 / (1024.0 * 1024.0)
-    );
+    println!("logical bytes:       {}", fmt::bytes(logical as u64));
+    println!("memory budget:       {}", fmt::bytes(budget as u64));
+    println!("compressed resident: {}", fmt::bytes(s.memory_bytes));
     println!("spilled to disk:     {} pages", s.spilled);
     println!(
         "spill batching:      {} pages in {} batched writes ({:.1}/batch)",
@@ -72,15 +72,25 @@ fn main() {
         s.spilled as f64 / s.spill_batches.max(1) as f64
     );
     println!(
-        "spill file:          {} KB ({} KB dead, {} GC runs)",
-        s.bytes_on_spill / 1024,
-        s.spill_dead_bytes / 1024,
-        s.gc_runs
+        "spill file:          {} ({} dead, {} GC runs, {} relocated)",
+        fmt::bytes(s.bytes_on_spill),
+        fmt::bytes(s.spill_dead_bytes),
+        s.gc_runs,
+        fmt::bytes(s.gc_bytes_relocated),
     );
     println!("verified:            {checked} sampled pages intact");
     println!(
         "amplification:       {:.1}x the pages a raw 4 MB cache could hold",
         logical as f64 / budget as f64
     );
+
+    // The same store, through its telemetry plane: counter sums and
+    // gauges, nanosecond latency histograms per serving tier, and the
+    // ring's structured event counts, all in `util::fmt` tables.
+    let snap = store
+        .telemetry_snapshot()
+        .gauge("logical_bytes", logical as u64);
+    println!("\n--- telemetry snapshot ---");
+    print!("{}", snap.render_text());
     let _ = std::fs::remove_file(&spill);
 }

@@ -55,6 +55,7 @@ pub use cc_core as core;
 pub use cc_disk as disk;
 pub use cc_mem as mem;
 pub use cc_sim as sim;
+pub use cc_telemetry as telemetry;
 pub use cc_util as util;
 pub use cc_vm as vm;
 pub use cc_workloads as workloads;
