@@ -1,0 +1,464 @@
+//! `loadgen` — closed-loop load generator and integrity checker for
+//! `cc-server`.
+//!
+//! Spins up an in-process server (ephemeral loopback port, spill-backed
+//! store with a budget ~10× under the working set so both tiers serve
+//! traffic), then drives it with `N` client threads issuing a zipfian
+//! 50/40/10 PUT/GET/DEL mix over reused connections. Each thread owns a
+//! disjoint key partition and a shadow `HashMap` of what it has stored,
+//! so **every GET is verified byte-for-byte** against the shadow model
+//! and every DEL's existed/missing answer is checked — any disagreement
+//! is an integrity error.
+//!
+//! After the run one extra connection FLUSHes, fetches STATS, and probes
+//! saturation (full mode only): it parks `workers` idle connections so
+//! the pool is fully occupied, then connects once more and asserts the
+//! server answers `BUSY` — bounded admission observable on the wire.
+//!
+//! Results land in `BENCH_server.json`: client-side throughput, the
+//! server's per-opcode latency histograms (p50/p99 straight from the
+//! wire telemetry), the wire counters, and the store's memory/spill tier
+//! split parsed back out of the STATS payload.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cc-bench --bin loadgen [-- --threads N --ops N --out PATH]
+//! cargo run --release -p cc-bench --bin loadgen -- --smoke
+//! ```
+//!
+//! `--smoke` runs a reduced-ops pass and exits nonzero on any integrity
+//! error, any malformed or BUSY-rejected frame, a latency histogram that
+//! is empty or disordered, ring events that disagree with the counters
+//! they shadow, or a STATS payload that fails Prometheus parsing — CI
+//! runs it on every push next to `storebench --smoke`.
+
+use cc_bench::smoke;
+use cc_core::store::{CompressedStore, StoreConfig};
+use cc_server::{Client, ClientError, Server, ServerConfig};
+use cc_telemetry::Snapshot;
+use cc_util::SplitMix64;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PAGE: usize = 4096;
+/// Keys per client thread; partitions are disjoint so shadow-model
+/// verification needs no cross-thread coordination.
+const KEYS_PER_THREAD: u64 = 1024;
+const ZIPF_S: f64 = 0.99;
+/// Store budget: far under the compressed working set, so most of the
+/// key space lives on the spill file and GETs split across tiers.
+const BUDGET: usize = 1 << 20;
+
+/// Zipfian sampler: precomputed CDF + binary search.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Deterministic page content for `(key, version)`: mostly ~2:1
+/// compressible filler, every fifth version incompressible noise, so
+/// the store's threshold path is exercised too. The shadow model stores
+/// only the version and regenerates the page to verify GETs.
+fn fill_page(key: u64, version: u64, buf: &mut [u8]) {
+    let salt = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ version;
+    if version.is_multiple_of(5) {
+        let mut rng = SplitMix64::new(salt | 1);
+        for b in buf.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+    } else {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = ((salt as usize + i / 13) % 64) as u8 + b' ';
+        }
+    }
+}
+
+/// One client thread's tally.
+#[derive(Default)]
+struct ThreadResult {
+    ops: u64,
+    /// GET payload or DEL existed-bit disagreed with the shadow model.
+    integrity_mismatches: u64,
+    /// Transport/protocol/server errors (any is a failure).
+    hard_errors: u64,
+    gets_hit: u64,
+    gets_miss: u64,
+}
+
+fn run_client(
+    addr: std::net::SocketAddr,
+    thread: usize,
+    ops: u64,
+    zipf: &Zipf,
+) -> Result<ThreadResult, ClientError> {
+    let mut client = Client::connect(addr)?;
+    client.set_timeout(Some(Duration::from_secs(30)))?;
+    client.ping()?;
+    let base = thread as u64 * KEYS_PER_THREAD;
+    let mut shadow: HashMap<u64, u64> = HashMap::new();
+    let mut versions: u64 = 0;
+    let mut rng = SplitMix64::new(0xF00D + thread as u64);
+    let mut page = vec![0u8; PAGE];
+    let mut expect = vec![0u8; PAGE];
+    let mut out = Vec::with_capacity(PAGE);
+    let mut r = ThreadResult::default();
+    for _ in 0..ops {
+        let key = base + zipf.sample(&mut rng);
+        r.ops += 1;
+        match rng.next_u64() % 10 {
+            0..=4 => {
+                versions += 1;
+                fill_page(key, versions, &mut page);
+                match client.put(key, &page) {
+                    Ok(()) => {
+                        shadow.insert(key, versions);
+                    }
+                    Err(_) => r.hard_errors += 1,
+                }
+            }
+            5..=8 => match client.get(key, &mut out) {
+                Ok(hit) => {
+                    let expected = shadow.get(&key).copied();
+                    match (hit, expected) {
+                        (true, Some(v)) => {
+                            r.gets_hit += 1;
+                            fill_page(key, v, &mut expect);
+                            if out != expect {
+                                r.integrity_mismatches += 1;
+                            }
+                        }
+                        (false, None) => r.gets_miss += 1,
+                        // Hit without a shadow entry, or a miss on a key
+                        // we stored: the server lost or invented data.
+                        _ => r.integrity_mismatches += 1,
+                    }
+                }
+                Err(_) => r.hard_errors += 1,
+            },
+            _ => match client.del(key) {
+                Ok(existed) => {
+                    if existed != shadow.remove(&key).is_some() {
+                        r.integrity_mismatches += 1;
+                    }
+                }
+                Err(_) => r.hard_errors += 1,
+            },
+        }
+    }
+    Ok(r)
+}
+
+/// Park `workers` idle connections so every worker is occupied, then
+/// connect once more: the admission queue is full and the server must
+/// answer `BUSY`. Returns whether the extra connection was rejected.
+/// The probe reads the unsolicited BUSY frame directly (sending nothing
+/// first), because the server closes right after writing it.
+fn saturation_probe(addr: std::net::SocketAddr, workers: usize) -> bool {
+    use cc_server::{frame, Response, Status};
+    let holders: Vec<Client> = (0..workers)
+        .filter_map(|_| Client::connect(addr).ok())
+        .collect();
+    if holders.len() < workers {
+        return false;
+    }
+    // The holders occupy workers as soon as the pool hands them over;
+    // give the rendezvous a moment so the probe races nothing.
+    std::thread::sleep(Duration::from_millis(50));
+    let rejected = match std::net::TcpStream::connect(addr) {
+        Ok(mut extra) => {
+            let _ = extra.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut body = Vec::new();
+            match frame::read_frame(&mut extra, &mut body, frame::DEFAULT_MAX_FRAME) {
+                Ok(()) => matches!(
+                    Response::decode(&body),
+                    Ok(Response {
+                        status: Status::Busy,
+                        ..
+                    })
+                ),
+                Err(_) => false,
+            }
+        }
+        Err(_) => false,
+    };
+    drop(holders);
+    rejected
+}
+
+fn op_json(snap: &Snapshot, op: &str) -> String {
+    match snap.op(op) {
+        Some(s) => format!(
+            "{{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            s.count, s.p50, s.p99, s.max
+        ),
+        None => "{\"count\": 0}".into(),
+    }
+}
+
+/// Pull `cc_store_<name>_total` back out of the STATS payload — the
+/// tier split is reported from the wire text itself, proving STATS is
+/// scrapeable, not just present.
+fn stats_counter(stats: &str, name: &str) -> u64 {
+    let needle = format!("cc_store_{name}_total ");
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&needle))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut threads: usize = 4;
+    let mut ops_per_thread: u64 = 50_000;
+    let mut out_path = String::from("BENCH_server.json");
+    let mut smoke_mode = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads expects a count");
+                    std::process::exit(2);
+                })
+            }
+            "--ops" => {
+                ops_per_thread = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--ops expects a number of operations per thread");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out expects a file path");
+                    std::process::exit(2);
+                })
+            }
+            "--smoke" => {
+                smoke_mode = true;
+                threads = 4;
+                ops_per_thread = 10_000;
+            }
+            other => {
+                eprintln!(
+                    "unknown arg: {other}\nusage: loadgen [--threads N] [--ops N] [--out PATH] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let threads = threads.max(1);
+
+    let spill_path = std::env::temp_dir().join(format!("loadgen-spill-{}.bin", std::process::id()));
+    let store = Arc::new(CompressedStore::new(StoreConfig::with_spill(
+        BUDGET,
+        &spill_path,
+    )));
+    let server = Server::spawn(
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(threads),
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+    let service = Arc::clone(server.service());
+    eprintln!(
+        "loadgen: {threads} clients x {ops_per_thread} ops, {KEYS_PER_THREAD} zipfian(s={ZIPF_S}) keys/thread, mixed 50/40/10 put/get/del, server {addr} ({threads} workers, budget {BUDGET})"
+    );
+
+    let zipf = Arc::new(Zipf::new(KEYS_PER_THREAD, ZIPF_S));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let zipf = Arc::clone(&zipf);
+            std::thread::spawn(move || run_client(addr, t, ops_per_thread, &zipf))
+        })
+        .collect();
+    let mut total = ThreadResult::default();
+    let mut connect_failures = 0u64;
+    for h in handles {
+        match h.join().expect("client thread panicked") {
+            Ok(r) => {
+                total.ops += r.ops;
+                total.integrity_mismatches += r.integrity_mismatches;
+                total.hard_errors += r.hard_errors;
+                total.gets_hit += r.gets_hit;
+                total.gets_miss += r.gets_miss;
+            }
+            Err(e) => {
+                eprintln!("  client setup failed: {e}");
+                connect_failures += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let ops_per_sec = total.ops as f64 / elapsed.max(1e-9);
+
+    // A final connection: drain the spill writer, then fetch STATS over
+    // the wire so the tier split below comes from the scrape payload.
+    let stats_text = {
+        let mut c = Client::connect(addr).expect("stats connection");
+        c.flush().expect("flush");
+        c.stats().expect("stats")
+    };
+
+    let busy_seen = if smoke_mode {
+        // The smoke gate requires zero rejected frames, so the probe
+        // (which manufactures one) only runs in full mode; BUSY-path
+        // coverage in CI comes from the server integration tests.
+        false
+    } else {
+        saturation_probe(addr, threads)
+    };
+
+    server.shutdown();
+    let snap = service.snapshot();
+    let store_snap = store.telemetry_snapshot();
+    drop(store);
+    let _ = std::fs::remove_file(&spill_path);
+
+    let wire = |name: &str| snap.counter(name).unwrap_or(0);
+    let (hits_memory, hits_spill, misses) = (
+        stats_counter(&stats_text, "hits_memory"),
+        stats_counter(&stats_text, "hits_spill"),
+        stats_counter(&stats_text, "misses"),
+    );
+    eprintln!(
+        "  {:.0} ops/s over {:.2}s; {} get hits / {} misses; integrity mismatches {}, hard errors {}",
+        ops_per_sec, elapsed, total.gets_hit, total.gets_miss, total.integrity_mismatches, total.hard_errors,
+    );
+    eprintln!(
+        "  wire: put p50 {} ns / get p50 {} ns / del p50 {} ns; conns {} opened / {} closed; busy {} malformed {}",
+        snap.op("put").map_or(0, |s| s.p50),
+        snap.op("get").map_or(0, |s| s.p50),
+        snap.op("del").map_or(0, |s| s.p50),
+        wire("conns_opened"),
+        wire("conns_closed"),
+        wire("busy_rejected"),
+        wire("malformed_frames"),
+    );
+    eprintln!("  store tiers (from STATS): {hits_memory} memory hits, {hits_spill} spill hits, {misses} misses");
+    if !smoke_mode {
+        eprintln!(
+            "  saturation probe: extra connection {}",
+            if busy_seen {
+                "rejected BUSY (bounded admission)"
+            } else {
+                "NOT rejected"
+            }
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"loadgen\",\n  \"threads\": {threads},\n  \"ops_per_thread\": {ops_per_thread},\n  \"keys_per_thread\": {KEYS_PER_THREAD},\n  \"zipf_s\": {ZIPF_S},\n  \"page_size\": {PAGE},\n  \"budget_bytes\": {BUDGET},\n  \"mix\": \"50% put / 40% get / 10% del\",\n  \"elapsed_s\": {elapsed:.3},\n  \"ops_per_sec\": {ops_per_sec:.0},\n  \"gets_hit\": {},\n  \"gets_miss\": {},\n  \"integrity_mismatches\": {},\n  \"hard_errors\": {},\n  \"ops\": {{\n    \"put\": {},\n    \"get\": {},\n    \"del\": {},\n    \"flush\": {},\n    \"stats\": {},\n    \"ping\": {}\n  }},\n  \"wire\": {{\n    \"req_put\": {},\n    \"req_get\": {},\n    \"req_del\": {},\n    \"conns_opened\": {},\n    \"conns_closed\": {},\n    \"busy_rejected\": {},\n    \"malformed_frames\": {},\n    \"idle_timeouts\": {}\n  }},\n  \"tier_split\": {{\"hits_memory\": {hits_memory}, \"hits_spill\": {hits_spill}, \"misses\": {misses}}},\n  \"saturation_probe_busy\": {},\n  \"note\": \"closed-loop loopback load against the in-process cc-server; every GET verified byte-for-byte against a per-thread shadow model (integrity_mismatches must be 0). ops.* are the server's own per-opcode wire latency histograms in nanoseconds; tier_split is parsed from the STATS Prometheus payload fetched over the wire; saturation_probe_busy records whether an extra connection beyond the worker pool was answered BUSY (full mode only).\"\n}}\n",
+        total.gets_hit,
+        total.gets_miss,
+        total.integrity_mismatches,
+        total.hard_errors,
+        op_json(&snap, "put"),
+        op_json(&snap, "get"),
+        op_json(&snap, "del"),
+        op_json(&snap, "flush"),
+        op_json(&snap, "stats"),
+        op_json(&snap, "ping"),
+        wire("req_put"),
+        wire("req_get"),
+        wire("req_del"),
+        wire("conns_opened"),
+        wire("conns_closed"),
+        wire("busy_rejected"),
+        wire("malformed_frames"),
+        wire("idle_timeouts"),
+        busy_seen,
+    );
+    let mut f = std::fs::File::create(&out_path).expect("create output");
+    f.write_all(json.as_bytes()).expect("write output");
+    eprintln!("wrote {out_path}");
+
+    if smoke_mode {
+        let mut failures = Vec::new();
+        if connect_failures > 0 {
+            failures.push(format!("{connect_failures} client thread(s) failed to run"));
+        }
+        if total.integrity_mismatches > 0 {
+            failures.push(format!(
+                "{} GET/DEL responses disagreed with the shadow model",
+                total.integrity_mismatches
+            ));
+        }
+        if total.hard_errors > 0 {
+            failures.push(format!("{} transport/server errors", total.hard_errors));
+        }
+        if total.gets_hit == 0 {
+            failures.push("no GET ever hit: the workload exercised nothing".into());
+        }
+        for name in ["busy_rejected", "malformed_frames", "idle_timeouts"] {
+            let v = wire(name);
+            if v > 0 {
+                failures.push(format!("{name} is {v}, expected 0"));
+            }
+        }
+        // Every opcode the run issues must have a sane wire histogram.
+        for op in ["put", "get", "del", "flush", "stats", "ping"] {
+            if let Some(f) = smoke::check_hist(&snap, op) {
+                failures.push(f);
+            }
+        }
+        // Ring events must agree with the counters they shadow.
+        for (event, counter) in [
+            ("conn_open", "conns_opened"),
+            ("conn_close", "conns_closed"),
+        ] {
+            if let Some(f) = smoke::check_event_agrees(&snap, event, counter, wire(counter)) {
+                failures.push(f);
+            }
+        }
+        // The STATS payload must be a parseable Prometheus exposition
+        // carrying both the store's and the server's metric families,
+        // and must match the schema the in-process snapshots render.
+        if let Some(f) = smoke::check_prometheus(
+            &stats_text,
+            &["cc_store_compressed_total", "cc_server_req_put_total"],
+        ) {
+            failures.push(f);
+        }
+        let expected = {
+            let mut t = store_snap.to_prometheus("cc_store");
+            // STATS was fetched mid-run, so values differ; schema
+            // equality means the same metric names in the same order.
+            t.push_str(&snap.to_prometheus("cc_server"));
+            let names = |text: &str| {
+                text.lines()
+                    .filter(|l| !l.starts_with('#') && !l.is_empty())
+                    .filter_map(|l| l.split_whitespace().next().map(str::to_owned))
+                    .collect::<Vec<_>>()
+            };
+            (names(&t), names(&stats_text))
+        };
+        if expected.0 != expected.1 {
+            failures.push("STATS metric names/order differ from the Exporter schema".into());
+        }
+        std::process::exit(smoke::report("loadgen", &failures));
+    }
+}

@@ -36,6 +36,7 @@
 //! (empty, or p50/p99/max out of order), or telemetry costs more than
 //! 5% of throughput — CI runs it on every push.
 
+use cc_bench::smoke;
 use cc_core::store::{CompressedStore, HitTier, StoreConfig};
 use cc_telemetry::Snapshot;
 use cc_util::SplitMix64;
@@ -442,25 +443,6 @@ fn json_telemetry(snap: &Snapshot, ovh: &Overhead) -> String {
     )
 }
 
-/// Histogram sanity for the smoke gate: the op must have been recorded
-/// and its percentiles must be ordered. Returns a failure message or
-/// `None` when the summary is sane.
-fn check_hist(snap: &Snapshot, op: &str) -> Option<String> {
-    let Some(s) = snap.op(op) else {
-        return Some(format!("telemetry op {op:?} missing from snapshot"));
-    };
-    if s.count == 0 {
-        return Some(format!("telemetry op {op:?} recorded no samples"));
-    }
-    if !(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max) {
-        return Some(format!(
-            "telemetry op {op:?} percentiles out of order: p50 {} p90 {} p99 {} max {}",
-            s.p50, s.p90, s.p99, s.max
-        ));
-    }
-    None
-}
-
 fn json_same_filled(t: &SameFilledTrial) -> String {
     format!(
         "{{\n    \"same_filled_puts\": {},\n    \"compressed_puts\": {},\n    \"put_same_filled_p50_ns\": {},\n    \"put_compressed_p50_ns\": {},\n    \"same_filled_counter\": {}\n  }}",
@@ -528,16 +510,17 @@ fn run_smoke() -> i32 {
         "spill_write",
         "spill_read",
     ] {
-        if let Some(f) = check_hist(&spill.telemetry, op) {
+        if let Some(f) = smoke::check_hist(&spill.telemetry, op) {
             failures.push(f);
         }
     }
-    let batch_events = spill.telemetry.event_count("batch_commit").unwrap_or(0);
-    if batch_events != spill.spill_batches {
-        failures.push(format!(
-            "batch_commit events ({batch_events}) disagree with spill_batches counter ({})",
-            spill.spill_batches
-        ));
+    if let Some(f) = smoke::check_event_agrees(
+        &spill.telemetry,
+        "batch_commit",
+        "spill_batches",
+        spill.spill_batches,
+    ) {
+        failures.push(f);
     }
     if spill.telemetry.events_recorded == 0 {
         failures.push("event ring recorded nothing".into());
@@ -548,15 +531,7 @@ fn run_smoke() -> i32 {
             ovh.overhead_pct, ovh.ops_per_sec_on, ovh.ops_per_sec_off
         ));
     }
-    if failures.is_empty() {
-        eprintln!("  smoke OK");
-        0
-    } else {
-        for f in &failures {
-            eprintln!("  smoke FAILED: {f}");
-        }
-        1
-    }
+    smoke::report("storebench", &failures)
 }
 
 fn main() {

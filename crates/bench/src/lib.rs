@@ -18,6 +18,8 @@ use cc_sim::{Mode, SimConfig, System};
 use cc_util::Ns;
 use cc_workloads::{Workload, WorkloadSummary};
 
+pub mod smoke;
+
 /// Measurements from one std-vs-cc pair of runs.
 #[derive(Debug, Clone)]
 pub struct PairResult {

@@ -269,6 +269,10 @@ pub enum StoreError {
         /// Size offered.
         got: usize,
     },
+    /// The store has been shut down ([`CompressedStore::shutdown`]) and
+    /// this put needed the (now stopped) spill writer. Reads and puts
+    /// that fit in memory still succeed.
+    ShuttingDown,
     /// Spill-file I/O failed.
     Io(std::io::Error),
 }
@@ -279,6 +283,9 @@ impl std::fmt::Display for StoreError {
             StoreError::OutOfMemory => write!(f, "compressed store memory budget exhausted"),
             StoreError::BadPageSize { expected, got } => {
                 write!(f, "page size mismatch: store uses {expected}, got {got}")
+            }
+            StoreError::ShuttingDown => {
+                write!(f, "store is shutting down; spill writer stopped")
             }
             StoreError::Io(e) => write!(f, "spill I/O error: {e}"),
         }
@@ -646,6 +653,17 @@ impl CompressedStore {
         self.core.shards.len()
     }
 
+    /// The page size this store serves, fixed by the first successful
+    /// put; `None` while the store has never stored anything. Callers
+    /// that must size an output buffer before a [`CompressedStore::get`]
+    /// (e.g. a network service) read it from here.
+    pub fn page_size(&self) -> Option<usize> {
+        match self.core.page_size.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
     /// Store (or replace) `key`'s page.
     pub fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
         self.core.put(key, page)
@@ -737,7 +755,8 @@ impl CompressedStore {
     }
 
     /// Drain pending spills, stop the cleaner thread, and join it. The
-    /// store remains readable; further puts that need to spill will fail.
+    /// store remains readable; further puts that need to spill fail
+    /// with [`StoreError::ShuttingDown`].
     pub fn shutdown(&self) {
         self.core.flush();
         for s in &self.core.shards {
@@ -907,6 +926,14 @@ impl StoreCore {
             }
         }
 
+        if !reserved && shard.tx.is_none() {
+            // Straight-to-spill needed but the writer is gone (the store
+            // was shut down): fail the put instead of panicking. The old
+            // entry was already removed above — acceptable for a store
+            // that is being torn down.
+            drop(shard);
+            return Err(StoreError::ShuttingDown);
+        }
         let residence = SCRATCH.with(|c| {
             let s = &mut *c.borrow_mut();
             let compressed = &s.comp[..len];
@@ -919,7 +946,7 @@ impl StoreCore {
                 let data = Arc::new(compressed.to_vec());
                 let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
                 self.tel.count(shard_idx, tstat::SPILLED, 1);
-                let tx = shard.tx.as_ref().expect("no-spill store cannot bypass");
+                let tx = shard.tx.as_ref().expect("checked above");
                 tx.send(SpillJob {
                     key,
                     gen,
@@ -2030,6 +2057,45 @@ mod tests {
                     assert_eq!(out, page((key % 251) as u8), "key {key} corrupted");
                 }
             }
+        }
+        cleanup(dir, path);
+    }
+
+    #[test]
+    fn page_size_exposed_after_first_put() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        assert_eq!(store.page_size(), None);
+        store.put(1, &page(1)).unwrap();
+        assert_eq!(store.page_size(), Some(4096));
+    }
+
+    #[test]
+    fn put_after_shutdown_fails_instead_of_panicking() {
+        let (dir, path) = temp_path("shutdown-put");
+        {
+            // Budget of ~1 compressed page: puts beyond the first must
+            // go through the (stopped) spill writer.
+            let store = CompressedStore::new(StoreConfig::with_spill(4 * 1024, &path));
+            for k in 0..16u64 {
+                store.put(k, &page(k as u8)).unwrap();
+            }
+            store.shutdown();
+            // Reads keep working after shutdown.
+            let mut out = vec![0u8; 4096];
+            assert!(store.get(3, &mut out).unwrap());
+            assert_eq!(out, page(3));
+            // A put that needs the writer reports ShuttingDown.
+            let mut err = None;
+            for k in 100..164u64 {
+                if let Err(e) = store.put(k, &page(k as u8)) {
+                    err = Some(e);
+                    break;
+                }
+            }
+            assert!(
+                matches!(err, Some(StoreError::ShuttingDown)),
+                "expected ShuttingDown, got {err:?}"
+            );
         }
         cleanup(dir, path);
     }

@@ -1,0 +1,198 @@
+//! A blocking, connection-reusing client for `cc-server`.
+//!
+//! One [`Client`] owns one TCP connection and a pair of reusable
+//! encode/decode buffers; every call is a single request/response
+//! round-trip on that connection, so a loop of operations allocates
+//! nothing in steady state. The client is deliberately synchronous — it
+//! is the building block of the load generator and the integration
+//! tests, and N concurrent clients are N `Client` values on N threads.
+
+use crate::frame::{self, FrameError};
+use crate::proto::{ProtoError, Request, Response, Status};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (includes the server closing mid-response).
+    Io(io::Error),
+    /// The server answered `BUSY`: the worker pool is saturated and the
+    /// request was not executed. Retry later, ideally with backoff.
+    Busy,
+    /// The server answered `ERR` with this message.
+    Server(String),
+    /// The response violated the protocol (bad frame, unknown status,
+    /// unexpected payload shape).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O error: {e}"),
+            ClientError::Busy => write!(f, "server busy: worker pool saturated"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// A blocking connection to a `cc-server`.
+pub struct Client {
+    stream: TcpStream,
+    /// Request body staging (reused).
+    send: Vec<u8>,
+    /// Response body landing zone (reused).
+    recv: Vec<u8>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect. `TCP_NODELAY` is set — every call is a full round-trip.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            send: Vec::new(),
+            recv: Vec::new(),
+            max_frame: frame::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Cap the response frames this client will accept.
+    pub fn with_max_frame(mut self, bytes: usize) -> Client {
+        self.max_frame = bytes.max(frame::LEN_PREFIX);
+        self
+    }
+
+    /// Bound how long a call may wait on the server before erroring
+    /// with a timeout (`None` = wait forever, the default).
+    pub fn set_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(t)?;
+        self.stream.set_write_timeout(t)
+    }
+
+    fn call(&mut self, req: &Request<'_>) -> Result<(Status, &[u8]), ClientError> {
+        self.send.clear();
+        req.encode(&mut self.send);
+        frame::write_frame(&mut self.stream, &self.send)?;
+        frame::read_frame(&mut self.stream, &mut self.recv, self.max_frame)?;
+        let resp = Response::decode(&self.recv)?;
+        Ok((resp.status, resp.payload))
+    }
+
+    /// Common tail: map `BUSY`/`ERR` to errors, pass anything else on.
+    fn expect_plain(status: Status, payload: &[u8]) -> Result<Status, ClientError> {
+        match status {
+            Status::Busy => Err(ClientError::Busy),
+            Status::Err => Err(ClientError::Server(
+                String::from_utf8_lossy(payload).into_owned(),
+            )),
+            other => Ok(other),
+        }
+    }
+
+    /// Store `page` under `key`.
+    pub fn put(&mut self, key: u64, page: &[u8]) -> Result<(), ClientError> {
+        let (status, payload) = self.call(&Request::Put { key, page })?;
+        match Self::expect_plain(status, payload)? {
+            Status::Ok => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected PUT status {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch `key` into `out` (resized to the page). Returns `false` on
+    /// a miss.
+    pub fn get(&mut self, key: u64, out: &mut Vec<u8>) -> Result<bool, ClientError> {
+        let (status, payload) = self.call(&Request::Get { key })?;
+        match status {
+            Status::Ok => {
+                out.clear();
+                out.extend_from_slice(payload);
+                Ok(true)
+            }
+            Status::NotFound => Ok(false),
+            Status::Busy => Err(ClientError::Busy),
+            Status::Err => Err(ClientError::Server(
+                String::from_utf8_lossy(payload).into_owned(),
+            )),
+        }
+    }
+
+    /// Remove `key`. Returns whether it existed.
+    pub fn del(&mut self, key: u64) -> Result<bool, ClientError> {
+        let (status, payload) = self.call(&Request::Del { key })?;
+        match Self::expect_plain(status, payload)? {
+            Status::Ok => Ok(true),
+            Status::NotFound => Ok(false),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected DEL status {other:?}"
+            ))),
+        }
+    }
+
+    /// Block until the server's store has drained its spill writer.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        let (status, payload) = self.call(&Request::Flush)?;
+        match Self::expect_plain(status, payload)? {
+            Status::Ok => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected FLUSH status {other:?}"
+            ))),
+        }
+    }
+
+    /// Round-trip probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let (status, payload) = self.call(&Request::Ping)?;
+        match Self::expect_plain(status, payload)? {
+            Status::Ok => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected PING status {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's telemetry snapshot in Prometheus text format
+    /// (store metrics under `cc_store_*`, wire metrics under
+    /// `cc_server_*`).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let (status, payload) = self.call(&Request::Stats)?;
+        match status {
+            Status::Ok => String::from_utf8(payload.to_vec())
+                .map_err(|_| ClientError::Protocol("STATS payload is not UTF-8".into())),
+            Status::Busy => Err(ClientError::Busy),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected STATS status {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-connection request loop.
+//!
+//! A worker owns one [`TcpStream`] at a time and serves frames in order.
+//! The read/write/payload buffers live across requests, so a busy
+//! connection allocates nothing in steady state. Reads happen in short
+//! timed steps ([`READ_STEP`]) so the loop can notice the idle deadline
+//! and the server shutdown flag without a dedicated signalling channel:
+//!
+//! - **Idle timeout** — no new frame starts within
+//!   [`crate::ServerConfig::idle_timeout`]: the connection is closed
+//!   quietly (counted in `idle_timeouts`).
+//! - **Shutdown** — the flag is honoured only *between* frames; a frame
+//!   already started is read to completion, executed, and answered, so
+//!   an orderly shutdown never drops an in-flight request.
+//! - **Malformed input** — a truncated header/body, an oversized length
+//!   prefix, or an undecodable body increments `malformed_frames`,
+//!   best-effort writes an `ERR` response, and closes the connection;
+//!   nothing on the wire can panic the worker.
+
+use crate::frame::LEN_PREFIX;
+use crate::proto::{Request, Response, Status};
+use crate::service::Service;
+use crate::ServerConfig;
+use std::io::{ErrorKind, Read};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Granularity of the stepped socket reads: the worst-case extra delay
+/// before a worker notices shutdown or an expired idle deadline.
+pub(crate) const READ_STEP: Duration = Duration::from_millis(20);
+
+/// Malformed-frame classes (the `b` value of a `malformed` wire event).
+pub(crate) mod malformed_class {
+    /// EOF or stall inside a frame (truncated header or body).
+    pub const TRUNCATED: u64 = 1;
+    /// Length prefix above the configured frame ceiling.
+    pub const OVERSIZED: u64 = 2;
+    /// Frame arrived whole but the body failed protocol decoding.
+    pub const UNDECODABLE: u64 = 3;
+}
+
+enum ReadOutcome {
+    /// The buffer was filled.
+    Done,
+    /// EOF before the first byte — the peer closed between frames.
+    ClosedClean,
+    /// EOF or idle stall mid-frame.
+    Truncated,
+    /// Idle deadline expired with no frame started.
+    IdleTimeout,
+    /// Shutdown flag observed between frames.
+    Shutdown,
+    /// Transport error.
+    Failed,
+}
+
+/// Fill `buf`, stepping the socket timeout so idle/shutdown stay live.
+/// `frame_started` marks whether earlier bytes of this frame were
+/// already consumed (the header, for a body read): once a frame has
+/// begun, shutdown no longer interrupts it — only completion, the idle
+/// deadline, or EOF end it.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+    shutdown: &AtomicBool,
+    frame_started: bool,
+) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && !frame_started {
+                    ReadOutcome::ClosedClean
+                } else {
+                    ReadOutcome::Truncated
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                let started = frame_started || filled > 0;
+                if !started && shutdown.load(Ordering::Relaxed) {
+                    return ReadOutcome::Shutdown;
+                }
+                if Instant::now() >= deadline {
+                    return if started {
+                        ReadOutcome::Truncated
+                    } else {
+                        ReadOutcome::IdleTimeout
+                    };
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Done
+}
+
+/// Why the serve loop ended (drives the close-side counters).
+enum CloseReason {
+    Peer,
+    Idle,
+    Shutdown,
+    Malformed,
+    Error,
+}
+
+/// Serve `stream` until it closes. `stripe` is the worker's telemetry
+/// stripe.
+pub(crate) fn serve(
+    service: &Service,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+    stripe: usize,
+    mut stream: TcpStream,
+) {
+    let conn_id = service.next_conn_id();
+    service.conn_opened(stripe, conn_id);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_STEP));
+
+    let mut body = Vec::new();
+    let mut payload = Vec::new();
+    let mut wire = Vec::new();
+    let mut requests = 0u64;
+
+    let reason = loop {
+        // --- Read the next frame (header, then body). ---
+        let mut prefix = [0u8; LEN_PREFIX];
+        let deadline = Instant::now() + cfg.idle_timeout;
+        match read_full(&mut stream, &mut prefix, deadline, shutdown, false) {
+            ReadOutcome::Done => {}
+            ReadOutcome::ClosedClean => break CloseReason::Peer,
+            ReadOutcome::IdleTimeout => break CloseReason::Idle,
+            ReadOutcome::Shutdown => break CloseReason::Shutdown,
+            ReadOutcome::Truncated => {
+                service.malformed(stripe, conn_id, malformed_class::TRUNCATED);
+                send_err(&mut stream, &mut wire, "truncated frame header");
+                break CloseReason::Malformed;
+            }
+            ReadOutcome::Failed => break CloseReason::Error,
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > cfg.max_frame_bytes {
+            service.malformed(stripe, conn_id, malformed_class::OVERSIZED);
+            send_err(&mut stream, &mut wire, "frame exceeds size limit");
+            break CloseReason::Malformed;
+        }
+        body.clear();
+        body.resize(len, 0);
+        let deadline = Instant::now() + cfg.idle_timeout;
+        match read_full(&mut stream, &mut body, deadline, shutdown, true) {
+            ReadOutcome::Done => {}
+            ReadOutcome::Truncated | ReadOutcome::ClosedClean => {
+                service.malformed(stripe, conn_id, malformed_class::TRUNCATED);
+                send_err(&mut stream, &mut wire, "truncated frame body");
+                break CloseReason::Malformed;
+            }
+            ReadOutcome::IdleTimeout | ReadOutcome::Shutdown => unreachable!("frame started"),
+            ReadOutcome::Failed => break CloseReason::Error,
+        }
+
+        // --- Decode, execute, respond. ---
+        let req = match Request::decode(&body) {
+            Ok(req) => req,
+            Err(e) => {
+                service.malformed(stripe, conn_id, malformed_class::UNDECODABLE);
+                send_err(&mut stream, &mut wire, &e.to_string());
+                break CloseReason::Malformed;
+            }
+        };
+        let op = req.opcode();
+        let t0 = Instant::now();
+        let status = service.handle(stripe, &req, &mut payload);
+        wire.clear();
+        Response {
+            status,
+            payload: &payload,
+        }
+        .encode(&mut wire);
+        if crate::frame::write_frame(&mut stream, &wire).is_err() {
+            break CloseReason::Error;
+        }
+        service.record_latency(op, t0.elapsed().as_nanos() as u64);
+        requests += 1;
+    };
+
+    let idle = matches!(reason, CloseReason::Idle);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    service.conn_closed(stripe, conn_id, requests, idle);
+}
+
+/// Best-effort `ERR` response ahead of a malformed-frame close. The
+/// peer may already be gone; failures are ignored.
+fn send_err(stream: &mut TcpStream, wire: &mut Vec<u8>, msg: &str) {
+    wire.clear();
+    Response {
+        status: Status::Err,
+        payload: msg.as_bytes(),
+    }
+    .encode(wire);
+    let _ = crate::frame::write_frame(stream, wire);
+}

@@ -1,0 +1,169 @@
+//! Length-prefixed frame I/O.
+//!
+//! A frame is a little-endian `u32` body length followed by the body.
+//! The length prefix is validated against a configurable ceiling before
+//! any body allocation, so a hostile or corrupted prefix cannot make the
+//! server reserve gigabytes — it is reported as [`FrameError::Oversized`]
+//! and the connection is torn down.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Bytes of length prefix preceding every frame body.
+pub const LEN_PREFIX: usize = 4;
+
+/// Default ceiling on a frame body (requests and responses): a 4 KiB
+/// page plus headers fits with room to spare, and STATS text stays far
+/// below it.
+pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF on a frame boundary — the peer closed the connection.
+    Closed,
+    /// EOF in the middle of a frame: a truncated header or body.
+    Truncated {
+        /// Bytes of the frame that did arrive.
+        got: usize,
+        /// Bytes the frame needed (prefix + declared body).
+        need: usize,
+    },
+    /// The length prefix declares a body over the ceiling.
+    Oversized {
+        /// Declared body length.
+        len: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated { got, need } => {
+                write!(f, "truncated frame: got {got} of {need} bytes")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write `body` as one frame and flush the transport.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame body into `buf` (cleared and resized), blocking until
+/// complete. Used by the client; the server's connection loop does its
+/// own stepped reads so idle timeouts and shutdown stay responsive.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>, max: usize) -> Result<(), FrameError> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    read_exact_or(r, &mut prefix, 0, LEN_PREFIX)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    read_exact_or(r, buf, LEN_PREFIX, LEN_PREFIX + len)
+}
+
+/// `read_exact` that distinguishes a clean close (EOF before the first
+/// byte of the frame) from a truncation (EOF with the frame underway).
+fn read_exact_or(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    already: usize,
+    need: usize,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if already == 0 && filled == 0 {
+                    Err(FrameError::Closed)
+                } else {
+                    Err(FrameError::Truncated {
+                        got: already + filled,
+                        need,
+                    })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_over_a_pipe() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = &wire[..];
+        let mut buf = Vec::new();
+        read_frame(&mut cursor, &mut buf, 1024).unwrap();
+        assert_eq!(buf, b"hello");
+        read_frame(&mut cursor, &mut buf, 1024).unwrap();
+        assert!(buf.is_empty());
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf, 1024),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = &wire[..];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf, 1024),
+            Err(FrameError::Oversized { max: 1024, .. })
+        ));
+        assert_eq!(buf.capacity(), 0, "no body allocation for a bad prefix");
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_close() {
+        // Header cut short.
+        let mut cursor = &[1u8, 0][..];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf, 1024),
+            Err(FrameError::Truncated { got: 2, need: 4 })
+        ));
+        // Body cut short.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_le_bytes());
+        wire.extend_from_slice(b"abc");
+        let mut cursor = &wire[..];
+        assert!(matches!(
+            read_frame(&mut cursor, &mut buf, 1024),
+            Err(FrameError::Truncated { got: 7, need: 12 })
+        ));
+    }
+}

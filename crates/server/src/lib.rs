@@ -1,0 +1,258 @@
+//! `cc-server` — a concurrent TCP cache service over the
+//! [`CompressedStore`].
+//!
+//! The compression cache grew up: Douglis's in-kernel compressed tier is
+//! today deployed as a *networked* cache service (ZipCache's DRAM/SSD
+//! tiers, TMTS's software-defined far memory), and this crate is that
+//! serving surface for the workspace. A [`Server`] owns:
+//!
+//! - an **accept loop** on a [`TcpListener`], feeding
+//! - a **fixed worker pool** ([`ServerConfig::workers`] threads) through
+//!   a bounded hand-off — when the pool is saturated a new connection is
+//!   answered `BUSY` and closed instead of queueing unboundedly,
+//! - **per-connection buffers** reused across requests (zero steady-state
+//!   allocation on the request path),
+//! - **idle timeouts** and **graceful shutdown** that drains in-flight
+//!   requests and flushes the store's spill writer,
+//! - **wire telemetry** through the same striped counters, latency
+//!   histograms, and event ring the store itself uses ([`service`]).
+//!
+//! The protocol is a compact length-prefixed binary framing
+//! ([`proto`], [`frame`]): PUT / GET / DEL / FLUSH / STATS / PING.
+//! STATS returns the store's and server's Prometheus snapshots verbatim,
+//! so the service is scrapeable from day one. A blocking,
+//! connection-reusing [`Client`] lives in [`client`].
+//!
+//! ```no_run
+//! use cc_core::store::{CompressedStore, StoreConfig};
+//! use cc_server::{Client, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(64 << 20)));
+//! let server = Server::spawn(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.put(7, &[0xAB; 4096]).unwrap();
+//! let mut page = Vec::new();
+//! assert!(client.get(7, &mut page).unwrap());
+//! assert_eq!(page, vec![0xAB; 4096]);
+//! println!("{}", client.stats().unwrap()); // Prometheus text
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub(crate) mod conn;
+pub mod frame;
+pub mod pool;
+pub mod proto;
+pub mod service;
+
+pub use client::{Client, ClientError};
+pub use proto::{Opcode, ProtoError, Request, Response, Status};
+pub use service::Service;
+
+use cc_core::store::CompressedStore;
+use pool::WorkerPool;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads; each serves one connection at a time. This is
+    /// the hard concurrency bound of the service.
+    pub workers: usize,
+    /// Connections admitted beyond the worker count (they wait for the
+    /// next free worker). `0` (the default) admits exactly `workers`
+    /// connections; the next one is answered `BUSY`.
+    pub backlog: usize,
+    /// Ceiling on a request frame body; a length prefix above this is
+    /// malformed and closes the connection.
+    pub max_frame_bytes: usize,
+    /// A connection with no new frame for this long is closed.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            backlog: 0,
+            max_frame_bytes: frame::DEFAULT_MAX_FRAME,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Override the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the admission backlog.
+    pub fn with_backlog(mut self, backlog: usize) -> Self {
+        self.backlog = backlog;
+        self
+    }
+
+    /// Override the frame-size ceiling.
+    pub fn with_max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes.max(frame::LEN_PREFIX);
+        self
+    }
+
+    /// Override the idle-connection timeout.
+    pub fn with_idle_timeout(mut self, t: Duration) -> Self {
+        self.idle_timeout = t;
+        self
+    }
+}
+
+/// A running cache server. Dropping it (or calling
+/// [`Server::shutdown`]) stops accepting, drains in-flight requests,
+/// joins every thread, and flushes the store's spill writer.
+pub struct Server {
+    service: Arc<Service>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+    pool: Mutex<Option<WorkerPool>>,
+}
+
+/// How often the accept loop polls the shutdown flag while no
+/// connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start the
+    /// accept loop and worker pool.
+    pub fn spawn(
+        store: Arc<CompressedStore>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let cfg = Arc::new(ServerConfig {
+            workers: cfg.workers.max(1),
+            ..cfg
+        });
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept + short poll: the loop notices the
+        // shutdown flag without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let service = Arc::new(Service::new(store, cfg.workers));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let pool = WorkerPool::new(
+            Arc::clone(&service),
+            Arc::clone(&cfg),
+            Arc::clone(&shutdown),
+        );
+
+        let accept = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            // The accept thread owns this dispatcher (and its sender
+            // clone); it drops when the thread exits, which (with the
+            // pool's own sender dropped in join) is what disconnects
+            // the workers.
+            let dispatcher = pool.dispatcher();
+            let busy_stripe = cfg.workers; // the accept loop's own counter stripe
+            std::thread::Builder::new()
+                .name("cc-server-accept".into())
+                .spawn(move || loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if let Err(stream) = dispatcher.try_dispatch(stream) {
+                                reject_busy(&service, busy_stripe, stream);
+                            }
+                        }
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            if shutdown.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            service,
+            local_addr,
+            shutdown,
+            accept: Mutex::new(Some(accept)),
+            pool: Mutex::new(Some(pool)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared service state: wire telemetry, open-connection gauge,
+    /// the store handle, and the STATS renderer.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Graceful shutdown: stop accepting, let every in-flight request
+    /// complete and its response flush, join all threads, then drain
+    /// the store's spill writer. Idempotent via [`Drop`].
+    pub fn shutdown(self) {
+        // Drop runs the teardown.
+    }
+
+    fn shutdown_inner(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.lock().expect("accept handle poisoned").take() {
+            let _ = h.join();
+        }
+        if let Some(mut pool) = self.pool.lock().expect("pool handle poisoned").take() {
+            pool.join();
+        }
+        // The paper's cleaner must not be left with queued work: an
+        // orderly server exit leaves every accepted PUT durable.
+        self.service.store().flush();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Answer `BUSY` on a connection the pool could not admit, then close.
+/// The write is best-effort; the rejection is always counted.
+fn reject_busy(service: &Service, stripe: usize, mut stream: std::net::TcpStream) {
+    let conn_id = service.next_conn_id();
+    service.busy_rejected(stripe, conn_id);
+    let mut body = Vec::with_capacity(1);
+    Response {
+        status: Status::Busy,
+        payload: &[],
+    }
+    .encode(&mut body);
+    let _ = frame::write_frame(&mut stream, &body);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

@@ -1,0 +1,130 @@
+//! The fixed worker pool and its bounded, counted admission.
+//!
+//! Workers are spawned once at server start and each serves one
+//! connection at a time, end to end. The accept loop hands connections
+//! over through a channel, but the bound is enforced by an explicit
+//! in-flight counter, not channel capacity: a connection is admitted
+//! only while `in_flight < workers + backlog`, the counter incremented
+//! at admission and decremented when a worker finishes the connection.
+//!
+//! Counting (rather than a zero-capacity rendezvous hand-off) is what
+//! makes admission deterministic: whether a worker thread happens to be
+//! parked in `recv` at the instant of the `try_send` is a scheduler
+//! race — a freshly spawned server would reject its first burst, and a
+//! worker looping between connections would flicker BUSY. The counter
+//! tracks the actual capacity commitment, so saturation behaviour is
+//! exact and testable: with `backlog = 0`, connection `workers + 1` is
+//! refused while the first `workers` are being served, always.
+
+use crate::conn;
+use crate::service::Service;
+use crate::ServerConfig;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+pub(crate) struct WorkerPool {
+    tx: Option<Sender<TcpStream>>,
+    in_flight: Arc<AtomicUsize>,
+    cap: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// The accept loop's handle into the pool: a sender plus the shared
+/// admission state. Dropping it (when the accept thread exits) releases
+/// its half of the channel; [`WorkerPool::join`] drops the other, which
+/// is what disconnects the workers.
+pub(crate) struct Dispatcher {
+    tx: Sender<TcpStream>,
+    in_flight: Arc<AtomicUsize>,
+    cap: usize,
+}
+
+impl Dispatcher {
+    /// Admit `stream` if the pool has capacity, handing it to a worker.
+    /// Returns the stream back when the pool is saturated (the caller
+    /// answers `BUSY`) or shut down. Only the single accept thread
+    /// admits, so the load-then-increment pair cannot race another
+    /// admitter; workers only ever decrement.
+    pub(crate) fn try_dispatch(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        if self.in_flight.load(Ordering::Acquire) >= self.cap {
+            return Err(stream);
+        }
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.tx.send(stream).map_err(|e| {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            e.0
+        })
+    }
+}
+
+impl WorkerPool {
+    pub(crate) fn new(
+        service: Arc<Service>,
+        cfg: Arc<ServerConfig>,
+        shutdown: Arc<AtomicBool>,
+    ) -> WorkerPool {
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let handles = (0..cfg.workers)
+            .map(|w| {
+                let service = Arc::clone(&service);
+                let cfg = Arc::clone(&cfg);
+                let shutdown = Arc::clone(&shutdown);
+                let rx = Arc::clone(&rx);
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::Builder::new()
+                    .name(format!("cc-server-worker-{w}"))
+                    .spawn(move || worker_loop(w, &service, &cfg, &shutdown, &rx, &in_flight))
+                    .expect("spawn server worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            in_flight,
+            cap: cfg.workers + cfg.backlog,
+            handles,
+        }
+    }
+
+    /// The accept loop's admission handle.
+    pub(crate) fn dispatcher(&self) -> Dispatcher {
+        Dispatcher {
+            tx: self.tx.clone().expect("pool already joined"),
+            in_flight: Arc::clone(&self.in_flight),
+            cap: self.cap,
+        }
+    }
+
+    /// Close the queue and join every worker. In-flight requests finish
+    /// (the connection loops honour the shutdown flag only between
+    /// frames), then workers observe the disconnected channel and exit.
+    pub(crate) fn join(&mut self) {
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(
+    worker: usize,
+    service: &Service,
+    cfg: &ServerConfig,
+    shutdown: &AtomicBool,
+    rx: &Mutex<Receiver<TcpStream>>,
+    in_flight: &AtomicUsize,
+) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not while serving.
+        let stream = match rx.lock().expect("pool receiver poisoned").recv() {
+            Ok(s) => s,
+            Err(_) => return, // queue closed: server is shutting down
+        };
+        conn::serve(service, cfg, shutdown, worker, stream);
+        in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}

@@ -1,0 +1,235 @@
+//! Request dispatch over the store, plus the server's wire telemetry.
+//!
+//! One [`Service`] is shared by the accept loop and every worker. It
+//! owns a [`cc_telemetry::Telemetry`] instance built from the same
+//! striped-counter / latency-histogram / event-ring types the store
+//! uses, striped per worker so request counting never contends. STATS
+//! responses concatenate the store's Prometheus snapshot (prefix
+//! `cc_store`) with the server's own (prefix `cc_server`), both rendered
+//! by [`cc_telemetry::Snapshot::to_prometheus`] — the exact schema the
+//! [`cc_telemetry::Exporter`] emits, so a scraper cannot tell the
+//! difference.
+
+use crate::proto::{Opcode, Request, Status};
+use cc_core::store::{CompressedStore, StoreError};
+use cc_telemetry::{Snapshot, Telemetry, TelemetrySpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wire-level counter indices (striped per worker).
+pub mod wstat {
+    /// PUT requests executed.
+    pub const REQ_PUT: usize = 0;
+    /// GET requests executed.
+    pub const REQ_GET: usize = 1;
+    /// DEL requests executed.
+    pub const REQ_DEL: usize = 2;
+    /// FLUSH requests executed.
+    pub const REQ_FLUSH: usize = 3;
+    /// STATS requests executed.
+    pub const REQ_STATS: usize = 4;
+    /// PING requests executed.
+    pub const REQ_PING: usize = 5;
+    /// Connections rejected with BUSY by the saturated pool.
+    pub const BUSY_REJECTED: usize = 6;
+    /// Frames that failed framing or protocol decoding.
+    pub const MALFORMED_FRAMES: usize = 7;
+    /// Connections a worker started serving.
+    pub const CONNS_OPENED: usize = 8;
+    /// Connections closed (any reason).
+    pub const CONNS_CLOSED: usize = 9;
+    /// Connections closed by the idle timeout.
+    pub const IDLE_TIMEOUTS: usize = 10;
+    /// Counter name table, index-aligned with the constants above.
+    pub const NAMES: &[&str] = &[
+        "req_put",
+        "req_get",
+        "req_del",
+        "req_flush",
+        "req_stats",
+        "req_ping",
+        "busy_rejected",
+        "malformed_frames",
+        "conns_opened",
+        "conns_closed",
+        "idle_timeouts",
+    ];
+}
+
+/// Per-opcode latency histogram indices: `Opcode as usize - 1`.
+pub mod wop {
+    /// Operation name table, index-aligned with [`crate::proto::Opcode`].
+    pub const NAMES: &[&str] = &["put", "get", "del", "flush", "stats", "ping"];
+}
+
+/// Wire event kinds pushed into the server's event ring.
+pub mod wevent {
+    /// `a` = connection id.
+    pub const CONN_OPEN: usize = 0;
+    /// `a` = connection id, `b` = requests served on it.
+    pub const CONN_CLOSE: usize = 1;
+    /// `a` = connection id rejected at admission.
+    pub const BUSY: usize = 2;
+    /// `a` = connection id, `b` = malformed-frame class (see
+    /// [`crate::conn`]).
+    pub const MALFORMED: usize = 3;
+    /// Event name table.
+    pub const NAMES: &[&str] = &["conn_open", "conn_close", "busy", "malformed"];
+}
+
+const SERVER_TELEMETRY: TelemetrySpec = TelemetrySpec {
+    counters: wstat::NAMES,
+    ops: wop::NAMES,
+    events: wevent::NAMES,
+};
+
+/// Shared per-server state: the store handle, wire telemetry, and the
+/// open-connection gauge.
+pub struct Service {
+    store: Arc<CompressedStore>,
+    tel: Telemetry,
+    open_conns: AtomicU64,
+    next_conn_id: AtomicU64,
+}
+
+impl Service {
+    /// Build a service over `store` with `workers + 1` counter stripes
+    /// (one per worker, one for the accept loop).
+    pub fn new(store: Arc<CompressedStore>, workers: usize) -> Service {
+        Service {
+            store,
+            tel: Telemetry::new(SERVER_TELEMETRY, workers + 1),
+            open_conns: AtomicU64::new(0),
+            next_conn_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<CompressedStore> {
+        &self.store
+    }
+
+    /// The server's wire telemetry (request counters, per-opcode latency
+    /// histograms, connection events).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Connections currently being served.
+    pub fn open_connections(&self) -> u64 {
+        self.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the wire telemetry with the open-connection gauge
+    /// attached.
+    pub fn snapshot(&self) -> Snapshot {
+        self.tel
+            .snapshot()
+            .gauge("open_connections", self.open_connections())
+    }
+
+    /// The STATS payload: the store's Prometheus snapshot followed by
+    /// the server's, schema-identical to what an
+    /// [`cc_telemetry::Exporter`] in Prometheus mode writes.
+    pub fn stats_text(&self) -> String {
+        let mut text = self.store.telemetry_snapshot().to_prometheus("cc_store");
+        text.push_str(&self.snapshot().to_prometheus("cc_server"));
+        text
+    }
+
+    pub(crate) fn next_conn_id(&self) -> u64 {
+        self.next_conn_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn conn_opened(&self, stripe: usize, conn_id: u64) {
+        self.open_conns.fetch_add(1, Ordering::Relaxed);
+        self.tel.count(stripe, wstat::CONNS_OPENED, 1);
+        self.tel.event(wevent::CONN_OPEN, conn_id, 0);
+    }
+
+    pub(crate) fn conn_closed(&self, stripe: usize, conn_id: u64, requests: u64, idle: bool) {
+        self.open_conns.fetch_sub(1, Ordering::Relaxed);
+        self.tel.count(stripe, wstat::CONNS_CLOSED, 1);
+        if idle {
+            self.tel.count(stripe, wstat::IDLE_TIMEOUTS, 1);
+        }
+        self.tel.event(wevent::CONN_CLOSE, conn_id, requests);
+    }
+
+    pub(crate) fn busy_rejected(&self, stripe: usize, conn_id: u64) {
+        self.tel.count(stripe, wstat::BUSY_REJECTED, 1);
+        self.tel.event(wevent::BUSY, conn_id, 0);
+    }
+
+    pub(crate) fn malformed(&self, stripe: usize, conn_id: u64, class: u64) {
+        self.tel.count(stripe, wstat::MALFORMED_FRAMES, 1);
+        self.tel.event(wevent::MALFORMED, conn_id, class);
+    }
+
+    pub(crate) fn record_latency(&self, op: Opcode, ns: u64) {
+        self.tel.record(op as usize - 1, ns);
+    }
+
+    /// Execute one request. The response payload is written into `out`
+    /// (cleared first); the returned status plus `out` form the response
+    /// body. Never panics on store errors — they become [`Status::Err`]
+    /// with the error text as payload.
+    pub(crate) fn handle(&self, stripe: usize, req: &Request<'_>, out: &mut Vec<u8>) -> Status {
+        out.clear();
+        let (counter, status) = match req {
+            Request::Put { key, page } => {
+                let status = match self.store.put(*key, page) {
+                    Ok(()) => Status::Ok,
+                    Err(e) => err_status(e, out),
+                };
+                (wstat::REQ_PUT, status)
+            }
+            Request::Get { key } => {
+                let status = match self.store.page_size() {
+                    // Nothing has ever been stored: every key misses.
+                    None => Status::NotFound,
+                    Some(ps) => {
+                        out.resize(ps, 0);
+                        match self.store.get(*key, out) {
+                            Ok(true) => Status::Ok,
+                            Ok(false) => {
+                                out.clear();
+                                Status::NotFound
+                            }
+                            Err(e) => err_status(e, out),
+                        }
+                    }
+                };
+                (wstat::REQ_GET, status)
+            }
+            Request::Del { key } => {
+                let status = if self.store.remove(*key) {
+                    Status::Ok
+                } else {
+                    Status::NotFound
+                };
+                (wstat::REQ_DEL, status)
+            }
+            Request::Flush => {
+                self.store.flush();
+                (wstat::REQ_FLUSH, Status::Ok)
+            }
+            Request::Stats => {
+                out.extend_from_slice(self.stats_text().as_bytes());
+                (wstat::REQ_STATS, Status::Ok)
+            }
+            Request::Ping => (wstat::REQ_PING, Status::Ok),
+        };
+        self.tel.count(stripe, counter, 1);
+        status
+    }
+}
+
+fn err_status(e: StoreError, out: &mut Vec<u8>) -> Status {
+    out.clear();
+    use std::fmt::Write as _;
+    let mut msg = String::new();
+    let _ = write!(msg, "{e}");
+    out.extend_from_slice(msg.as_bytes());
+    Status::Err
+}

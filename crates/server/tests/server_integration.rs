@@ -1,0 +1,444 @@
+//! End-to-end tests against a live `cc-server` on loopback.
+//!
+//! Covers the service-layer contract the unit tests cannot: concurrent
+//! integrity under a mixed workload (every GET verified against a
+//! shadow model, the store budget watched throughout), saturation
+//! answering `BUSY` with the rejection visible in the wire counters,
+//! each malformed-input class closing the connection with `ERR` without
+//! panicking a worker, idle-timeout reaping, STATS being a parseable
+//! Prometheus payload, and graceful shutdown leaving the store flushed
+//! and readable.
+
+use cc_core::store::{CompressedStore, StoreConfig};
+use cc_server::frame::{self, FrameError};
+use cc_server::{Client, ClientError, Response, Server, ServerConfig, Status};
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PAGE: usize = 1024;
+
+/// Deterministic page content for `(key, version)`; half the versions
+/// compress well, the rest are noise.
+fn fill_page(key: u64, version: u64, buf: &mut [u8]) {
+    let salt =
+        key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ version.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    if version.is_multiple_of(2) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = ((salt as usize + i / 7) % 61) as u8 + b' ';
+        }
+    } else {
+        let mut x = salt | 1;
+        for b in buf.iter_mut() {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (x >> 33) as u8;
+        }
+    }
+}
+
+fn spill_server(budget: usize, cfg: ServerConfig, tag: &str) -> (Server, Arc<CompressedStore>) {
+    let path =
+        std::env::temp_dir().join(format!("cc-server-test-{tag}-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let store = Arc::new(CompressedStore::new(StoreConfig::with_spill(budget, &path)));
+    let server = Server::spawn(Arc::clone(&store), "127.0.0.1:0", cfg).expect("spawn server");
+    (server, store)
+}
+
+/// Satellite: 4 client threads × 10k mixed ops, every GET checked
+/// byte-for-byte against a per-thread shadow map, zero mismatches, and
+/// the store's resident bytes never exceed the budget.
+#[test]
+fn concurrent_integrity_under_mixed_load() {
+    const THREADS: usize = 4;
+    const OPS: u64 = 10_000;
+    const KEYS_PER_THREAD: u64 = 256;
+    const BUDGET: usize = 256 << 10; // well under the working set: spill exercised
+
+    let (server, store) = spill_server(
+        BUDGET,
+        ServerConfig::default().with_workers(THREADS),
+        "integrity",
+    );
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_seen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                max_seen = max_seen.max(store.stats().resident_bytes);
+            }
+            max_seen
+        })
+    };
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .set_timeout(Some(Duration::from_secs(30)))
+                    .expect("timeout");
+                let base = t as u64 * KEYS_PER_THREAD;
+                let mut shadow: HashMap<u64, u64> = HashMap::new();
+                let mut version = 0u64;
+                let mut rng = t as u64 + 1;
+                let mut page = vec![0u8; PAGE];
+                let mut expect = vec![0u8; PAGE];
+                let mut out = Vec::with_capacity(PAGE);
+                let mut next = || {
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    rng >> 33
+                };
+                for op in 0..OPS {
+                    let key = base + next() % KEYS_PER_THREAD;
+                    match next() % 10 {
+                        0..=4 => {
+                            version += 1;
+                            fill_page(key, version, &mut page);
+                            client.put(key, &page).expect("put");
+                            shadow.insert(key, version);
+                        }
+                        5..=8 => {
+                            let hit = client.get(key, &mut out).expect("get");
+                            match (hit, shadow.get(&key).copied()) {
+                                (true, Some(v)) => {
+                                    fill_page(key, v, &mut expect);
+                                    assert_eq!(
+                                        out, expect,
+                                        "thread {t} op {op}: GET({key}) returned wrong bytes"
+                                    );
+                                }
+                                (false, None) => {}
+                                (hit, expected) => panic!(
+                                    "thread {t} op {op}: GET({key}) hit={hit} but shadow={expected:?}"
+                                ),
+                            }
+                        }
+                        _ => {
+                            let existed = client.del(key).expect("del");
+                            assert_eq!(
+                                existed,
+                                shadow.remove(&key).is_some(),
+                                "thread {t} op {op}: DEL({key}) existed-bit disagrees with shadow"
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let max_resident = watcher.join().expect("watcher panicked");
+    assert!(
+        max_resident <= BUDGET as u64,
+        "store budget exceeded under load: saw {max_resident} resident bytes, budget {BUDGET}"
+    );
+
+    let snap = server.service().snapshot();
+    let wire = |n: &str| snap.counter(n).unwrap_or(0);
+    assert_eq!(wire("malformed_frames"), 0);
+    assert_eq!(wire("busy_rejected"), 0);
+    assert_eq!(wire("conns_opened"), THREADS as u64);
+    assert_eq!(
+        wire("req_put") + wire("req_get") + wire("req_del"),
+        THREADS as u64 * OPS
+    );
+    assert_eq!(snap.event_count("conn_open"), Some(THREADS as u64));
+    server.shutdown();
+}
+
+/// Reads the one unsolicited response frame off a raw connection.
+fn read_response(stream: &mut TcpStream) -> Result<(Status, Vec<u8>), FrameError> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut body = Vec::new();
+    frame::read_frame(stream, &mut body, frame::DEFAULT_MAX_FRAME)?;
+    let resp = Response::decode(&body).expect("response decodes");
+    Ok((resp.status, resp.payload.to_vec()))
+}
+
+/// Saturation is bounded and observable: with one worker occupied and a
+/// zero backlog, the next connection is answered `BUSY` and the
+/// rejection shows up in both the counter and the event ring.
+#[test]
+fn saturated_pool_answers_busy() {
+    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
+    let server = Server::spawn(
+        store,
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(1).with_backlog(0),
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+
+    // Occupy the only worker; the completed PING proves the connection
+    // was admitted and is being served.
+    let mut holder = Client::connect(addr).expect("connect holder");
+    holder.ping().expect("ping");
+
+    // The pool is now full: the next connection must be told BUSY. The
+    // server writes the frame unsolicited and closes, so read directly.
+    let mut extra = TcpStream::connect(addr).expect("connect extra");
+    let (status, payload) = read_response(&mut extra).expect("read BUSY frame");
+    assert_eq!(status, Status::Busy);
+    assert!(payload.is_empty());
+    let mut rest = Vec::new();
+    assert!(
+        matches!(
+            frame::read_frame(&mut extra, &mut rest, frame::DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ),
+        "rejected connection should be closed after BUSY"
+    );
+
+    // A Client sees the same thing as ClientError::Busy.
+    match Client::connect(addr).expect("connect second extra").ping() {
+        Err(ClientError::Busy) => {}
+        // The unsolicited BUSY + close can race the client's write into
+        // an I/O error on some kernels; the counters below still pin
+        // that both rejections happened server-side.
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected BUSY, got {other:?}"),
+    }
+
+    let snap = server.service().snapshot();
+    assert_eq!(snap.counter("busy_rejected"), Some(2));
+    assert_eq!(snap.event_count("busy"), Some(2));
+    assert_eq!(snap.counter("malformed_frames"), Some(0));
+
+    // The held connection still works: rejection never hurts admitted
+    // traffic.
+    holder.ping().expect("holder still served");
+    drop(holder);
+    server.shutdown();
+}
+
+/// Every malformed-input class: the server answers `ERR`, closes the
+/// connection, bumps `malformed_frames`, and keeps serving new
+/// connections (no worker panics).
+#[test]
+fn malformed_frames_close_with_err_and_count() {
+    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
+    let server = Server::spawn(
+        store,
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(2),
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+    let service = Arc::clone(server.service());
+    let malformed = || service.snapshot().counter("malformed_frames").unwrap_or(0);
+
+    let expect_err_then_close = |stream: &mut TcpStream, what: &str| {
+        let (status, payload) =
+            read_response(stream).unwrap_or_else(|e| panic!("{what}: expected ERR frame, got {e}"));
+        assert_eq!(status, Status::Err, "{what}: wrong status");
+        assert!(!payload.is_empty(), "{what}: ERR should carry a message");
+        let mut rest = Vec::new();
+        assert!(
+            matches!(
+                frame::read_frame(stream, &mut rest, frame::DEFAULT_MAX_FRAME),
+                Err(FrameError::Closed)
+            ),
+            "{what}: connection should be closed after ERR"
+        );
+    };
+
+    // 1. Truncated header: half a length prefix, then EOF.
+    {
+        use std::io::Write as _;
+        let before = malformed();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&[7, 0]).expect("write partial prefix");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        expect_err_then_close(&mut s, "truncated header");
+        assert_eq!(malformed(), before + 1, "truncated header not counted");
+    }
+
+    // 2. Oversized length prefix: rejected before any body allocation.
+    {
+        use std::io::Write as _;
+        let before = malformed();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&u32::MAX.to_le_bytes()).expect("write prefix");
+        expect_err_then_close(&mut s, "oversized prefix");
+        assert_eq!(malformed(), before + 1, "oversized prefix not counted");
+    }
+
+    // 3. Unknown opcode: a whole, well-framed body that fails decoding.
+    {
+        use std::io::Write as _;
+        let before = malformed();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut wire = Vec::new();
+        frame::write_frame(&mut wire, &[42]).expect("encode frame");
+        s.write_all(&wire).expect("write frame");
+        expect_err_then_close(&mut s, "unknown opcode");
+        assert_eq!(malformed(), before + 1, "unknown opcode not counted");
+    }
+
+    // 4. Truncated body: prefix promises more bytes than ever arrive.
+    {
+        use std::io::Write as _;
+        let before = malformed();
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&16u32.to_le_bytes()).expect("write prefix");
+        s.write_all(&[1, 2, 3]).expect("write partial body");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        expect_err_then_close(&mut s, "truncated body");
+        assert_eq!(malformed(), before + 1, "truncated body not counted");
+    }
+
+    // The events agree with the counter, and the server still serves.
+    let snap = service.snapshot();
+    assert_eq!(
+        snap.event_count("malformed"),
+        snap.counter("malformed_frames")
+    );
+    let mut client = Client::connect(addr).expect("connect after abuse");
+    client.ping().expect("server survived malformed input");
+    client.put(1, &vec![3u8; PAGE]).expect("put works");
+    let mut out = Vec::new();
+    assert!(client.get(1, &mut out).expect("get works"));
+    assert_eq!(out, vec![3u8; PAGE]);
+    drop(client);
+    server.shutdown();
+}
+
+/// Idle connections are reaped after the configured timeout and counted.
+#[test]
+fn idle_connections_time_out() {
+    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
+    let server = Server::spawn(
+        store,
+        "127.0.0.1:0",
+        ServerConfig::default()
+            .with_workers(1)
+            .with_idle_timeout(Duration::from_millis(150)),
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    // Go quiet past the idle deadline; the server closes from its side.
+    std::thread::sleep(Duration::from_millis(600));
+    assert!(
+        client.ping().is_err(),
+        "connection should be closed after idling"
+    );
+    // Allow the close-side accounting to land.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let snap = server.service().snapshot();
+        if snap.counter("idle_timeouts") == Some(1) && snap.counter("conns_closed") == Some(1) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle timeout never counted: {:?}",
+            snap.counters
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+/// STATS over the wire is a parseable Prometheus payload carrying both
+/// the store's and the server's metric families, schema-identical to
+/// the in-process snapshot renderers.
+#[test]
+fn stats_is_scrapeable_prometheus() {
+    let (server, store) = spill_server(64 << 10, ServerConfig::default().with_workers(2), "stats");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut page = vec![0u8; PAGE];
+    for key in 0..64 {
+        fill_page(key, key + 1, &mut page);
+        client.put(key, &page).expect("put");
+    }
+    let mut out = Vec::new();
+    client.get(3, &mut out).expect("get");
+    let text = client.stats().expect("stats");
+
+    assert!(text.contains("cc_store_compressed_total"), "{text}");
+    assert!(text.contains("cc_server_req_put_total 64"), "{text}");
+    assert!(text.contains("cc_server_req_get_total 1"), "{text}");
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let mut parts = line.split_whitespace();
+        let (name, value, extra) = (parts.next(), parts.next(), parts.next());
+        assert!(
+            name.is_some() && value.is_some() && extra.is_none(),
+            "unparseable line: {line:?}"
+        );
+        assert!(
+            value.unwrap().parse::<f64>().is_ok(),
+            "non-numeric value: {line:?}"
+        );
+    }
+    // Same metric names, same order as the in-process renderers (the
+    // schema the cc_telemetry::Exporter writes).
+    let names = |t: &str| {
+        t.lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .filter_map(|l| l.split_whitespace().next().map(str::to_owned))
+            .collect::<Vec<_>>()
+    };
+    let mut local = store.telemetry_snapshot().to_prometheus("cc_store");
+    local.push_str(&server.service().snapshot().to_prometheus("cc_server"));
+    assert_eq!(names(&text), names(&local), "STATS schema drifted");
+    drop(client);
+    server.shutdown();
+}
+
+/// Graceful shutdown drains the spill writer: every acknowledged PUT is
+/// readable from the store afterwards, and the listener is gone.
+#[test]
+fn shutdown_flushes_store_and_stops_listening() {
+    const BUDGET: usize = 32 << 10; // force most pages through the spill writer
+    let (server, store) = spill_server(BUDGET, ServerConfig::default().with_workers(2), "shutdown");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut page = vec![0u8; PAGE];
+    for key in 0..128 {
+        fill_page(key, key + 7, &mut page);
+        client.put(key, &page).expect("put");
+    }
+    drop(client);
+    server.shutdown();
+
+    // Acknowledged data survives: the writer was flushed on the way out.
+    let mut out = vec![0u8; PAGE];
+    let mut expect = vec![0u8; PAGE];
+    for key in 0..128 {
+        assert!(
+            store.get(key, &mut out).expect("get after shutdown"),
+            "key {key} lost by shutdown"
+        );
+        fill_page(key, key + 7, &mut expect);
+        assert_eq!(out, expect, "key {key} corrupted across shutdown");
+    }
+    // The listener is gone: connects are refused (or at best reset
+    // without service).
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => assert!(c.ping().is_err(), "server still serving after shutdown"),
+    }
+}

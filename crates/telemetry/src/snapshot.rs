@@ -13,9 +13,8 @@ use crate::ring::Event;
 use cc_util::fmt;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A point-in-time copy of everything a [`crate::Telemetry`] knows.
 #[derive(Debug, Clone, Default)]
@@ -231,8 +230,14 @@ pub enum ExportFormat {
 /// add gauges) and writes it to the target every `interval`; it exports
 /// one final snapshot when stopped or dropped, so short-lived processes
 /// still leave a complete file behind.
+///
+/// Stopping — explicitly via [`Exporter::stop`] or implicitly on drop —
+/// is deterministic: the timer waits on a condvar, the stop call
+/// notifies it, and the thread is joined before `stop`/`drop` returns.
+/// No detached thread survives the handle, and no export fires after
+/// the join (the final flush happens *inside* it).
 pub struct Exporter {
-    stop: Arc<AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -247,7 +252,7 @@ impl Exporter {
     where
         F: Fn() -> Snapshot + Send + 'static,
     {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("cc-telemetry-exporter".into())
@@ -272,21 +277,38 @@ impl Exporter {
                         }
                     }
                 };
-                // Sleep in short steps so stop() is honoured promptly.
-                const STEP: Duration = Duration::from_millis(10);
-                'run: loop {
-                    let mut slept = Duration::ZERO;
-                    while slept < interval {
-                        if stop2.load(Ordering::Relaxed) {
+                // Wait out each interval on the condvar: a stop wakes
+                // the thread immediately instead of being noticed at
+                // the next polling step. Spurious wakeups re-wait for
+                // the remainder of the same deadline.
+                let (lock, cv) = &*stop2;
+                let mut stopped = lock.lock().expect("exporter stop flag poisoned");
+                'run: while !*stopped {
+                    let deadline = Instant::now() + interval;
+                    loop {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (guard, _) = cv
+                            .wait_timeout(stopped, deadline - now)
+                            .expect("exporter stop flag poisoned");
+                        stopped = guard;
+                        if *stopped {
                             break 'run;
                         }
-                        let step = STEP.min(interval - slept);
-                        std::thread::sleep(step);
-                        slept += step;
                     }
+                    // Interval elapsed without a stop: export. Release
+                    // the flag lock around the (possibly slow) snapshot
+                    // + write so stop() is never blocked behind I/O.
+                    drop(stopped);
                     write(&snap());
+                    stopped = lock.lock().expect("exporter stop flag poisoned");
                 }
-                // Final export so the last state is never lost.
+                drop(stopped);
+                // Final export so the last state is never lost. Runs
+                // before the join in stop()/drop() completes — nothing
+                // fires after the handle is gone.
                 write(&snap());
             })
             .expect("spawn telemetry exporter");
@@ -302,7 +324,9 @@ impl Exporter {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        let (lock, cv) = &*self.stop;
+        *lock.lock().expect("exporter stop flag poisoned") = true;
+        cv.notify_all();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -408,6 +432,60 @@ mod tests {
         exporter.stop();
         let text = std::fs::read_to_string(&path).expect("exporter wrote file");
         assert!(text.contains("\"puts\": 10"), "{text}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn drop_joins_timer_thread_and_stops_exports() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let dir = std::env::temp_dir().join(format!("cc-tel-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+
+        let exports = Arc::new(AtomicU64::new(0));
+        let interval = Duration::from_millis(5);
+        let exporter = {
+            let exports = Arc::clone(&exports);
+            Exporter::spawn(
+                interval,
+                ExportTarget::File(path.clone()),
+                ExportFormat::Json,
+                move || {
+                    exports.fetch_add(1, Ordering::SeqCst);
+                    sample()
+                },
+            )
+        };
+        // Let at least one periodic export happen, then drop the handle.
+        while exports.load(Ordering::SeqCst) == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let before_drop = std::time::Instant::now();
+        drop(exporter);
+        let drop_took = before_drop.elapsed();
+
+        // Drop must complete promptly: one condvar wake + the final
+        // export, not an interval's worth of sleeping. Generous bound
+        // for slow CI, but far below a polling worst case over many
+        // intervals.
+        assert!(
+            drop_took < Duration::from_secs(2),
+            "drop blocked for {drop_took:?}"
+        );
+
+        // After drop returns the thread is joined; no further exports
+        // may fire. Sleep well past several intervals and check the
+        // count is frozen.
+        let frozen = exports.load(Ordering::SeqCst);
+        std::thread::sleep(interval * 10);
+        assert_eq!(
+            exports.load(Ordering::SeqCst),
+            frozen,
+            "exporter kept exporting after drop"
+        );
+
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
     }
