@@ -162,7 +162,7 @@ fn bench_spill_path(c: &mut Criterion) {
             page_for(key, &mut page);
             store.put(key, &page).expect("prefill");
         }
-        store.flush();
+        store.flush().unwrap();
         let mut out = vec![0u8; PAGE];
         let mut n = 0u64;
         b.iter(|| {

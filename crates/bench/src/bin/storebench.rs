@@ -35,15 +35,24 @@
 //! pipeline goes unexercised, the latency histograms fail basic sanity
 //! (empty, or p50/p99/max out of order), or telemetry costs more than
 //! 5% of throughput — CI runs it on every push.
+//!
+//! `--chaos` (optionally with `--seed N`; `--chaos --smoke` is the
+//! reduced CI variant) runs the mixed workload against a seeded
+//! fault-injecting spill medium — transient EIO, bit-flip read
+//! corruption, torn writes, and a scheduled write outage — and exits
+//! nonzero if any get returns wrong bytes, injected corruption goes
+//! undetected, the store fails to enter *and* leave degraded mode on
+//! schedule, or the memory budget stays violated after settling.
 
 use cc_bench::smoke;
+use cc_core::medium::{FaultInjector, FaultPlan, FileMedium, SpillMedium};
 use cc_core::store::{CompressedStore, HitTier, StoreConfig};
 use cc_telemetry::Snapshot;
 use cc_util::SplitMix64;
 use std::io::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const PAGE: usize = 4096;
 const KEYS: u64 = 4096;
@@ -229,7 +238,7 @@ fn run_spill_trial(threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> Spi
         page_for(key, &mut page);
         store.put(key, &page).expect("prefill");
     }
-    store.flush();
+    store.flush().expect("flush");
 
     // Budget watcher: samples the resident gauge as fast as it can while
     // the workers churn; the spill path must never overshoot the budget.
@@ -297,7 +306,7 @@ fn run_spill_trial(threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> Spi
         disk_ns.extend(d);
     }
     let elapsed = start.elapsed().as_secs_f64();
-    store.flush();
+    store.flush().expect("flush");
     stop.store(true, Ordering::Relaxed);
     let max_resident_seen = watcher.join().expect("watcher panicked");
     put_ns.sort_unstable();
@@ -454,6 +463,183 @@ fn json_same_filled(t: &SameFilledTrial) -> String {
     )
 }
 
+/// Deterministic chaos gate: the spill workload against a seeded
+/// [`FaultInjector`] (EIO reads, bit-flip reads, EIO/torn writes) with a
+/// scheduled write outage that forces the degraded-mode transition
+/// mid-run. Exits nonzero if any get returns wrong bytes, corruption
+/// goes undetected, the store fails to degrade and recover on schedule,
+/// or the budget is still violated once the dust settles.
+fn run_chaos(threads: usize, ops_per_thread: u64, seed: u64) -> i32 {
+    const CHAOS_KEYS: u64 = 1024;
+    let path = std::env::temp_dir().join(format!("storebench-chaos-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let injector = Arc::new(FaultInjector::new(
+        FileMedium::create(&path).expect("create chaos spill file"),
+        FaultPlan {
+            seed,
+            read_error_1_in: 61,
+            read_corrupt_1_in: 43,
+            write_error_1_in: 257,
+            short_write_1_in: 509,
+            // Writes 60..100 hard-fail: consecutive batch failures cross
+            // `degrade_after` on schedule, and the probation probes burn
+            // the rest of the window before one lands and recovers.
+            write_outage: Some(60..100),
+            ..FaultPlan::default()
+        },
+    ));
+    let store = Arc::new(CompressedStore::with_medium(
+        StoreConfig::in_memory(SPILL_BUDGET)
+            .with_gc_dead_ratio(0.2)
+            .with_spill_retry(2, Duration::from_micros(200))
+            .with_degrade_after(2)
+            .with_probe_interval(Duration::from_millis(2)),
+        Arc::clone(&injector) as Arc<dyn SpillMedium>,
+    ));
+    eprintln!(
+        "storebench --chaos: seed {seed:#x}, {threads} threads x {ops_per_thread} ops, mixed 50/30/20 put/get/remove over {CHAOS_KEYS} keys, budget {SPILL_BUDGET} B"
+    );
+
+    let violations = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads as u64)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let violations = Arc::clone(&violations);
+            let keys_per_thread = (CHAOS_KEYS / threads as u64).max(1);
+            std::thread::spawn(move || {
+                let base = t * keys_per_thread;
+                // version[k] = last acknowledged put; 0 = unknown.
+                let mut version = vec![0u64; keys_per_thread as usize];
+                let mut vnext = 0u64;
+                let mut rng = SplitMix64::new(seed ^ (t + 1));
+                let mut page = vec![0u8; PAGE];
+                let mut out = vec![0u8; PAGE];
+                for _ in 0..ops_per_thread {
+                    let k = (rng.next_u64() % keys_per_thread) as usize;
+                    let key = base + k as u64;
+                    match rng.next_u64() % 10 {
+                        0..=4 => {
+                            vnext += 1;
+                            chaos_page(key, vnext, &mut page);
+                            match store.put(key, &page) {
+                                Ok(()) => version[k] = vnext,
+                                Err(_) => version[k] = 0, // degraded: unknown
+                            }
+                        }
+                        5..=7 => match store.get(key, &mut out) {
+                            Ok(true) => {
+                                // THE invariant: returned bytes are some
+                                // exact put, never garbage.
+                                if version[k] != 0 {
+                                    chaos_page(key, version[k], &mut page);
+                                    if out != page {
+                                        violations.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            // A miss (shed / corrupt-dropped) and an
+                            // honest error are both legal outcomes.
+                            Ok(false) | Err(_) => version[k] = 0,
+                        },
+                        _ => {
+                            store.remove(key);
+                            version[k] = 0;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("chaos worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // The outage window is finite: wait out probation, then settle.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while store.is_degraded() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let flush_ok = store.flush().is_ok();
+    let s = store.stats();
+    let inj = injector.injected();
+    eprintln!(
+        "  {:.0} ops/s; injected: {} read EIO, {} bit flips, {} write EIO, {} torn writes over {} medium ops",
+        (threads as u64 * ops_per_thread) as f64 / elapsed,
+        inj.read_errors,
+        inj.read_corruptions,
+        inj.write_errors,
+        inj.short_writes,
+        injector.operations(),
+    );
+    eprintln!(
+        "  detected: {} corrupt extents, {} io retries; degraded {}x, recovered {}x after {} probes; {} fallback-resident, {} shed",
+        s.corrupt_detected,
+        s.io_retries,
+        s.degraded_entered,
+        s.degraded_recovered,
+        s.medium_probes,
+        s.spill_fallback_resident,
+        s.shed_pages,
+    );
+    eprintln!(
+        "  settled: resident {} B / budget {SPILL_BUDGET} B, {} spilled in {} batches, {} GC runs, flush_ok={flush_ok}",
+        s.resident_bytes, s.spilled, s.spill_batches, s.gc_runs,
+    );
+
+    let mut failures = Vec::new();
+    if violations.load(Ordering::Relaxed) > 0 {
+        failures.push(format!(
+            "{} gets returned wrong bytes under fault injection",
+            violations.load(Ordering::Relaxed)
+        ));
+    }
+    if inj.total() == 0 {
+        failures.push("fault injector idle: the chaos run exercised nothing".into());
+    }
+    if inj.read_corruptions > 0 && s.corrupt_detected == 0 {
+        failures.push(format!(
+            "{} bit flips injected but none detected",
+            inj.read_corruptions
+        ));
+    }
+    if s.io_retries == 0 {
+        failures.push("injected transient EIO never retried".into());
+    }
+    if s.degraded_entered == 0 {
+        failures.push("write outage did not trigger degraded mode".into());
+    }
+    if s.degraded_recovered == 0 || s.degraded {
+        failures.push(format!(
+            "store never recovered from the outage (entered {}x, recovered {}x, degraded={})",
+            s.degraded_entered, s.degraded_recovered, s.degraded
+        ));
+    }
+    if s.resident_bytes > SPILL_BUDGET as u64 {
+        failures.push(format!(
+            "budget violated after settling: {} > {SPILL_BUDGET}",
+            s.resident_bytes
+        ));
+    }
+    if s.spill_batches == 0 {
+        failures.push("nothing ever spilled: the chaos ran against an idle medium".into());
+    }
+    store.shutdown();
+    let _ = std::fs::remove_file(&path);
+    smoke::report("storebench --chaos", &failures)
+}
+
+/// Page payload for the chaos trial: versioned incompressible noise, so
+/// every page takes the spill machinery (never the same-filled elision)
+/// and any single flipped bit is visible.
+fn chaos_page(key: u64, version: u64, buf: &mut [u8]) {
+    let mut rng = SplitMix64::new(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ version);
+    for b in buf.iter_mut() {
+        *b = rng.next_u64() as u8;
+    }
+}
+
 /// Reduced-ops CI gate: exercise the spill pipeline, same-filled path,
 /// and telemetry plane for real, and fail loudly if an invariant breaks.
 fn run_smoke() -> i32 {
@@ -538,6 +724,8 @@ fn main() {
     let mut ops_per_thread: u64 = 200_000;
     let mut out_path = String::from("BENCH_store.json");
     let mut smoke = false;
+    let mut chaos = false;
+    let mut seed: u64 = 0xC4A0_5CA0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -553,14 +741,27 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed expects a number (the fault-injection seed)");
+                    std::process::exit(2);
+                })
+            }
             "--smoke" => smoke = true,
+            "--chaos" => chaos = true,
             other => {
                 eprintln!(
-                    "unknown arg: {other}\nusage: storebench [--ops N] [--out PATH] [--smoke]"
+                    "unknown arg: {other}\nusage: storebench [--ops N] [--out PATH] [--smoke] [--chaos [--seed N]]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if chaos {
+        // `--chaos --smoke` is the reduced-ops CI gate; bare `--chaos`
+        // runs the full schedule at the configured op count.
+        let ops = if smoke { 6_000 } else { ops_per_thread / 4 };
+        std::process::exit(run_chaos(8, ops.max(1), seed));
     }
     if smoke {
         std::process::exit(run_smoke());

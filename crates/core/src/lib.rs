@@ -40,7 +40,11 @@
 //!
 //! Besides the simulator-facing mechanism, [`store`] packages the same
 //! idea as a standalone, thread-safe library (a zram/zswap-shaped API with
-//! a real background spill thread) usable outside the reproduction.
+//! a real background spill thread) usable outside the reproduction, and
+//! [`medium`] abstracts its spill backing behind a positioned-I/O trait
+//! with a deterministic fault injector for chaos testing — checksummed
+//! extents, bounded retry, and degraded-mode operation are part of the
+//! store's contract, not an afterthought.
 
 #![warn(missing_docs)]
 
@@ -48,6 +52,7 @@ pub mod backing;
 pub mod cache;
 pub mod circ;
 pub mod config;
+pub mod medium;
 pub mod overhead;
 pub mod store;
 pub mod swap;
@@ -55,6 +60,7 @@ pub mod swap;
 pub use backing::{BackingStore, MemBacking};
 pub use cache::{CleanEvictOutcome, CompressionCache, CoreStats, FaultOutcome, InsertOutcome};
 pub use config::CacheConfig;
+pub use medium::{Fault, FaultInjector, FaultPlan, FileMedium, InjectedFaults, SpillMedium};
 pub use overhead::OverheadReport;
 pub use store::{CompressedStore, StoreConfig, StoreError, StoreStats};
 pub use swap::{SwapInfo, SwapLoc, SwapSpace};

@@ -35,6 +35,23 @@
 //! pages) bypass the compressor entirely and are stored as an 8-byte
 //! pattern with zero residency cost.
 //!
+//! # Fault model
+//!
+//! The spill path assumes the medium *lies* (see [`crate::medium`]):
+//! every extent on the file carries a self-verifying header (magic,
+//! payload length, generation, CRC-32 of the compressed payload) written
+//! at batch-commit time, so a corrupted or misdirected read is detected
+//! and surfaced as [`StoreError::Corrupt`] — never decompressed into a
+//! user page. Transient read/write failures get bounded retry with
+//! exponential backoff ([`StoreConfig::with_spill_retry`]); after
+//! [`StoreConfig::degrade_after`] consecutive hard batch failures the
+//! store enters **degraded mode**: spill is disabled, eviction becomes
+//! clean-page *shedding* (dropping the coldest entries — cache-miss
+//! semantics — to stay under budget), and a probation loop re-probes the
+//! medium every [`StoreConfig::probe_interval`], re-enabling spill once
+//! a canary write/read round-trips. The transitions are counted and
+//! ring-logged, and [`CompressedStore::is_degraded`] exposes the gauge.
+//!
 //! # Telemetry
 //!
 //! Every store carries a [`cc_telemetry::Telemetry`] instance:
@@ -60,18 +77,17 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
 use std::hash::{BuildHasherDefault, Hasher};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use crate::medium::{FileMedium, SpillMedium};
 use cc_compress::{CompressDecision, Compressor, Lzrw1, ThresholdPolicy};
 use cc_telemetry::{Telemetry, TelemetrySpec};
-use cc_util::LruList;
+use cc_util::{crc32, LruList};
 
 /// Counter indices into the store's [`TelemetrySpec`] (one striped,
 /// cache-padded atomic per shard per counter — the statistics of record,
@@ -87,6 +103,13 @@ mod tstat {
     pub const SPILL_BATCHES: usize = 7;
     pub const GC_RUNS: usize = 8;
     pub const GC_BYTES_RELOCATED: usize = 9;
+    pub const SPILL_FALLBACK_RESIDENT: usize = 10;
+    pub const SHED_PAGES: usize = 11;
+    pub const CORRUPT_DETECTED: usize = 12;
+    pub const IO_RETRIES: usize = 13;
+    pub const DEGRADED_ENTERED: usize = 14;
+    pub const DEGRADED_RECOVERED: usize = 15;
+    pub const MEDIUM_PROBES: usize = 16;
     pub const NAMES: &[&str] = &[
         "compressed",
         "stored_raw",
@@ -98,6 +121,13 @@ mod tstat {
         "spill_batches",
         "gc_runs",
         "gc_bytes_relocated",
+        "spill_fallback_resident",
+        "shed_pages",
+        "corrupt_detected",
+        "io_retries",
+        "degraded_entered",
+        "degraded_recovered",
+        "medium_probes",
     ];
 }
 
@@ -134,12 +164,25 @@ mod tevent {
     pub const THRESHOLD_REJECT: usize = 3;
     /// `a` = key, `b` = the repeated 8-byte pattern.
     pub const SAME_FILLED: usize = 4;
+    /// `a` = consecutive hard batch failures at the transition, `b` = 0.
+    pub const DEGRADE: usize = 5;
+    /// `a` = probes issued while degraded, `b` = 0.
+    pub const RECOVER: usize = 6;
+    /// `a` = key shed, `b` = compressed bytes dropped.
+    pub const SHED: usize = 7;
+    /// `a` = key, `b` = file offset of the extent that failed
+    /// verification.
+    pub const CORRUPT: usize = 8;
     pub const NAMES: &[&str] = &[
         "batch_commit",
         "gc_run",
         "evict",
         "threshold_reject",
         "same_filled",
+        "degrade",
+        "recover",
+        "shed",
+        "corrupt",
     ];
 }
 
@@ -180,10 +223,37 @@ pub struct StoreConfig {
     /// is always exact — and the writer thread's batch/GC timings are
     /// always recorded since they are off the data path.
     pub telemetry: bool,
+    /// Total attempts (first try + retries) for a spill read or batch
+    /// write before the failure is treated as hard. Default 3; clamped
+    /// to at least 1.
+    pub spill_retry_attempts: u32,
+    /// Backoff before retry `n` is `spill_retry_base << (n - 1)`
+    /// (exponential). Default 500 µs.
+    pub spill_retry_base: Duration,
+    /// Consecutive *hard* batch-write failures (each already having
+    /// exhausted its retries) after which the store enters degraded
+    /// mode. Default 3.
+    pub degrade_after: u32,
+    /// While degraded, the writer probes the medium with a canary
+    /// write/read round-trip at this interval, re-enabling spill on
+    /// success. Default 50 ms.
+    pub probe_interval: Duration,
 }
 
 /// The paper's §4.3 write-back batch size.
 const DEFAULT_SPILL_BATCH: usize = 32 * 1024;
+
+/// Default total attempts for a spill read or batch write.
+const DEFAULT_RETRY_ATTEMPTS: u32 = 3;
+
+/// Default base backoff between spill I/O retries.
+const DEFAULT_RETRY_BASE: Duration = Duration::from_micros(500);
+
+/// Default consecutive hard batch failures before degrading.
+const DEFAULT_DEGRADE_AFTER: u32 = 3;
+
+/// Default medium re-probe interval while degraded.
+const DEFAULT_PROBE_INTERVAL: Duration = Duration::from_millis(50);
 
 impl StoreConfig {
     /// Memory-only store with the paper's 4:3 threshold.
@@ -196,19 +266,18 @@ impl StoreConfig {
             spill_batch_bytes: DEFAULT_SPILL_BATCH,
             gc_dead_ratio: 0.5,
             telemetry: true,
+            spill_retry_attempts: DEFAULT_RETRY_ATTEMPTS,
+            spill_retry_base: DEFAULT_RETRY_BASE,
+            degrade_after: DEFAULT_DEGRADE_AFTER,
+            probe_interval: DEFAULT_PROBE_INTERVAL,
         }
     }
 
     /// Store with a spill file for overflow.
     pub fn with_spill(memory_budget: usize, path: impl Into<PathBuf>) -> Self {
         StoreConfig {
-            memory_budget,
             spill_path: Some(path.into()),
-            threshold: ThresholdPolicy::default(),
-            shards: 0,
-            spill_batch_bytes: DEFAULT_SPILL_BATCH,
-            gc_dead_ratio: 0.5,
-            telemetry: true,
+            ..StoreConfig::in_memory(memory_budget)
         }
     }
 
@@ -242,6 +311,28 @@ impl StoreConfig {
         self
     }
 
+    /// Override the spill I/O retry policy: `attempts` total tries
+    /// (clamped to at least 1) with exponential backoff starting at
+    /// `base`.
+    pub fn with_spill_retry(mut self, attempts: u32, base: Duration) -> Self {
+        self.spill_retry_attempts = attempts.max(1);
+        self.spill_retry_base = base;
+        self
+    }
+
+    /// Override how many consecutive hard batch failures trigger
+    /// degraded mode (clamped to at least 1).
+    pub fn with_degrade_after(mut self, n: u32) -> Self {
+        self.degrade_after = n.max(1);
+        self
+    }
+
+    /// Override the degraded-mode medium re-probe interval.
+    pub fn with_probe_interval(mut self, t: Duration) -> Self {
+        self.probe_interval = t;
+        self
+    }
+
     /// The shard count this config will actually build: the requested
     /// count (or available parallelism when unset), rounded up to a
     /// power of two and clamped to `1..=256`.
@@ -269,10 +360,15 @@ pub enum StoreError {
         /// Size offered.
         got: usize,
     },
-    /// The store has been shut down ([`CompressedStore::shutdown`]) and
-    /// this put needed the (now stopped) spill writer. Reads and puts
-    /// that fit in memory still succeed.
+    /// The store has been shut down ([`CompressedStore::shutdown`]) — or
+    /// its spill writer died — and this operation needed it. Reads and
+    /// puts that fit in memory still succeed.
     ShuttingDown,
+    /// A spilled extent failed self-verification (bad magic, length or
+    /// generation mismatch, or CRC-32 failure) on every retry. The
+    /// entry has been dropped — a subsequent get misses instead of
+    /// returning garbage.
+    Corrupt,
     /// Spill-file I/O failed.
     Io(std::io::Error),
 }
@@ -286,6 +382,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::ShuttingDown => {
                 write!(f, "store is shutting down; spill writer stopped")
+            }
+            StoreError::Corrupt => {
+                write!(f, "spilled extent failed verification; entry dropped")
             }
             StoreError::Io(e) => write!(f, "spill I/O error: {e}"),
         }
@@ -345,6 +444,26 @@ pub struct StoreStats {
     pub gc_bytes_relocated: u64,
     /// Longest single compaction pass observed, in nanoseconds.
     pub gc_pause_max_ns: u64,
+    /// Entries reverted to memory residence because their batch write
+    /// hard-failed (the [`SPILL_FAILED`] fallback path).
+    pub spill_fallback_resident: u64,
+    /// Entries dropped outright (cache-miss semantics) to restore the
+    /// budget — degraded-mode eviction and post-fallback shedding.
+    pub shed_pages: u64,
+    /// Spilled-extent verification failures detected (each one is a
+    /// read that would have returned garbage without the header).
+    pub corrupt_detected: u64,
+    /// Spill I/O retries issued after transient read/write failures.
+    pub io_retries: u64,
+    /// Transitions into degraded mode.
+    pub degraded_entered: u64,
+    /// Recoveries out of degraded mode (successful probation probes).
+    pub degraded_recovered: u64,
+    /// Canary probes issued against the medium while degraded.
+    pub medium_probes: u64,
+    /// Whether the store is currently degraded (spill disabled,
+    /// memory-only with shedding).
+    pub degraded: bool,
     /// Current spill-file size in bytes (gauge).
     pub bytes_on_spill: u64,
     /// Bytes in the spill file belonging to removed or replaced entries,
@@ -374,9 +493,12 @@ enum Residence {
     /// key can be replaced and re-spilled while an older job is still
     /// queued, and the stale completion must not be believed.
     Spilling { data: Arc<Vec<u8>>, gen: u64 },
-    /// On the spill file. The generation survives from the spill job so a
-    /// reader can detect (and retry across) a concurrent replacement even
-    /// if GC relocates extents while its read is in flight.
+    /// On the spill file. `len` is the full extent length — the
+    /// [`EXTENT_HEADER`]-byte self-verifying header plus the compressed
+    /// payload. The generation survives from the spill job so a reader
+    /// can detect (and retry across) a concurrent replacement even if GC
+    /// relocates extents while its read is in flight, and is also sealed
+    /// into the header so a misdirected read is caught by verification.
     Spilled { offset: u64, len: u32, gen: u64 },
 }
 
@@ -458,6 +580,48 @@ struct SpillJob {
 /// Completion offset reported when the batch write itself failed.
 const SPILL_FAILED: u64 = u64::MAX;
 
+/// Magic leading every on-file extent header.
+const EXTENT_MAGIC: u32 = 0xCC5E_E001;
+
+/// Bytes of self-verifying header preceding every spilled payload:
+/// `magic: u32 | payload_len: u32 | gen: u64 | crc32(payload): u32`,
+/// all little-endian.
+const EXTENT_HEADER: usize = 20;
+
+/// Append `payload`'s extent (header + payload) to `buf`. The CRC is
+/// computed here, at batch-commit time — the last moment the writer
+/// still holds the payload bytes it is about to trust to the medium.
+fn encode_extent(buf: &mut Vec<u8>, gen: u64, payload: &[u8]) {
+    buf.extend_from_slice(&EXTENT_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&gen.to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// Check `ext` (a full extent as read back) against the generation the
+/// entry map says lives there. Any mismatch — magic, length, generation,
+/// or payload CRC — means the bytes must not be decompressed.
+fn verify_extent(ext: &[u8], gen: u64) -> bool {
+    if ext.len() < EXTENT_HEADER {
+        return false;
+    }
+    let magic = u32::from_le_bytes(ext[0..4].try_into().expect("4-byte slice"));
+    let plen = u32::from_le_bytes(ext[4..8].try_into().expect("4-byte slice")) as usize;
+    let hgen = u64::from_le_bytes(ext[8..16].try_into().expect("8-byte slice"));
+    let crc = u32::from_le_bytes(ext[16..20].try_into().expect("4-byte slice"));
+    magic == EXTENT_MAGIC
+        && hgen == gen
+        && plen == ext.len() - EXTENT_HEADER
+        && crc == crc32(&ext[EXTENT_HEADER..])
+}
+
+/// Backoff before retry `attempt` (1-based): `base << (attempt - 1)`,
+/// capped to keep a misconfigured attempt count from sleeping forever.
+fn backoff(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << (attempt - 1).min(10))
+}
+
 /// A durable (or failed) write the store must fold into its entry maps.
 struct Completion {
     key: u64,
@@ -535,8 +699,17 @@ struct StoreCore {
     page_size: AtomicUsize,
     /// Generation stamp for spill jobs.
     next_gen: AtomicU64,
-    /// The spill file for reads (independent handle from the writer's).
-    read_file: Option<Mutex<File>>,
+    /// The spill medium, shared by the writer thread and all readers
+    /// (positioned I/O — no seek cursor to contend on).
+    medium: Option<Arc<dyn SpillMedium>>,
+    /// Set when spill is disabled after consecutive hard medium
+    /// failures (or a writer death). Eviction sheds instead of
+    /// spilling until the probation probe clears it.
+    degraded: AtomicBool,
+    /// Set when the writer thread has exited — normally (shutdown /
+    /// drop) or by panic. With this set, `Spilling` entries that have
+    /// no completion yet will never get one.
+    writer_dead: AtomicBool,
     /// Completed writes, published by the writer after each batch.
     done: Mutex<Vec<Completion>>,
     /// Counters, latency histograms, and the event ring. Counters are
@@ -566,30 +739,25 @@ impl CompressedStore {
     ///
     /// Panics if the spill file cannot be created.
     pub fn new(cfg: StoreConfig) -> Self {
-        let (tx, write_file, read_file) = match &cfg.spill_path {
-            Some(path) => {
-                let write_file = OpenOptions::new()
-                    .create(true)
-                    .read(true)
-                    .write(true)
-                    .truncate(true)
-                    .open(path)
-                    .expect("create spill file");
-                let read_file = OpenOptions::new()
-                    .read(true)
-                    .open(path)
-                    .expect("open spill file for reads");
+        let medium = cfg.spill_path.as_ref().map(|path| {
+            Arc::new(FileMedium::create(path).expect("create spill file")) as Arc<dyn SpillMedium>
+        });
+        Self::build(cfg, medium)
+    }
+
+    /// Open a store over an explicit [`SpillMedium`] — a fault injector,
+    /// an in-memory medium, anything. `cfg.spill_path` is ignored (the
+    /// medium *is* the spill backing); everything else applies as usual.
+    pub fn with_medium(cfg: StoreConfig, medium: Arc<dyn SpillMedium>) -> Self {
+        Self::build(cfg, Some(medium))
+    }
+
+    fn build(cfg: StoreConfig, medium: Option<Arc<dyn SpillMedium>>) -> Self {
+        let (tx, rx) = match &medium {
+            Some(_) => {
                 let (tx, rx): (Sender<SpillJob>, Receiver<SpillJob>) = channel();
-                (
-                    Some((tx, rx)),
-                    Some(write_file),
-                    Some(Mutex::new(read_file)),
-                )
+                (Some(tx), Some(rx))
             }
-            None => (None, None, None),
-        };
-        let (tx, rx) = match tx {
-            Some((tx, rx)) => (Some(tx), Some(rx)),
             None => (None, None),
         };
         let nshards = cfg.resolved_shards();
@@ -617,25 +785,44 @@ impl CompressedStore {
             resident: AtomicUsize::new(0),
             page_size: AtomicUsize::new(0),
             next_gen: AtomicU64::new(0),
-            read_file,
+            medium,
+            degraded: AtomicBool::new(false),
+            writer_dead: AtomicBool::new(false),
             done: Mutex::new(Vec::new()),
             tel,
             spill_file_bytes: AtomicU64::new(0),
             spill_dead_bytes: AtomicU64::new(0),
         });
-        let writer = match (write_file, rx) {
-            (Some(file), Some(rx)) => {
+        let writer = match (&core.medium, rx) {
+            (Some(medium), Some(rx)) => {
                 let writer_core = Arc::clone(&core);
+                let medium = Arc::clone(medium);
+                let exit_core = Arc::clone(&core);
                 Some(
                     std::thread::Builder::new()
                         .name("cc-store-cleaner".into())
                         .spawn(move || {
-                            SpillWriter {
-                                core: writer_core,
-                                file,
-                                cursor: 0,
+                            // A panic anywhere in the writer (including
+                            // inside a hostile medium) must not strand
+                            // `flush()` callers: mark the thread dead so
+                            // flush can reclaim orphaned jobs, and
+                            // degrade the store so eviction sheds
+                            // instead of queueing into the void.
+                            let body = std::panic::AssertUnwindSafe(move || {
+                                SpillWriter {
+                                    core: writer_core,
+                                    medium,
+                                    cursor: 0,
+                                    consecutive_failures: 0,
+                                    probes: 0,
+                                }
+                                .run(rx)
+                            });
+                            let result = std::panic::catch_unwind(body);
+                            exit_core.writer_dead.store(true, Ordering::Relaxed);
+                            if result.is_err() {
+                                exit_core.enter_degraded(0);
                             }
-                            .run(rx)
                         })
                         .expect("spawn cleaner thread"),
                 )
@@ -713,6 +900,14 @@ impl CompressedStore {
         self.core.stats()
     }
 
+    /// Whether the store is currently in degraded mode: spill disabled
+    /// after consecutive hard medium failures (or a writer death),
+    /// eviction shedding the coldest entries instead. Clears itself
+    /// when the probation probe finds the medium healthy again.
+    pub fn is_degraded(&self) -> bool {
+        self.core.degraded.load(Ordering::Relaxed)
+    }
+
     /// The store's telemetry instance: striped counters, per-operation
     /// latency histograms (`put`, `get_memory`, `get_same_filled`,
     /// `get_spill`, `spill_write`, `spill_read`, `gc_pause`), and the
@@ -744,13 +939,20 @@ impl CompressedStore {
                 "spill_dead_bytes",
                 self.core.spill_dead_bytes.load(Ordering::Relaxed),
             )
+            .gauge(
+                "degraded",
+                self.core.degraded.load(Ordering::Relaxed) as u64,
+            )
     }
 
     /// Block until the cleaner has drained all pending spills (tests and
     /// orderly shutdown). Entries sitting in a partially-filled batch are
     /// committed by the writer's bounded linger, so this terminates even
-    /// mid-batch.
-    pub fn flush(&self) {
+    /// mid-batch. If the writer thread has died (panicked medium), the
+    /// orphaned in-flight entries are reverted to memory residence, the
+    /// budget is restored by shedding, and [`StoreError::ShuttingDown`]
+    /// is returned — a flush never hangs on a dead writer.
+    pub fn flush(&self) -> Result<(), StoreError> {
         self.core.flush()
     }
 
@@ -758,7 +960,7 @@ impl CompressedStore {
     /// store remains readable; further puts that need to spill fail
     /// with [`StoreError::ShuttingDown`].
     pub fn shutdown(&self) {
-        self.core.flush();
+        let _ = self.core.flush();
         for s in &self.core.shards {
             s.0.lock().expect("shard poisoned").tx = None;
         }
@@ -800,7 +1002,25 @@ impl StoreCore {
     }
 
     fn has_spill(&self) -> bool {
-        self.read_file.is_some()
+        self.medium.is_some()
+    }
+
+    /// Flip into degraded mode (idempotent); `failures` is the
+    /// consecutive hard-failure count at the transition, for the event.
+    fn enter_degraded(&self, failures: u64) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            self.tel.count(0, tstat::DEGRADED_ENTERED, 1);
+            self.tel.event(tevent::DEGRADE, failures, 0);
+        }
+    }
+
+    /// Leave degraded mode (idempotent); `probes` is how many canary
+    /// probes it took, for the event.
+    fn exit_degraded(&self, probes: u64) {
+        if self.degraded.swap(false, Ordering::Relaxed) {
+            self.tel.count(0, tstat::DEGRADED_RECOVERED, 1);
+            self.tel.event(tevent::RECOVER, probes, 0);
+        }
     }
 
     /// Start a latency sample iff sampling is enabled — the hot paths
@@ -926,36 +1146,59 @@ impl StoreCore {
             }
         }
 
-        if !reserved && shard.tx.is_none() {
-            // Straight-to-spill needed but the writer is gone (the store
-            // was shut down): fail the put instead of panicking. The old
-            // entry was already removed above — acceptable for a store
-            // that is being torn down.
-            drop(shard);
-            return Err(StoreError::ShuttingDown);
+        if !reserved {
+            if shard.tx.is_none() {
+                // Straight-to-spill needed but the writer is gone (the
+                // store was shut down): fail the put instead of
+                // panicking. The old entry was already removed above —
+                // acceptable for a store that is being torn down.
+                drop(shard);
+                return Err(StoreError::ShuttingDown);
+            }
+            if self.degraded.load(Ordering::Relaxed) {
+                // Spill is disabled and nothing was evictable: the
+                // memory-only store is genuinely full.
+                drop(shard);
+                return Err(StoreError::OutOfMemory);
+            }
         }
-        let residence = SCRATCH.with(|c| {
+        let residence = SCRATCH.with(|c| -> Result<Residence, StoreError> {
             let s = &mut *c.borrow_mut();
             let compressed = &s.comp[..len];
             if reserved {
                 let data = shard.acquire_buf(compressed);
                 let handle = shard.lru.push_mru(key);
-                Residence::Memory { data, handle }
+                Ok(Residence::Memory { data, handle })
             } else {
                 // Straight-to-spill path (see above): never resident.
                 let data = Arc::new(compressed.to_vec());
                 let gen = self.next_gen.fetch_add(1, Ordering::Relaxed);
-                self.tel.count(shard_idx, tstat::SPILLED, 1);
                 let tx = shard.tx.as_ref().expect("checked above");
-                tx.send(SpillJob {
-                    key,
-                    gen,
-                    data: Arc::clone(&data),
-                })
-                .expect("cleaner thread died");
-                Residence::Spilling { data, gen }
+                if tx
+                    .send(SpillJob {
+                        key,
+                        gen,
+                        data: Arc::clone(&data),
+                    })
+                    .is_err()
+                {
+                    // The receiver is gone without a shutdown(): the
+                    // writer panicked. Degrade and fail this put.
+                    self.writer_dead.store(true, Ordering::Relaxed);
+                    self.enter_degraded(0);
+                    return Err(StoreError::ShuttingDown);
+                }
+                self.tel.count(shard_idx, tstat::SPILLED, 1);
+                Ok(Residence::Spilling { data, gen })
             }
         });
+        let residence = match residence {
+            Ok(r) => r,
+            Err(e) => {
+                drop(shard);
+                return Err(e);
+            }
+        };
         shard.entries.insert(
             key,
             Entry {
@@ -972,9 +1215,14 @@ impl StoreCore {
         self.absorb_completed_spills();
         let t0 = self.sample_start();
         let shard_idx = self.shard_index(key);
+        // Transient spill-read failures (I/O errors, corrupt extents)
+        // consumed so far by this get; bounded by the retry policy.
+        let mut io_attempts: u32 = 0;
         // The loop retries a disk hit whose extent was replaced or
-        // relocated by GC while the read was in flight; every other arm
-        // returns on the first pass.
+        // relocated by GC while the read was in flight (unbounded: each
+        // pass observes real progress by another thread) and transient
+        // I/O failures (bounded by `spill_retry_attempts`); every other
+        // arm returns on the first pass.
         loop {
             let mut shard = self.shards[shard_idx].0.lock().expect("shard poisoned");
             let Some(entry) = shard.entries.get(&key) else {
@@ -1045,8 +1293,51 @@ impl StoreCore {
                     if !valid {
                         continue;
                     }
+                    // Transient I/O failure: bounded retry with backoff.
+                    if let Err(e) = io {
+                        io_attempts += 1;
+                        if io_attempts >= self.cfg.spill_retry_attempts.max(1) {
+                            return Err(e);
+                        }
+                        self.tel.count(shard_idx, tstat::IO_RETRIES, 1);
+                        std::thread::sleep(backoff(self.cfg.spill_retry_base, io_attempts));
+                        continue;
+                    }
+                    // Verify AFTER revalidation: a torn read caused by a
+                    // legitimate GC relocation took the `continue` above
+                    // and never reaches here, so a failure now is real
+                    // corruption — count it, never decompress it.
+                    if !self.verify_staged(gen) {
+                        self.tel.count(shard_idx, tstat::CORRUPT_DETECTED, 1);
+                        if self.tel.timing_enabled() {
+                            self.tel.event(tevent::CORRUPT, key, offset);
+                        }
+                        io_attempts += 1;
+                        if io_attempts >= self.cfg.spill_retry_attempts.max(1) {
+                            // Persistent corruption: drop the entry (if
+                            // it still names this extent) so later gets
+                            // miss and can refill, instead of serving
+                            // the same garbage forever.
+                            let mut shard =
+                                self.shards[shard_idx].0.lock().expect("shard poisoned");
+                            let same = matches!(
+                                shard.entries.get(&key).map(|e| &e.residence),
+                                Some(Residence::Spilled {
+                                    offset: o,
+                                    len: l,
+                                    gen: g
+                                }) if *o == offset && *l == len && *g == gen
+                            );
+                            if same {
+                                self.remove_locked(&mut shard, key);
+                            }
+                            return Err(StoreError::Corrupt);
+                        }
+                        self.tel.count(shard_idx, tstat::IO_RETRIES, 1);
+                        std::thread::sleep(backoff(self.cfg.spill_retry_base, io_attempts));
+                        continue;
+                    }
                     self.tel.count(shard_idx, tstat::HITS_SPILL, 1);
-                    io?;
                     self.decompress_staged(orig_len, out);
                     self.sample_end(top::GET_SPILL, t0);
                     return Ok(Some(HitTier::Spill));
@@ -1070,6 +1361,14 @@ impl StoreCore {
             gc_runs: self.tel.counter_sum(tstat::GC_RUNS),
             gc_bytes_relocated: self.tel.counter_sum(tstat::GC_BYTES_RELOCATED),
             gc_pause_max_ns: self.tel.op_summary(top::GC_PAUSE).max,
+            spill_fallback_resident: self.tel.counter_sum(tstat::SPILL_FALLBACK_RESIDENT),
+            shed_pages: self.tel.counter_sum(tstat::SHED_PAGES),
+            corrupt_detected: self.tel.counter_sum(tstat::CORRUPT_DETECTED),
+            io_retries: self.tel.counter_sum(tstat::IO_RETRIES),
+            degraded_entered: self.tel.counter_sum(tstat::DEGRADED_ENTERED),
+            degraded_recovered: self.tel.counter_sum(tstat::DEGRADED_RECOVERED),
+            medium_probes: self.tel.counter_sum(tstat::MEDIUM_PROBES),
+            degraded: self.degraded.load(Ordering::Relaxed),
             bytes_on_spill: self.spill_file_bytes.load(Ordering::Relaxed),
             spill_dead_bytes: self.spill_dead_bytes.load(Ordering::Relaxed),
             memory_bytes: resident,
@@ -1083,15 +1382,24 @@ impl StoreCore {
             let s = &mut *c.borrow_mut();
             s.stage.clear();
             s.stage.resize(len as usize, 0);
-            let mut f = self
-                .read_file
+            self.medium
                 .as_ref()
-                .expect("spilled entry without spill file")
-                .lock()
-                .expect("spill file poisoned");
-            f.seek(SeekFrom::Start(offset))?;
-            f.read_exact(&mut s.stage)?;
+                .expect("spilled entry without spill medium")
+                .read_at(&mut s.stage, offset)?;
             Ok(())
+        })
+    }
+
+    /// Verify the staged extent against `gen`; on success strip the
+    /// header so only the payload remains staged for decompression.
+    fn verify_staged(&self, gen: u64) -> bool {
+        SCRATCH.with(|c| {
+            let s = &mut *c.borrow_mut();
+            if !verify_extent(&s.stage, gen) {
+                return false;
+            }
+            s.stage.drain(..EXTENT_HEADER);
+            true
         })
     }
 
@@ -1183,8 +1491,9 @@ impl StoreCore {
         }
     }
 
-    /// Move `shard`'s coldest memory entry to the writer. Returns false
-    /// if the shard has no memory-resident entries.
+    /// Move `shard`'s coldest memory entry to the writer — or, when the
+    /// store is degraded, shed it outright. Returns false if the shard
+    /// has no memory-resident entries.
     fn evict_one(&self, shard: &mut Shard) -> bool {
         let Some((_, &victim)) = shard.lru.peek_lru() else {
             return false;
@@ -1192,6 +1501,12 @@ impl StoreCore {
         let Some(tx) = shard.tx.clone() else {
             return false;
         };
+        if self.degraded.load(Ordering::Relaxed) {
+            // Degraded: the medium can't be trusted with this page, but
+            // the budget still must be honored. Shedding drops the
+            // coldest entry entirely — cache-miss semantics.
+            return self.shed_one(shard);
+        }
         let entry = shard.entries.get_mut(&victim).expect("lru/map sync");
         let Residence::Memory { data, handle } = &mut entry.residence else {
             unreachable!("LRU entry not in memory")
@@ -1206,17 +1521,81 @@ impl StoreCore {
         shard.lru.remove(handle);
         self.resident.fetch_sub(data.len(), Ordering::Relaxed);
         let len = data.len() as u64;
-        tx.send(SpillJob {
-            key: victim,
-            gen,
-            data,
-        })
-        .expect("cleaner thread died");
+        if tx
+            .send(SpillJob {
+                key: victim,
+                gen,
+                data,
+            })
+            .is_err()
+        {
+            // The writer died without a shutdown() (panic): degrade, and
+            // shed the victim we just flipped to `Spilling` — its job
+            // will never be received, let alone completed.
+            self.writer_dead.store(true, Ordering::Relaxed);
+            self.enter_degraded(0);
+            shard.entries.remove(&victim);
+            let idx = self.shard_index(victim);
+            self.tel.count(idx, tstat::SHED_PAGES, 1);
+            if self.tel.timing_enabled() {
+                self.tel.event(tevent::SHED, victim, len);
+            }
+            return true;
+        }
         self.tel.count(self.shard_index(victim), tstat::SPILLED, 1);
         if self.tel.timing_enabled() {
             self.tel.event(tevent::EVICT, victim, len);
         }
         true
+    }
+
+    /// Drop `shard`'s coldest memory entry entirely (degraded-mode
+    /// eviction and post-fallback budget repair). Returns false if the
+    /// shard has no memory-resident entries.
+    fn shed_one(&self, shard: &mut Shard) -> bool {
+        let Some((_, &victim)) = shard.lru.peek_lru() else {
+            return false;
+        };
+        let entry = shard.entries.remove(&victim).expect("lru/map sync");
+        let Residence::Memory { data, handle } = entry.residence else {
+            unreachable!("LRU entry not in memory")
+        };
+        shard.lru.remove(handle);
+        self.resident.fetch_sub(data.len(), Ordering::Relaxed);
+        let idx = self.shard_index(victim);
+        self.tel.count(idx, tstat::SHED_PAGES, 1);
+        if self.tel.timing_enabled() {
+            self.tel.event(tevent::SHED, victim, data.len() as u64);
+        }
+        shard.release_buf(data);
+        true
+    }
+
+    /// Shed coldest entries across shards until `resident` is back at or
+    /// under the budget — the repair step after the spill-failure
+    /// fallback path pushed it over. Takes one shard lock at a time.
+    fn shed_to_budget(&self) {
+        loop {
+            if self.resident.load(Ordering::Relaxed) <= self.cfg.memory_budget {
+                return;
+            }
+            let mut progress = false;
+            for s in &self.shards {
+                if self.resident.load(Ordering::Relaxed) <= self.cfg.memory_budget {
+                    return;
+                }
+                let mut guard = s.0.lock().expect("shard poisoned");
+                if self.shed_one(&mut guard) {
+                    progress = true;
+                }
+            }
+            if !progress {
+                // Nothing left to shed (the overshoot is entirely
+                // in-flight or already gone); leave the gauge to the
+                // next absorb.
+                return;
+            }
+        }
     }
 
     /// Fold completed writer jobs into the entry maps. A completion only
@@ -1235,6 +1614,7 @@ impl StoreCore {
         if !self.has_spill() {
             return;
         }
+        let mut over_budget = false;
         let mut done = self.done.lock().expect("done list poisoned");
         for c in done.drain(..) {
             let mut shard = self.shard(c.key);
@@ -1260,15 +1640,24 @@ impl StoreCore {
                 }
             };
             if c.offset == SPILL_FAILED {
-                // Write failed: fall back to memory residence. This is the
-                // one path that may push `resident` past the budget — the
-                // alternative is losing the page.
+                // Write failed: fall back to memory residence. This is
+                // the one path that may push `resident` past the budget
+                // transiently — the alternative is losing the page. The
+                // overshoot is counted, and repaired by shedding the
+                // coldest entries once the drain completes.
                 let handle = shard.lru.push_mru(c.key);
                 let bytes = data.len();
                 let buf = Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone());
                 let e = shard.entries.get_mut(&c.key).expect("just looked up");
                 e.residence = Residence::Memory { data: buf, handle };
-                self.resident.fetch_add(bytes, Ordering::Relaxed);
+                let shard_idx = self.shard_index(c.key);
+                drop(shard);
+                self.tel.count(shard_idx, tstat::SPILL_FALLBACK_RESIDENT, 1);
+                if self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes
+                    > self.cfg.memory_budget
+                {
+                    over_budget = true;
+                }
             } else {
                 e.residence = Residence::Spilled {
                     offset: c.offset,
@@ -1277,9 +1666,16 @@ impl StoreCore {
                 };
             }
         }
+        drop(done);
+        if over_budget {
+            // Shed after releasing the done lock: shedding only needs
+            // shard locks, and the overshoot window stays bounded by the
+            // batches the writer failed while this drain ran.
+            self.shed_to_budget();
+        }
     }
 
-    fn flush(&self) {
+    fn flush(&self) -> Result<(), StoreError> {
         loop {
             self.absorb_completed_spills();
             let pending = self.shards.iter().any(|s| {
@@ -1290,9 +1686,52 @@ impl StoreCore {
                     .any(|e| matches!(e.residence, Residence::Spilling { .. }))
             });
             if !pending {
-                return;
+                return Ok(());
+            }
+            if self.writer_dead.load(Ordering::Relaxed) {
+                // The writer is gone but jobs are still in flight: their
+                // completions will never arrive. Revert them to memory
+                // residence (the data is still held by the `Spilling`
+                // Arc), restore the budget by shedding, and report the
+                // truth instead of spinning forever.
+                self.reclaim_orphaned_spilling();
+                self.shed_to_budget();
+                return Err(StoreError::ShuttingDown);
             }
             std::thread::yield_now();
+        }
+    }
+
+    /// Convert every `Spilling` entry whose completion can never arrive
+    /// (dead writer) back to memory residence. Counted on the same
+    /// fallback counter as failed-batch reverts — either way the entry
+    /// went back to memory because the medium let it down.
+    fn reclaim_orphaned_spilling(&self) {
+        // One more absorb first: completions the writer *did* publish
+        // before dying must win over the blanket revert.
+        self.absorb_completed_spills();
+        for s in &self.shards {
+            let mut shard = s.0.lock().expect("shard poisoned");
+            let orphaned: Vec<u64> = shard
+                .entries
+                .iter()
+                .filter(|(_, e)| matches!(e.residence, Residence::Spilling { .. }))
+                .map(|(&k, _)| k)
+                .collect();
+            for key in orphaned {
+                let handle = shard.lru.push_mru(key);
+                let e = shard.entries.get_mut(&key).expect("just listed");
+                let old = std::mem::replace(&mut e.residence, Residence::SameFilled { pattern: 0 });
+                let Residence::Spilling { data, .. } = old else {
+                    unreachable!("just filtered")
+                };
+                let bytes = data.len();
+                let buf = Arc::try_unwrap(data).unwrap_or_else(|a| (*a).clone());
+                e.residence = Residence::Memory { data: buf, handle };
+                self.resident.fetch_add(bytes, Ordering::Relaxed);
+                let idx = self.shard_index(key);
+                self.tel.count(idx, tstat::SPILL_FALLBACK_RESIDENT, 1);
+            }
         }
     }
 }
@@ -1310,17 +1749,28 @@ const BATCH_LINGER: Duration = Duration::from_micros(200);
 
 /// The background spill thread: drains the job channel, packs entries
 /// into [`StoreConfig::spill_batch_bytes`] batches written with a single
-/// seek + write each, and runs spill-file compaction between batches.
-/// It is the sole allocator of file space (`cursor`), which is what makes
-/// both contiguous batch packing and post-GC cursor reset race-free.
+/// positioned write each, and runs spill-file compaction between
+/// batches. It is the sole allocator of file space (`cursor`), which is
+/// what makes both contiguous batch packing and post-GC cursor reset
+/// race-free. It also owns the degraded-mode state machine: consecutive
+/// hard batch failures flip the store degraded; while degraded it fails
+/// queued jobs immediately (no medium traffic) and probes the medium
+/// with a canary round-trip every [`StoreConfig::probe_interval`],
+/// re-enabling spill on success.
 struct SpillWriter {
     core: Arc<StoreCore>,
-    file: File,
+    medium: Arc<dyn SpillMedium>,
     cursor: u64,
+    /// Hard batch failures (each already retried) since the last
+    /// success; crossing `degrade_after` degrades the store.
+    consecutive_failures: u32,
+    /// Canary probes issued during the current degraded episode.
+    probes: u64,
 }
 
 /// A job staged into the current batch: its place in the batch buffer
-/// plus the identity its completion must carry.
+/// plus the identity its completion must carry. `len` is the full
+/// extent length (header + payload) as it will live on the file.
 struct StagedJob {
     key: u64,
     gen: u64,
@@ -1333,9 +1783,24 @@ impl SpillWriter {
         let target = self.core.cfg.spill_batch_bytes.max(1);
         let mut buf: Vec<u8> = Vec::with_capacity(target * 2);
         let mut staged: Vec<StagedJob> = Vec::new();
-        // Block for the first job of each batch, then coalesce whatever
-        // else is queued (lingering briefly for stragglers) into one write.
-        while let Ok(first) = rx.recv() {
+        loop {
+            if self.core.degraded.load(Ordering::Relaxed) {
+                // Probation: producers shed instead of spilling, but
+                // jobs queued before the transition (or raced onto it)
+                // still arrive — fail them immediately so their pages
+                // revert to memory rather than waiting on a medium we
+                // don't trust. Between arrivals, probe.
+                match rx.recv_timeout(self.core.cfg.probe_interval) {
+                    Ok(job) => self.fail_job(job),
+                    Err(RecvTimeoutError::Timeout) => self.probe(),
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+                continue;
+            }
+            // Block for the first job of each batch, then coalesce
+            // whatever else is queued (lingering briefly for stragglers)
+            // into one write.
+            let Ok(first) = rx.recv() else { return };
             buf.clear();
             staged.clear();
             Self::stage(&mut buf, &mut staged, first);
@@ -1367,33 +1832,83 @@ impl SpillWriter {
             self.commit_batch(&buf, &staged);
             self.maybe_gc();
             if disconnected {
-                break;
+                return;
             }
         }
     }
 
+    /// Frame `job` into the batch as a self-verifying extent: header
+    /// (with the payload CRC, computed here at commit time) + payload.
     fn stage(buf: &mut Vec<u8>, staged: &mut Vec<StagedJob>, job: SpillJob) {
+        let rel = buf.len();
+        encode_extent(buf, job.gen, &job.data);
         staged.push(StagedJob {
             key: job.key,
             gen: job.gen,
-            rel: buf.len(),
-            len: job.data.len(),
+            rel,
+            len: buf.len() - rel,
         });
-        buf.extend_from_slice(&job.data);
+    }
+
+    /// Publish an immediate `SPILL_FAILED` completion for a job received
+    /// while degraded.
+    fn fail_job(&self, job: SpillJob) {
+        let mut done = self.core.done.lock().expect("done list poisoned");
+        done.push(Completion {
+            key: job.key,
+            gen: job.gen,
+            offset: SPILL_FAILED,
+            len: (job.data.len() + EXTENT_HEADER) as u32,
+        });
+    }
+
+    /// One canary write/read round-trip at the cursor (unallocated
+    /// space: the next batch overwrites it). Success ends probation.
+    fn probe(&mut self) {
+        self.probes += 1;
+        self.core.tel.count(0, tstat::MEDIUM_PROBES, 1);
+        let canary = *b"cc-medium-probe!";
+        let mut back = [0u8; 16];
+        let ok = self.medium.write_at(&canary, self.cursor).is_ok()
+            && self.medium.flush().is_ok()
+            && self.medium.read_at(&mut back, self.cursor).is_ok()
+            && back == canary;
+        if ok {
+            self.consecutive_failures = 0;
+            self.core.exit_degraded(self.probes);
+            self.probes = 0;
+        }
+    }
+
+    /// Write the batch at `base` with bounded retry and exponential
+    /// backoff; transient failures are counted as retries.
+    fn write_with_retry(&self, buf: &[u8], base: u64) -> bool {
+        let attempts = self.core.cfg.spill_retry_attempts.max(1);
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.core.tel.count(0, tstat::IO_RETRIES, 1);
+                std::thread::sleep(backoff(self.core.cfg.spill_retry_base, attempt));
+            }
+            if self.medium.write_at(buf, base).is_ok() && self.medium.flush().is_ok() {
+                return true;
+            }
+        }
+        false
     }
 
     /// Write one coalesced batch at the cursor and publish per-entry
     /// completions. Entries become visible as `Spilled` only after the
-    /// whole batch is on the file.
+    /// whole batch is on the file. A hard failure (retries exhausted)
+    /// reports `SPILL_FAILED` for every member and advances the
+    /// degraded-mode countdown.
     fn commit_batch(&mut self, buf: &[u8], staged: &[StagedJob]) {
         let base = self.cursor;
         // Always timed: this thread is off the data path, and the write
         // histogram is what the bench gates sanity-check.
         let t0 = Instant::now();
-        let ok = self.file.seek(SeekFrom::Start(base)).is_ok()
-            && self.file.write_all(buf).is_ok()
-            && self.file.flush().is_ok();
+        let ok = self.write_with_retry(buf, base);
         if ok {
+            self.consecutive_failures = 0;
             self.cursor += buf.len() as u64;
             self.core
                 .spill_file_bytes
@@ -1405,6 +1920,11 @@ impl SpillWriter {
             self.core
                 .tel
                 .event(tevent::BATCH_COMMIT, staged.len() as u64, buf.len() as u64);
+        } else {
+            self.consecutive_failures += 1;
+            if self.consecutive_failures >= self.core.cfg.degrade_after.max(1) {
+                self.core.enter_degraded(self.consecutive_failures as u64);
+            }
         }
         let mut done = self.core.done.lock().expect("done list poisoned");
         for j in staged {
@@ -1469,9 +1989,7 @@ impl SpillWriter {
                 continue;
             }
             buf.resize(len as usize, 0);
-            if self.file.seek(SeekFrom::Start(old_off)).is_err()
-                || self.file.read_exact(&mut buf).is_err()
-            {
+            if self.medium.read_at(&mut buf, old_off).is_err() {
                 // Abort mid-GC: extents moved so far are already
                 // republished and valid; the rest stay where they were.
                 return;
@@ -1491,9 +2009,11 @@ impl SpillWriter {
                     len: l,
                     gen: g,
                 } if *offset == old_off && *l == len && *g == gen => {
-                    if self.file.seek(SeekFrom::Start(new_cursor)).is_err()
-                        || self.file.write_all(&buf).is_err()
-                    {
+                    // Relocate verbatim, corrupt or not: a live extent
+                    // must keep a unique home (skipping it would let a
+                    // later relocation clobber it), and the reader's
+                    // verification is the integrity authority.
+                    if self.medium.write_at(&buf, new_cursor).is_err() {
                         return;
                     }
                     *offset = new_cursor;
@@ -1504,8 +2024,8 @@ impl SpillWriter {
                 _ => {}
             }
         }
-        let _ = self.file.flush();
-        let _ = self.file.set_len(new_cursor);
+        let _ = self.medium.flush();
+        let _ = self.medium.set_len(new_cursor);
         self.cursor = new_cursor;
         let reclaimed = old_len - new_cursor;
         // Saturating: removes racing the sweep may have counted bytes this
@@ -1548,6 +2068,34 @@ mod tests {
     fn cleanup(dir: std::path::PathBuf, path: std::path::PathBuf) {
         let _ = std::fs::remove_file(path);
         let _ = std::fs::remove_dir(dir);
+    }
+
+    #[test]
+    fn extent_header_roundtrip_and_tamper_detection() {
+        let payload: Vec<u8> = (0..777u32).map(|i| (i * 13 % 251) as u8).collect();
+        let mut ext = Vec::new();
+        encode_extent(&mut ext, 42, &payload);
+        assert_eq!(ext.len(), EXTENT_HEADER + payload.len());
+        assert!(verify_extent(&ext, 42));
+        assert_eq!(&ext[EXTENT_HEADER..], &payload[..]);
+        // Wrong generation: a stale or misdirected read.
+        assert!(!verify_extent(&ext, 43));
+        // Truncated extent (torn write).
+        assert!(!verify_extent(&ext[..ext.len() - 1], 42));
+        assert!(!verify_extent(&ext[..EXTENT_HEADER - 1], 42));
+        // Any single bit flip, header or payload, is caught.
+        let mut tampered = ext.clone();
+        for byte in 0..ext.len() {
+            for bit in 0..8 {
+                tampered[byte] ^= 1 << bit;
+                assert!(
+                    !verify_extent(&tampered, 42),
+                    "flip at {byte}:{bit} undetected"
+                );
+                tampered[byte] ^= 1 << bit;
+            }
+        }
+        assert_eq!(tampered, ext);
     }
 
     #[test]
@@ -1737,7 +2285,7 @@ mod tests {
             for k in 0..64u64 {
                 store.put(k, &page(k as u8)).unwrap();
             }
-            store.flush();
+            store.flush().unwrap();
             let s = store.stats();
             assert!(s.spilled > 0, "must have spilled: {s:?}");
             assert!(s.memory_bytes <= 8 * 1024);
@@ -1764,7 +2312,7 @@ mod tests {
             for k in 0..256u64 {
                 store.put(k, &page(k as u8)).unwrap();
             }
-            store.flush();
+            store.flush().unwrap();
             let s = store.stats();
             assert!(s.spilled >= 200, "expected heavy spilling: {s:?}");
             let per_batch = s.spilled as f64 / s.spill_batches.max(1) as f64;
@@ -1796,7 +2344,7 @@ mod tests {
             for k in 0..8u64 {
                 store.put(k, &page(k as u8)).unwrap();
             }
-            store.flush();
+            store.flush().unwrap();
             let s = store.stats();
             assert!(s.spilled > 0, "must have spilled: {s:?}");
             // After flush, nothing is mid-air: every spilled entry must be
@@ -1827,7 +2375,7 @@ mod tests {
             for k in 0..32u64 {
                 store.put(k, &page(k as u8)).unwrap();
             }
-            store.flush();
+            store.flush().unwrap();
             assert_eq!(store.stats().spill_dead_bytes, 0);
             // Removing spilled entries strands their extents.
             for k in 0..8u64 {
@@ -1839,7 +2387,7 @@ mod tests {
             for k in 8..16u64 {
                 store.put(k, &page(100 + k as u8)).unwrap();
             }
-            store.flush();
+            store.flush().unwrap();
             let after_replace = store.stats().spill_dead_bytes;
             assert!(
                 after_replace > after_remove,
@@ -1877,7 +2425,7 @@ mod tests {
                 }
                 last_round = round;
                 if round >= 39 {
-                    store.flush();
+                    store.flush().unwrap();
                     if store.stats().gc_runs > 0 {
                         break;
                     }
@@ -1922,7 +2470,7 @@ mod tests {
                 store.put(k, &page(k as u8)).unwrap();
             }
             store.put(100, &vec![0u8; 4096]).unwrap();
-            store.flush();
+            store.flush().unwrap();
             let mut out = vec![0u8; 4096];
             for k in 0..64u64 {
                 assert!(store.get(k, &mut out).unwrap());
@@ -2048,7 +2596,7 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-            store.flush();
+            store.flush().unwrap();
             let mut out = vec![0u8; 4096];
             for t in 0..4u64 {
                 for i in 0..200u64 {

@@ -1,0 +1,516 @@
+//! Chaos tests: the store against a lying spill medium.
+//!
+//! The contract under fault injection is strict and small:
+//!
+//! 1. **Never garbage.** Any `get` that returns data returns exactly the
+//!    bytes that were put. Corruption surfaces as `StoreError::Corrupt`
+//!    (and the entry is dropped so later gets miss) — never as a page.
+//! 2. **Budget holds.** `resident_bytes` settles at or below the
+//!    configured budget even when failed batches bounce entries back to
+//!    memory (the store sheds clean pages to repair the overshoot).
+//! 3. **Degraded mode is entered and exited on schedule.** Consecutive
+//!    hard batch failures disable spilling; probation probes re-enable
+//!    it once the medium answers again.
+//! 4. **Nothing hangs.** A dead writer (even one that panicked inside
+//!    the medium) turns `flush()` into `Err(ShuttingDown)`, not a wait
+//!    for completions that will never come.
+
+use cc_core::medium::{Fault, FaultInjector, FaultPlan, FileMedium, SpillMedium};
+use cc_core::store::{CompressedStore, StoreConfig, StoreError};
+use cc_util::SplitMix64;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PAGE: usize = 1024;
+
+fn temp_path(tag: &str, salt: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "cc-chaos-{tag}-{}-{salt:x}.bin",
+        std::process::id()
+    ))
+}
+
+/// Deterministic page content for `(key, version)`: incompressible
+/// noise, so every page takes the raw/compressed path (never the
+/// same-filled fast path, which bypasses the spill machinery entirely).
+fn noise_page(key: u64, version: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ version);
+    (0..PAGE).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Spin until `cond` holds or `what` times out.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite: any single bit flip in the spill file — header or
+    /// payload, any extent — is detected. The damaged key surfaces as
+    /// `Corrupt` exactly once (then misses: the entry was dropped);
+    /// every other key reads back byte-exact; no get ever returns
+    /// wrong bytes.
+    #[test]
+    fn any_single_bit_flip_is_detected(sel in any::<u64>()) {
+        const KEYS: u64 = 24;
+        let path = temp_path("bitflip", sel);
+        {
+            // Single read attempt: a verification failure is immediately
+            // persistent (the flip is on the medium, retrying cannot
+            // help), which keeps the case fast and the accounting exact.
+            let store = CompressedStore::new(
+                StoreConfig::with_spill(2 * PAGE, &path)
+                    .with_spill_retry(1, Duration::ZERO),
+            );
+            for key in 0..KEYS {
+                store.put(key, &noise_page(key, 1)).unwrap();
+            }
+            store.flush().unwrap();
+
+            // Flip one bit, chosen by the proptest case, anywhere in the
+            // file — through a second handle to the same inode.
+            let flipped_in_data = {
+                use std::os::unix::fs::FileExt as _;
+                let f = std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&path)
+                    .unwrap();
+                let len = f.metadata().unwrap().len();
+                prop_assert!(len > 0, "nothing spilled under a 2-page budget");
+                let data_end = store.stats().bytes_on_spill.min(len);
+                let bit = sel % (len * 8);
+                let mut byte = [0u8; 1];
+                f.read_exact_at(&mut byte, bit / 8).unwrap();
+                byte[0] ^= 1 << (bit % 8);
+                f.write_all_at(&byte, bit / 8).unwrap();
+                bit / 8 < data_end
+            };
+
+            let mut out = vec![0u8; PAGE];
+            let mut corrupt_keys = Vec::new();
+            for key in 0..KEYS {
+                match store.get(key, &mut out) {
+                    Ok(true) => prop_assert_eq!(
+                        &out,
+                        &noise_page(key, 1),
+                        "key {} returned wrong bytes", key
+                    ),
+                    Ok(false) => prop_assert!(
+                        false,
+                        "key {} missing before any Corrupt was reported", key
+                    ),
+                    Err(StoreError::Corrupt) => corrupt_keys.push(key),
+                    Err(e) => prop_assert!(false, "key {key}: unexpected error {e}"),
+                }
+            }
+            // One flipped bit damages at most one extent; within the
+            // written region it damages exactly one.
+            prop_assert!(corrupt_keys.len() <= 1, "one bit, {corrupt_keys:?} corrupt");
+            if flipped_in_data {
+                prop_assert_eq!(corrupt_keys.len(), 1, "in-extent flip not detected");
+            }
+            let s = store.stats();
+            prop_assert_eq!(s.corrupt_detected, corrupt_keys.len() as u64);
+            // The damaged entry was dropped: it now misses (refillable)
+            // instead of erroring forever.
+            for &key in &corrupt_keys {
+                prop_assert_eq!(store.get(key, &mut out).unwrap(), false);
+                prop_assert!(!store.contains(key));
+            }
+            store.shutdown();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Tentpole acceptance: 8 threads of mixed put/get/remove against a
+/// seeded fault injector (EIO reads, bit-flip reads, EIO and torn
+/// writes) with GC churning underneath. Every get that returns data
+/// returns exact bytes; corruption is detected and counted; retries
+/// happen; the budget holds once the dust settles.
+#[test]
+fn chaos_stress_survives_faulty_medium() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 1_500;
+    const KEYS_PER_THREAD: u64 = 96;
+    const BUDGET: usize = 8 * PAGE;
+
+    let path = temp_path("stress", 0);
+    let injector = Arc::new(FaultInjector::new(
+        FileMedium::create(&path).unwrap(),
+        FaultPlan {
+            seed: 0xC4A0_5CA0,
+            read_error_1_in: 61,
+            read_corrupt_1_in: 43,
+            write_error_1_in: 127,
+            short_write_1_in: 211,
+            ..FaultPlan::default()
+        },
+    ));
+    let store = Arc::new(CompressedStore::with_medium(
+        StoreConfig::in_memory(BUDGET)
+            .with_spill_batch_bytes(4 * PAGE)
+            .with_gc_dead_ratio(0.2)
+            .with_spill_retry(3, Duration::from_micros(200))
+            // Rate-injected write failures are scattered, but 3
+            // consecutive hard batch failures can happen over a long
+            // run; this test pins integrity-under-fire, not the
+            // degraded transition (tested on its own schedule below).
+            .with_degrade_after(u32::MAX),
+        Arc::clone(&injector) as Arc<dyn SpillMedium>,
+    ));
+
+    let violations = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            let violations = Arc::clone(&violations);
+            std::thread::spawn(move || {
+                let base = t * KEYS_PER_THREAD;
+                let mut shadow: HashMap<u64, u64> = HashMap::new();
+                let mut version = 0u64;
+                let mut rng = SplitMix64::new(t + 1);
+                let mut out = vec![0u8; PAGE];
+                for _ in 0..OPS {
+                    let key = base + rng.next_u64() % KEYS_PER_THREAD;
+                    match rng.next_u64() % 10 {
+                        // Removes churn the spill file so GC compaction
+                        // runs (and relocates extents) mid-fault-storm.
+                        0..=1 => {
+                            store.remove(key);
+                            shadow.remove(&key);
+                        }
+                        2..=5 => {
+                            version += 1;
+                            match store.put(key, &noise_page(key, version)) {
+                                Ok(()) => {
+                                    shadow.insert(key, version);
+                                }
+                                Err(_) => {
+                                    shadow.remove(&key);
+                                }
+                            }
+                        }
+                        _ => match store.get(key, &mut out) {
+                            Ok(true) => {
+                                // THE invariant: returned data is exact.
+                                // (A miss is legal — shed or dropped —
+                                // but garbage never is.)
+                                if let Some(&v) = shadow.get(&key) {
+                                    if out != noise_page(key, v) {
+                                        violations.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                            Ok(false) => {
+                                shadow.remove(&key);
+                            }
+                            Err(_) => {
+                                // Corrupt (entry dropped) or retries
+                                // exhausted on injected EIO: both are
+                                // honest failures, never wrong data.
+                                shadow.remove(&key);
+                            }
+                        },
+                    }
+                }
+                shadow
+            })
+        })
+        .collect();
+
+    let mut live: Vec<(u64, u64)> = Vec::new();
+    for h in handles {
+        live.extend(h.join().expect("chaos thread panicked"));
+    }
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "a get returned wrong bytes under fault injection"
+    );
+
+    let _ = store.flush();
+    // Final readback: every surviving key exact-or-absent.
+    let mut out = vec![0u8; PAGE];
+    for (key, version) in live {
+        if let Ok(true) = store.get(key, &mut out) {
+            assert_eq!(out, noise_page(key, version), "final: key {key} corrupted");
+        }
+    }
+
+    let s = store.stats();
+    let inj = injector.injected();
+    assert!(inj.total() > 0, "no faults injected: {inj:?}");
+    assert!(
+        inj.read_corruptions > 0,
+        "no read corruption exercised: {inj:?}"
+    );
+    assert!(
+        s.corrupt_detected > 0,
+        "injected corruption was never detected ({inj:?}, {s:?})"
+    );
+    assert!(s.io_retries > 0, "injected EIO never retried ({s:?})");
+    assert!(
+        s.resident_bytes <= BUDGET as u64,
+        "budget violated after settling: {} > {BUDGET} ({s:?})",
+        s.resident_bytes
+    );
+    store.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Tentpole: a scheduled write outage drives the degraded-mode state
+/// machine end to end — consecutive hard batch failures disable
+/// spilling, probation probes hammer the medium, and the first probe
+/// that lands re-enables spill. Entered and recovered exactly once.
+#[test]
+fn write_outage_degrades_then_probes_recover() {
+    const BUDGET: usize = 4 * PAGE;
+    // Writes 0..24 hard-fail: enough to burn both batch retries of
+    // several batches plus the first probes; probe writes keep
+    // consuming write indices, so the outage expires on schedule.
+    const OUTAGE: std::ops::Range<u64> = 0..24;
+
+    let path = temp_path("outage", 0);
+    let injector = Arc::new(FaultInjector::new(
+        FileMedium::create(&path).unwrap(),
+        FaultPlan {
+            write_outage: Some(OUTAGE),
+            ..FaultPlan::default()
+        },
+    ));
+    let store = CompressedStore::with_medium(
+        StoreConfig::in_memory(BUDGET)
+            .with_spill_batch_bytes(2 * PAGE)
+            .with_spill_retry(2, Duration::from_micros(100))
+            .with_degrade_after(2)
+            .with_probe_interval(Duration::from_millis(2)),
+        Arc::clone(&injector) as Arc<dyn SpillMedium>,
+    );
+
+    // Push well past the budget: evictions queue spill jobs, batches
+    // hard-fail against the outage, entries bounce back to memory, and
+    // the failure counter crosses the threshold.
+    for key in 0..32u64 {
+        let _ = store.put(key, &noise_page(key, 1));
+    }
+    wait_for("degraded mode", || store.is_degraded());
+
+    let mid = store.stats();
+    assert!(mid.degraded, "stats gauge disagrees with is_degraded");
+    assert_eq!(mid.degraded_entered, 1, "degrade transition not counted");
+    assert!(
+        mid.spill_fallback_resident + mid.shed_pages > 0,
+        "failed batches neither reverted nor shed: {mid:?}"
+    );
+
+    // Probation: probes burn through the rest of the outage window and
+    // the first clean canary round-trip recovers the store.
+    wait_for("recovery", || !store.is_degraded());
+
+    let s = store.stats();
+    assert_eq!(s.degraded_entered, 1, "re-entered degraded after outage");
+    assert_eq!(s.degraded_recovered, 1, "recovery not counted");
+    assert!(s.medium_probes >= 1, "recovered without probing: {s:?}");
+    assert!(
+        injector.injected().write_errors >= OUTAGE.end - OUTAGE.start - 1,
+        "outage window not consumed: {:?}",
+        injector.injected()
+    );
+
+    // The medium is trusted again: new puts spill for real and
+    // everything still present reads back exact.
+    let before = s.spill_batches;
+    for key in 100..132u64 {
+        store.put(key, &noise_page(key, 2)).unwrap();
+    }
+    store.flush().unwrap();
+    let after = store.stats();
+    assert!(
+        after.spill_batches > before,
+        "spilling never resumed after recovery: {after:?}"
+    );
+    assert!(!after.degraded);
+    let mut out = vec![0u8; PAGE];
+    for key in 100..132u64 {
+        match store.get(key, &mut out) {
+            Ok(true) => assert_eq!(out, noise_page(key, 2), "post-recovery key {key}"),
+            Ok(false) => {} // shed while over budget: a miss, never garbage
+            Err(e) => panic!("post-recovery key {key}: {e}"),
+        }
+    }
+    assert!(after.resident_bytes <= BUDGET as u64, "{after:?}");
+    store.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A medium so broken it panics the writer thread. The store must not
+/// hang or lose its mind: it flips degraded, `flush()` returns
+/// `Err(ShuttingDown)` instead of waiting forever, in-memory entries
+/// stay readable, and the budget is repaired by shedding.
+#[test]
+fn writer_panic_degrades_and_flush_never_hangs() {
+    /// Panics on the first write — simulating a bug (or a poisoned
+    /// lock) inside a custom medium, the worst failure a trait object
+    /// can inflict.
+    struct PanickingMedium;
+    impl SpillMedium for PanickingMedium {
+        fn read_at(&self, _buf: &mut [u8], _offset: u64) -> io::Result<()> {
+            Err(io::Error::other("unreachable: nothing was ever written"))
+        }
+        fn write_at(&self, _data: &[u8], _offset: u64) -> io::Result<()> {
+            panic!("injected medium panic");
+        }
+        fn flush(&self) -> io::Result<()> {
+            Ok(())
+        }
+        fn set_len(&self, _len: u64) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    const BUDGET: usize = 4 * PAGE;
+    let store = CompressedStore::with_medium(
+        StoreConfig::in_memory(BUDGET)
+            .with_spill_retry(1, Duration::ZERO)
+            .with_degrade_after(1),
+        Arc::new(PanickingMedium),
+    );
+
+    // Force evictions: the first spill batch murders the writer.
+    for key in 0..16u64 {
+        let _ = store.put(key, &noise_page(key, 1));
+    }
+    wait_for("degraded after writer panic", || store.is_degraded());
+
+    // flush() must return (with the truth), not block on completions
+    // that can never arrive.
+    match store.flush() {
+        Err(StoreError::ShuttingDown) => {}
+        Ok(()) => {
+            // Legal only if no job was in flight when the writer died;
+            // the store must still be degraded and consistent.
+        }
+        Err(e) => panic!("flush after writer death: unexpected {e}"),
+    }
+    let s = store.stats();
+    assert!(s.degraded, "writer panic must degrade the store");
+    assert!(s.degraded_entered >= 1);
+    assert!(
+        s.resident_bytes <= BUDGET as u64,
+        "budget not repaired after reclaim: {s:?}"
+    );
+
+    // Whatever survived shedding reads back exact, from memory.
+    let mut out = vec![0u8; PAGE];
+    let mut readable = 0;
+    for key in 0..16u64 {
+        match store.get(key, &mut out) {
+            Ok(true) => {
+                assert_eq!(out, noise_page(key, 1), "key {key} corrupted");
+                readable += 1;
+            }
+            Ok(false) => {}
+            Err(e) => panic!("key {key}: {e}"),
+        }
+    }
+    assert!(readable > 0, "everything lost: shedding was total");
+    // Same-filled pages bypass the budget and the (dead) writer: the
+    // degraded store still serves them.
+    store.put(999, &[0x5Au8; PAGE]).unwrap();
+    assert!(store.get(999, &mut out).unwrap());
+    assert_eq!(out, [0x5Au8; PAGE]);
+    // A second flush is just as honest, and just as prompt.
+    assert!(matches!(
+        store.flush(),
+        Err(StoreError::ShuttingDown) | Ok(())
+    ));
+    store.shutdown();
+}
+
+/// Satellite regression: a hard-failed batch reverts its entries to
+/// memory residence (counted in `spill_fallback_resident`), the
+/// resulting budget overshoot is repaired by shedding clean pages, and
+/// one isolated failure does NOT degrade the store.
+#[test]
+fn spill_failed_fallback_restores_budget_without_degrading() {
+    const BUDGET: usize = 4 * PAGE;
+    let path = temp_path("fallback", 0);
+    // The first medium operations are exactly the first batch's write
+    // attempts (nothing has spilled, so no reads can precede them):
+    // scripting WriteError at ops 0..3 hard-fails batch #1 through all
+    // three of its retries and leaves every later batch clean.
+    let injector = Arc::new(FaultInjector::new(
+        FileMedium::create(&path).unwrap(),
+        FaultPlan {
+            script: vec![
+                (0, Fault::WriteError),
+                (1, Fault::WriteError),
+                (2, Fault::WriteError),
+            ],
+            ..FaultPlan::default()
+        },
+    ));
+    let store = CompressedStore::with_medium(
+        StoreConfig::in_memory(BUDGET)
+            .with_spill_batch_bytes(2 * PAGE)
+            .with_spill_retry(3, Duration::from_micros(100)),
+        Arc::clone(&injector) as Arc<dyn SpillMedium>,
+    );
+
+    for key in 0..24u64 {
+        store.put(key, &noise_page(key, 1)).unwrap();
+    }
+    store.flush().unwrap();
+
+    let s = store.stats();
+    assert_eq!(
+        injector.injected().write_errors,
+        3,
+        "script misfired: {:?}",
+        injector.injected()
+    );
+    assert!(
+        s.spill_fallback_resident > 0,
+        "failed batch did not fall back to memory: {s:?}"
+    );
+    assert_eq!(s.io_retries, 2, "3 attempts = 2 retries: {s:?}");
+    assert!(
+        !s.degraded && s.degraded_entered == 0,
+        "one failed batch (< degrade_after) must not degrade: {s:?}"
+    );
+    assert!(
+        s.resident_bytes <= BUDGET as u64,
+        "fallback overshoot never shed: {} > {BUDGET} ({s:?})",
+        s.resident_bytes
+    );
+
+    // Exact-or-absent, and absences are explained by shedding.
+    let mut out = vec![0u8; PAGE];
+    let mut missing = 0u64;
+    for key in 0..24u64 {
+        match store.get(key, &mut out) {
+            Ok(true) => assert_eq!(out, noise_page(key, 1), "key {key} corrupted"),
+            Ok(false) => missing += 1,
+            Err(e) => panic!("key {key}: {e}"),
+        }
+    }
+    assert!(
+        missing <= s.shed_pages,
+        "{missing} keys missing but only {} shed",
+        s.shed_pages
+    );
+    store.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

@@ -157,7 +157,7 @@ proptest! {
             // The file must not have accreted all dead extents: under a
             // tight budget it is bounded by the live set plus slack for
             // regions whose dead fraction is still below the trigger.
-            store.flush();
+            store.flush().unwrap();
             let s = store.stats();
             let live_upper = (store.len() as u64 + 8) * PAGE as u64;
             prop_assert!(

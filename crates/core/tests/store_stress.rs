@@ -77,7 +77,7 @@ fn hammer(store: Arc<CompressedStore>, ops_per_thread: u64, allow_oom: bool) {
                     }
                     _ => {
                         if i % 64 == 0 {
-                            store.flush();
+                            store.flush().unwrap();
                         }
                     }
                 }
@@ -155,7 +155,7 @@ fn stress_spill_under_budget_pressure() {
                         }
                         _ => {
                             if i % 100 == 0 {
-                                store.flush();
+                                store.flush().unwrap();
                             }
                         }
                     }
@@ -172,7 +172,7 @@ fn stress_spill_under_budget_pressure() {
             max_seen <= BUDGET as u64,
             "budget exceeded: saw {max_seen} resident with budget {BUDGET}"
         );
-        store.flush();
+        store.flush().unwrap();
         let s = store.stats();
         assert!(s.resident_bytes <= BUDGET as u64);
         assert!(s.spilled > 0, "pressure test never spilled: {s:?}");
@@ -253,7 +253,7 @@ fn stress_gc_churn_with_same_filled() {
                         _ => {
                             store.remove(key);
                             if i % 200 == 0 {
-                                store.flush();
+                                store.flush().unwrap();
                             }
                         }
                     }
@@ -269,7 +269,7 @@ fn stress_gc_churn_with_same_filled() {
             max_seen <= BUDGET as u64,
             "budget exceeded during GC churn: saw {max_seen} with budget {BUDGET}"
         );
-        store.flush();
+        store.flush().unwrap();
         let s = store.stats();
         assert!(s.spilled > 0, "GC stress never spilled: {s:?}");
         assert!(s.gc_runs > 0, "GC never ran under replace churn: {s:?}");

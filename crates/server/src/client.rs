@@ -6,12 +6,75 @@
 //! nothing in steady state. The client is deliberately synchronous — it
 //! is the building block of the load generator and the integration
 //! tests, and N concurrent clients are N `Client` values on N threads.
+//!
+//! A server answering `BUSY` closes the connection, and a saturated or
+//! briefly unreachable server surfaces as a connect/read failure. Both
+//! are *transient*: [`Client::with_retry`] arms a bounded
+//! retry-with-exponential-backoff loop (reconnecting between attempts)
+//! so a caller rides out short saturation windows with a hard bound on
+//! total wait. The default policy is a single attempt — errors surface
+//! immediately, exactly as before.
 
 use crate::frame::{self, FrameError};
 use crate::proto::{ProtoError, Request, Response, Status};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Bounded retry policy for transient failures (`BUSY` answers,
+/// connect/read timeouts, connection resets).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per call (first try + retries); clamped ≥ 1.
+    pub attempts: u32,
+    /// Backoff before retry `n` is `base_delay << (n - 1)`.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// One attempt: no retry, errors surface immediately.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The worst-case total time spent sleeping between attempts (the
+    /// hard bound a saturated-pool caller is promised, excluding the
+    /// per-attempt I/O time itself).
+    pub fn max_backoff_total(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for attempt in 1..self.attempts.max(1) {
+            total += backoff(self.base_delay, attempt);
+        }
+        total
+    }
+}
+
+/// Backoff before retry `attempt` (1-based): exponential, capped so a
+/// huge attempt count cannot overflow into an absurd sleep.
+fn backoff(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << (attempt - 1).min(10))
+}
+
+/// Transient transport failures worth a reconnect-and-retry: the server
+/// closing a rejected connection, a connect refused while the accept
+/// loop is wedged, or a read/connect timeout.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::UnexpectedEof
+    )
+}
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -65,23 +128,35 @@ impl From<ProtoError> for ClientError {
 /// A blocking connection to a `cc-server`.
 pub struct Client {
     stream: TcpStream,
+    /// Resolved peer address, kept for retry reconnects (the server
+    /// closes a connection it answered `BUSY`).
+    addr: SocketAddr,
     /// Request body staging (reused).
     send: Vec<u8>,
     /// Response body landing zone (reused).
     recv: Vec<u8>,
     max_frame: usize,
+    timeout: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl Client {
     /// Connect. `TCP_NODELAY` is set — every call is a full round-trip.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             stream,
+            addr,
             send: Vec::new(),
             recv: Vec::new(),
             max_frame: frame::DEFAULT_MAX_FRAME,
+            timeout: None,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -91,28 +166,100 @@ impl Client {
         self
     }
 
+    /// Arm bounded retry-with-backoff on `BUSY` answers and transient
+    /// transport failures: up to `attempts` total tries per call, with
+    /// exponential backoff starting at `base_delay` and a reconnect
+    /// before each retry. Total sleep is bounded by
+    /// [`RetryPolicy::max_backoff_total`].
+    pub fn with_retry(mut self, attempts: u32, base_delay: Duration) -> Client {
+        self.retry = RetryPolicy {
+            attempts: attempts.max(1),
+            base_delay,
+        };
+        self
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Bound how long a call may wait on the server before erroring
-    /// with a timeout (`None` = wait forever, the default).
-    pub fn set_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+    /// with a timeout (`None` = wait forever, the default). Survives
+    /// retry reconnects.
+    pub fn set_timeout(&mut self, t: Option<Duration>) -> io::Result<()> {
+        self.timeout = t;
         self.stream.set_read_timeout(t)?;
         self.stream.set_write_timeout(t)
     }
 
-    fn call(&mut self, req: &Request<'_>) -> Result<(Status, &[u8]), ClientError> {
+    /// Replace the connection ahead of a retry (the server closes
+    /// `BUSY` connections, and a torn stream can't be reused).
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = match self.timeout {
+            Some(t) => TcpStream::connect_timeout(&self.addr, t)?,
+            None => TcpStream::connect(self.addr)?,
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
+        self.stream = stream;
+        Ok(())
+    }
+
+    /// One wire round-trip; the response body lands in `self.recv`.
+    fn call_once(&mut self, req: &Request<'_>) -> Result<Status, ClientError> {
         self.send.clear();
         req.encode(&mut self.send);
         frame::write_frame(&mut self.stream, &self.send)?;
         frame::read_frame(&mut self.stream, &mut self.recv, self.max_frame)?;
-        let resp = Response::decode(&self.recv)?;
-        Ok((resp.status, resp.payload))
+        Ok(Response::decode(&self.recv)?.status)
+    }
+
+    /// Round-trip with the retry policy applied: `BUSY` answers and
+    /// transient transport errors reconnect and try again (with
+    /// backoff) until the attempts run out; the last outcome is then
+    /// returned as-is. The response body is left in `self.recv`.
+    fn call(&mut self, req: &Request<'_>) -> Result<Status, ClientError> {
+        let attempts = self.retry.attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = self.call_once(req);
+            let retryable = match &outcome {
+                Ok(Status::Busy) => true,
+                Err(ClientError::Io(e)) => is_transient(e),
+                _ => false,
+            };
+            if !retryable || attempt >= attempts {
+                return outcome;
+            }
+            std::thread::sleep(backoff(self.retry.base_delay, attempt));
+            if let Err(e) = self.reconnect() {
+                if !is_transient(&e) {
+                    return Err(ClientError::Io(e));
+                }
+                // A transient reconnect failure consumes the next
+                // attempt too; keep the loop bounded.
+                if attempt + 1 >= attempts {
+                    return Err(ClientError::Io(e));
+                }
+                attempt += 1;
+            }
+        }
+    }
+
+    /// The response payload from the last [`Client::call`].
+    fn payload(&self) -> Result<&[u8], ClientError> {
+        Ok(Response::decode(&self.recv)?.payload)
     }
 
     /// Common tail: map `BUSY`/`ERR` to errors, pass anything else on.
-    fn expect_plain(status: Status, payload: &[u8]) -> Result<Status, ClientError> {
+    fn expect_plain(&self, status: Status) -> Result<Status, ClientError> {
         match status {
             Status::Busy => Err(ClientError::Busy),
             Status::Err => Err(ClientError::Server(
-                String::from_utf8_lossy(payload).into_owned(),
+                String::from_utf8_lossy(self.payload()?).into_owned(),
             )),
             other => Ok(other),
         }
@@ -120,8 +267,8 @@ impl Client {
 
     /// Store `page` under `key`.
     pub fn put(&mut self, key: u64, page: &[u8]) -> Result<(), ClientError> {
-        let (status, payload) = self.call(&Request::Put { key, page })?;
-        match Self::expect_plain(status, payload)? {
+        let status = self.call(&Request::Put { key, page })?;
+        match self.expect_plain(status)? {
             Status::Ok => Ok(()),
             other => Err(ClientError::Protocol(format!(
                 "unexpected PUT status {other:?}"
@@ -132,25 +279,24 @@ impl Client {
     /// Fetch `key` into `out` (resized to the page). Returns `false` on
     /// a miss.
     pub fn get(&mut self, key: u64, out: &mut Vec<u8>) -> Result<bool, ClientError> {
-        let (status, payload) = self.call(&Request::Get { key })?;
-        match status {
+        let status = self.call(&Request::Get { key })?;
+        match self.expect_plain(status)? {
             Status::Ok => {
                 out.clear();
-                out.extend_from_slice(payload);
+                out.extend_from_slice(self.payload()?);
                 Ok(true)
             }
             Status::NotFound => Ok(false),
-            Status::Busy => Err(ClientError::Busy),
-            Status::Err => Err(ClientError::Server(
-                String::from_utf8_lossy(payload).into_owned(),
-            )),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected GET status {other:?}"
+            ))),
         }
     }
 
     /// Remove `key`. Returns whether it existed.
     pub fn del(&mut self, key: u64) -> Result<bool, ClientError> {
-        let (status, payload) = self.call(&Request::Del { key })?;
-        match Self::expect_plain(status, payload)? {
+        let status = self.call(&Request::Del { key })?;
+        match self.expect_plain(status)? {
             Status::Ok => Ok(true),
             Status::NotFound => Ok(false),
             other => Err(ClientError::Protocol(format!(
@@ -161,8 +307,8 @@ impl Client {
 
     /// Block until the server's store has drained its spill writer.
     pub fn flush(&mut self) -> Result<(), ClientError> {
-        let (status, payload) = self.call(&Request::Flush)?;
-        match Self::expect_plain(status, payload)? {
+        let status = self.call(&Request::Flush)?;
+        match self.expect_plain(status)? {
             Status::Ok => Ok(()),
             other => Err(ClientError::Protocol(format!(
                 "unexpected FLUSH status {other:?}"
@@ -172,8 +318,8 @@ impl Client {
 
     /// Round-trip probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
-        let (status, payload) = self.call(&Request::Ping)?;
-        match Self::expect_plain(status, payload)? {
+        let status = self.call(&Request::Ping)?;
+        match self.expect_plain(status)? {
             Status::Ok => Ok(()),
             other => Err(ClientError::Protocol(format!(
                 "unexpected PING status {other:?}"
@@ -185,11 +331,10 @@ impl Client {
     /// (store metrics under `cc_store_*`, wire metrics under
     /// `cc_server_*`).
     pub fn stats(&mut self) -> Result<String, ClientError> {
-        let (status, payload) = self.call(&Request::Stats)?;
-        match status {
-            Status::Ok => String::from_utf8(payload.to_vec())
+        let status = self.call(&Request::Stats)?;
+        match self.expect_plain(status)? {
+            Status::Ok => String::from_utf8(self.payload()?.to_vec())
                 .map_err(|_| ClientError::Protocol("STATS payload is not UTF-8".into())),
-            Status::Busy => Err(ClientError::Busy),
             other => Err(ClientError::Protocol(format!(
                 "unexpected STATS status {other:?}"
             ))),

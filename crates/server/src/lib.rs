@@ -48,7 +48,7 @@ pub mod pool;
 pub mod proto;
 pub mod service;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use proto::{Opcode, ProtoError, Request, Response, Status};
 pub use service::Service;
 
@@ -231,8 +231,10 @@ impl Server {
             pool.join();
         }
         // The paper's cleaner must not be left with queued work: an
-        // orderly server exit leaves every accepted PUT durable.
-        self.service.store().flush();
+        // orderly server exit leaves every accepted PUT durable. A dead
+        // writer (degraded store) already reverted the pending entries
+        // to memory; nothing more a teardown can do about it.
+        let _ = self.service.store().flush();
     }
 }
 

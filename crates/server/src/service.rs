@@ -211,8 +211,11 @@ impl Service {
                 (wstat::REQ_DEL, status)
             }
             Request::Flush => {
-                self.store.flush();
-                (wstat::REQ_FLUSH, Status::Ok)
+                let status = match self.store.flush() {
+                    Ok(()) => Status::Ok,
+                    Err(e) => err_status(e, out),
+                };
+                (wstat::REQ_FLUSH, status)
             }
             Request::Stats => {
                 out.extend_from_slice(self.stats_text().as_bytes());

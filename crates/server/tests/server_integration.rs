@@ -227,6 +227,81 @@ fn saturated_pool_answers_busy() {
     server.shutdown();
 }
 
+/// Satellite: the client's bounded retry-with-backoff rides out a
+/// saturation window. With one worker held busy, a no-retry client gets
+/// `BUSY` immediately; a retrying client keeps reconnecting with
+/// backoff and succeeds once the holder releases the worker — within
+/// the policy's `max_backoff_total` bound (plus I/O slack). A retrying
+/// client against a *permanently* saturated pool still fails, in
+/// bounded time.
+#[test]
+fn client_retry_rides_out_saturation() {
+    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
+    let server = Server::spawn(
+        store,
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(1).with_backlog(0),
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+
+    // Occupy the only worker (the completed PING proves admission).
+    let holder = {
+        let mut c = Client::connect(addr).expect("connect holder");
+        c.ping().expect("ping");
+        c
+    };
+
+    // Default policy (one attempt): BUSY surfaces immediately.
+    match Client::connect(addr).expect("connect no-retry").ping() {
+        Err(ClientError::Busy) | Err(ClientError::Io(_)) => {}
+        other => panic!("expected immediate BUSY without retry, got {other:?}"),
+    }
+
+    // Exhausted retries against a pool that never frees up: the failure
+    // is still BUSY and the total wait respects the backoff bound.
+    let mut capped = Client::connect(addr)
+        .expect("connect capped")
+        .with_retry(4, Duration::from_millis(2));
+    let bound = capped.retry_policy().max_backoff_total();
+    assert_eq!(bound, Duration::from_millis(2 + 4 + 8));
+    let start = std::time::Instant::now();
+    match capped.ping() {
+        Err(ClientError::Busy) | Err(ClientError::Io(_)) => {}
+        other => panic!("expected BUSY after exhausting retries, got {other:?}"),
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < bound + Duration::from_secs(5),
+        "retry loop unbounded: {elapsed:?} for bound {bound:?}"
+    );
+
+    // Release the worker mid-retry: the retrying client must succeed.
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        drop(holder);
+    });
+    let mut retrier = Client::connect(addr)
+        .expect("connect retrier")
+        .with_retry(10, Duration::from_millis(10));
+    let start = std::time::Instant::now();
+    retrier
+        .ping()
+        .expect("retrying client should succeed once the pool frees up");
+    let elapsed = start.elapsed();
+    let bound = retrier.retry_policy().max_backoff_total() + Duration::from_secs(10);
+    assert!(elapsed < bound, "retry took {elapsed:?}, bound {bound:?}");
+    release.join().expect("release thread");
+
+    // The retried connection is a normal, reusable connection.
+    retrier.put(9, &vec![0x5A; PAGE]).expect("put after retry");
+    let mut out = Vec::new();
+    assert!(retrier.get(9, &mut out).expect("get after retry"));
+    assert_eq!(out, vec![0x5A; PAGE]);
+    drop(retrier);
+    server.shutdown();
+}
+
 /// Every malformed-input class: the server answers `ERR`, closes the
 /// connection, bumps `malformed_frames`, and keeps serving new
 /// connections (no worker panics).

@@ -1,0 +1,69 @@
+//! CRC-32 (IEEE 802.3, the zlib/gzip polynomial) over byte slices.
+//!
+//! The spill file's self-verifying extent headers need a checksum that is
+//! cheap, well-understood, and dependency-free. This is the classic
+//! reflected table-driven CRC-32 with a 256-entry table built at compile
+//! time; one table lookup plus one shift per input byte.
+
+/// The reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (full message; init `0xFFFF_FFFF`, final xor-out).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_crc() {
+        let base: Vec<u8> = (0..257u32).map(|i| (i * 31 % 251) as u8).collect();
+        let want = crc32(&base);
+        let mut flipped = base.clone();
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "flip at {byte}:{bit} undetected");
+                flipped[byte] ^= 1 << bit;
+            }
+        }
+        assert_eq!(flipped, base);
+    }
+}

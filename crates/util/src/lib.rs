@@ -13,11 +13,13 @@
 //!   generation inside core crates (the heavyweight `rand` crate is only used
 //!   by workload *generators*, never by the simulator itself).
 //! - [`hist`] — log-bucketed histograms for latency and ratio statistics.
+//! - [`crc`] — table-driven CRC-32 for self-verifying on-disk extents.
 //! - [`plot`] — ASCII line charts and heatmaps used by the figure harnesses.
 //! - [`fmt`] — human-friendly byte/time formatting.
 
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod fmt;
 pub mod hist;
 pub mod lru;
@@ -26,6 +28,7 @@ pub mod rng;
 pub mod slab;
 pub mod time;
 
+pub use crc::crc32;
 pub use hist::Histogram;
 pub use lru::{LruHandle, LruList};
 pub use rng::SplitMix64;

@@ -44,7 +44,7 @@ fn main() {
     for h in handles {
         h.join().unwrap();
     }
-    store.flush();
+    store.flush().unwrap();
 
     // Verify a sample from every thread's range.
     let mut out = vec![0u8; PAGE];
