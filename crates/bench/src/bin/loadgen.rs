@@ -10,6 +10,25 @@
 //! and every DEL's existed/missing answer is checked — any disagreement
 //! is an integrity error.
 //!
+//! The engine under test is selectable: `--backend threaded` (the
+//! blocking worker pool) or `--backend evented` (the nonblocking
+//! readiness reactor; `evented-poll` forces the poll(2) fallback).
+//! `--pipeline W` switches the clients to the pipelined protocol — a
+//! window of `W` tagged requests in flight per connection, responses
+//! reaped by tag — with the same shadow verification (expectations are
+//! pinned at send time; the server executes each connection's requests
+//! in order) plus an exactly-once tag check.
+//!
+//! `--conns N` adds a **connection-count A/B sweep**: for each backend,
+//! levels of total connections (a few hot, the rest idle-but-open) up
+//! to `N`, measuring hot-path throughput and client-observed p99 at
+//! each level. A level is *sustained* if every connection is admitted
+//! (PING answered) and the hot traffic runs error-free. The per-backend
+//! curves and a threaded-vs-evented verdict land in the output JSON —
+//! this is the experiment showing the reactor holding an order of
+//! magnitude more connections than the thread-per-connection pool at
+//! equal or better tail latency.
+//!
 //! After the run one extra connection FLUSHes, fetches STATS, and probes
 //! saturation (full mode only): it parks `workers` idle connections so
 //! the pool is fully occupied, then connects once more and asserts the
@@ -17,25 +36,30 @@
 //!
 //! Results land in `BENCH_server.json`: client-side throughput, the
 //! server's per-opcode latency histograms (p50/p99 straight from the
-//! wire telemetry), the wire counters, and the store's memory/spill tier
-//! split parsed back out of the STATS payload.
+//! wire telemetry), the wire counters, the store's memory/spill tier
+//! split parsed back out of the STATS payload, and (with `--conns`) the
+//! `ab_sweep` section.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p cc-bench --bin loadgen [-- --threads N --ops N --out PATH]
-//! cargo run --release -p cc-bench --bin loadgen -- --smoke
+//! cargo run --release -p cc-bench --bin loadgen [-- --threads N --ops N \
+//!     --backend threaded|evented|evented-poll --pipeline W --conns N --out PATH]
+//! cargo run --release -p cc-bench --bin loadgen -- --smoke [--backend evented] [--conns 64]
 //! ```
 //!
 //! `--smoke` runs a reduced-ops pass and exits nonzero on any integrity
-//! error, any malformed or BUSY-rejected frame, a latency histogram that
-//! is empty or disordered, ring events that disagree with the counters
-//! they shadow, or a STATS payload that fails Prometheus parsing — CI
+//! error, any response-tag mismatch, any malformed or BUSY-rejected
+//! frame, a latency histogram that is empty or disordered, ring events
+//! that disagree with the counters they shadow, a STATS payload that
+//! fails Prometheus parsing — or, when `--conns` is given, an evented
+//! p99 worse than 2× the threaded p99 at equal connection count. CI
 //! runs it on every push next to `storebench --smoke`.
 
 use cc_bench::smoke;
 use cc_core::store::{CompressedStore, StoreConfig};
-use cc_server::{Client, ClientError, Server, ServerConfig};
+use cc_server::proto::Request;
+use cc_server::{Client, ClientError, Pipeline, Server, ServerBackend, ServerConfig};
 use cc_telemetry::Snapshot;
 use cc_util::SplitMix64;
 use std::collections::HashMap;
@@ -101,10 +125,24 @@ struct ThreadResult {
     ops: u64,
     /// GET payload or DEL existed-bit disagreed with the shadow model.
     integrity_mismatches: u64,
+    /// A pipelined response carried a tag that was duplicate, unknown,
+    /// or already reaped.
+    tag_mismatches: u64,
     /// Transport/protocol/server errors (any is a failure).
     hard_errors: u64,
     gets_hit: u64,
     gets_miss: u64,
+}
+
+impl ThreadResult {
+    fn absorb(&mut self, r: ThreadResult) {
+        self.ops += r.ops;
+        self.integrity_mismatches += r.integrity_mismatches;
+        self.tag_mismatches += r.tag_mismatches;
+        self.hard_errors += r.hard_errors;
+        self.gets_hit += r.gets_hit;
+        self.gets_miss += r.gets_miss;
+    }
 }
 
 fn run_client(
@@ -170,6 +208,163 @@ fn run_client(
     Ok(r)
 }
 
+/// What a pipelined request promised at send time. The server executes
+/// each connection's requests in submission order, so expectations
+/// pinned against the shadow model *when the request is written* are
+/// exact at execution time — even with `W` requests in flight.
+enum Pending {
+    Put,
+    Get {
+        key: u64,
+        expect_version: Option<u64>,
+    },
+    Del {
+        expect_existed: bool,
+    },
+}
+
+/// The same zipfian 50/40/10 mix, driven through the pipelined protocol
+/// with a window of `window` tagged requests in flight.
+fn run_client_pipelined(
+    addr: std::net::SocketAddr,
+    thread: usize,
+    ops: u64,
+    zipf: &Zipf,
+    window: usize,
+) -> Result<ThreadResult, ClientError> {
+    let mut client = Client::connect(addr)?;
+    client.set_timeout(Some(Duration::from_secs(30)))?;
+    client.ping()?;
+    let base = thread as u64 * KEYS_PER_THREAD;
+    let mut shadow: HashMap<u64, u64> = HashMap::new();
+    let mut versions: u64 = 0;
+    let mut rng = SplitMix64::new(0xF00D + thread as u64);
+    let mut page = vec![0u8; PAGE];
+    let mut expect = vec![0u8; PAGE];
+    let mut out = Vec::with_capacity(PAGE);
+    let mut pipe = Pipeline::new();
+    let mut pending: HashMap<u32, Pending> = HashMap::new();
+    let mut r = ThreadResult::default();
+
+    let reap = |client: &mut Client,
+                pipe: &mut Pipeline,
+                pending: &mut HashMap<u32, Pending>,
+                out: &mut Vec<u8>,
+                expect: &mut Vec<u8>,
+                r: &mut ThreadResult|
+     -> Result<(), ClientError> {
+        use cc_server::Status;
+        let (seq, status) = match pipe.recv(client, out) {
+            Ok(v) => v,
+            Err(ClientError::Protocol(_)) => {
+                // Duplicate/unknown tag: the exactly-once window caught
+                // a protocol violation.
+                r.tag_mismatches += 1;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let Some(meta) = pending.remove(&seq) else {
+            r.tag_mismatches += 1;
+            return Ok(());
+        };
+        match (meta, status) {
+            (Pending::Put, Status::Ok) => {}
+            (Pending::Put, _) => r.hard_errors += 1,
+            (
+                Pending::Get {
+                    key,
+                    expect_version,
+                },
+                status,
+            ) => match (status, expect_version) {
+                (Status::Ok, Some(v)) => {
+                    r.gets_hit += 1;
+                    fill_page(key, v, expect);
+                    if out != expect {
+                        r.integrity_mismatches += 1;
+                    }
+                }
+                (Status::NotFound, None) => r.gets_miss += 1,
+                (Status::Ok, None) | (Status::NotFound, Some(_)) => r.integrity_mismatches += 1,
+                _ => r.hard_errors += 1,
+            },
+            (Pending::Del { expect_existed }, status) => match status {
+                Status::Ok if expect_existed => {}
+                Status::NotFound if !expect_existed => {}
+                Status::Ok | Status::NotFound => r.integrity_mismatches += 1,
+                _ => r.hard_errors += 1,
+            },
+        }
+        Ok(())
+    };
+
+    for _ in 0..ops {
+        let key = base + zipf.sample(&mut rng);
+        r.ops += 1;
+        // Expectations and the shadow update happen at *send* time:
+        // in-order execution per connection makes them exact.
+        let seq = match rng.next_u64() % 10 {
+            0..=4 => {
+                versions += 1;
+                fill_page(key, versions, &mut page);
+                let seq = pipe.send(&mut client, &Request::Put { key, page: &page })?;
+                shadow.insert(key, versions);
+                pending.insert(seq, Pending::Put);
+                seq
+            }
+            5..=8 => {
+                let seq = pipe.send(&mut client, &Request::Get { key })?;
+                pending.insert(
+                    seq,
+                    Pending::Get {
+                        key,
+                        expect_version: shadow.get(&key).copied(),
+                    },
+                );
+                seq
+            }
+            _ => {
+                let seq = pipe.send(&mut client, &Request::Del { key })?;
+                pending.insert(
+                    seq,
+                    Pending::Del {
+                        expect_existed: shadow.remove(&key).is_some(),
+                    },
+                );
+                seq
+            }
+        };
+        let _ = seq;
+        while pipe.in_flight() >= window {
+            reap(
+                &mut client,
+                &mut pipe,
+                &mut pending,
+                &mut out,
+                &mut expect,
+                &mut r,
+            )?;
+        }
+    }
+    while pipe.in_flight() > 0 {
+        reap(
+            &mut client,
+            &mut pipe,
+            &mut pending,
+            &mut out,
+            &mut expect,
+            &mut r,
+        )?;
+    }
+    if !pending.is_empty() {
+        // Requests sent but never answered: every one is a lost
+        // response.
+        r.tag_mismatches += pending.len() as u64;
+    }
+    Ok(r)
+}
+
 /// Park `workers` idle connections so every worker is occupied, then
 /// connect once more: the admission queue is full and the server must
 /// answer `BUSY`. Returns whether the extra connection was rejected.
@@ -191,7 +386,7 @@ fn saturation_probe(addr: std::net::SocketAddr, workers: usize) -> bool {
             let _ = extra.set_read_timeout(Some(Duration::from_secs(5)));
             let mut body = Vec::new();
             match frame::read_frame(&mut extra, &mut body, frame::DEFAULT_MAX_FRAME) {
-                Ok(()) => matches!(
+                Ok(_seq) => matches!(
                     Response::decode(&body),
                     Ok(Response {
                         status: Status::Busy,
@@ -205,6 +400,233 @@ fn saturation_probe(addr: std::net::SocketAddr, workers: usize) -> bool {
     };
     drop(holders);
     rejected
+}
+
+// ---------------------------------------------------------------------
+// Connection-count A/B sweep
+// ---------------------------------------------------------------------
+
+/// Hot connections driving traffic at every sweep level; the rest of
+/// the level's connections are open-and-idle.
+const SWEEP_HOT: usize = 2;
+/// Worker threads for the threaded backend under sweep: its
+/// connection-count ceiling, chosen so the A/B is a fair
+/// "thread-per-connection at its configured capacity" baseline rather
+/// than an artificially tiny pool.
+const SWEEP_WORKERS: usize = 16;
+/// Keys per hot connection in the sweep (small: the sweep measures the
+/// service path, not the store tiers).
+const SWEEP_KEYS: u64 = 256;
+
+/// One measured level of the sweep.
+struct LevelResult {
+    conns: usize,
+    admitted: usize,
+    sustained: bool,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+struct BackendSweep {
+    levels: Vec<LevelResult>,
+}
+
+impl BackendSweep {
+    /// The largest connection count this backend held with every
+    /// connection admitted and the hot path clean.
+    fn max_sustained(&self) -> usize {
+        self.levels
+            .iter()
+            .filter(|l| l.sustained)
+            .map(|l| l.conns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn level(&self, conns: usize) -> Option<&LevelResult> {
+        self.levels.iter().find(|l| l.conns == conns)
+    }
+}
+
+/// Sequential PUT/GET hot loop with per-op client-side latency capture.
+/// Returns `(latencies_ns, result)`.
+fn run_hot(
+    addr: std::net::SocketAddr,
+    thread: usize,
+    ops: u64,
+) -> Result<(Vec<u64>, ThreadResult), ClientError> {
+    let mut client = Client::connect(addr)?;
+    client.set_timeout(Some(Duration::from_secs(30)))?;
+    client.ping()?;
+    let base = thread as u64 * SWEEP_KEYS;
+    let mut shadow: HashMap<u64, u64> = HashMap::new();
+    let mut versions = 0u64;
+    let mut rng = SplitMix64::new(0xBEEF + thread as u64);
+    let mut page = vec![0u8; PAGE];
+    let mut expect = vec![0u8; PAGE];
+    let mut out = Vec::with_capacity(PAGE);
+    let mut lat = Vec::with_capacity(ops as usize);
+    let mut r = ThreadResult::default();
+    for _ in 0..ops {
+        let key = base + rng.next_u64() % SWEEP_KEYS;
+        r.ops += 1;
+        let t0 = Instant::now();
+        if rng.next_u64().is_multiple_of(2) {
+            versions += 1;
+            fill_page(key, versions, &mut page);
+            match client.put(key, &page) {
+                Ok(()) => {
+                    shadow.insert(key, versions);
+                }
+                Err(_) => r.hard_errors += 1,
+            }
+        } else {
+            match client.get(key, &mut out) {
+                Ok(hit) => match (hit, shadow.get(&key).copied()) {
+                    (true, Some(v)) => {
+                        r.gets_hit += 1;
+                        fill_page(key, v, &mut expect);
+                        if out != expect {
+                            r.integrity_mismatches += 1;
+                        }
+                    }
+                    (false, None) => r.gets_miss += 1,
+                    _ => r.integrity_mismatches += 1,
+                },
+                Err(_) => r.hard_errors += 1,
+            }
+        }
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    Ok((lat, r))
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 * p).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// One sweep level against a fresh server: `conns - SWEEP_HOT` idle
+/// connections held open, `SWEEP_HOT` hot connections measured.
+fn sweep_level(backend: ServerBackend, conns: usize, ops_per_hot: u64) -> LevelResult {
+    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(64 << 20)));
+    let mut cfg = ServerConfig::default()
+        .with_backend(backend)
+        .with_idle_timeout(Duration::from_secs(120));
+    cfg = match backend {
+        // The pool's connection capacity IS the contended resource: cap
+        // it crisply at the worker count (no backlog grace).
+        ServerBackend::Threaded => cfg.with_workers(SWEEP_WORKERS).with_backlog(0),
+        // The reactor is capacity-limited only by its admission cap.
+        ServerBackend::Evented | ServerBackend::EventedPoll => cfg.with_max_conns(4096),
+    };
+    let server = Server::spawn(store, "127.0.0.1:0", cfg).expect("spawn sweep server");
+    let addr = server.local_addr();
+
+    // Idle holders first, then the hot connections claim the remaining
+    // capacity — at a backend's exact capacity the level only fits in
+    // this order. A connection counts as admitted once a PING
+    // round-trips on it.
+    let idle_target = conns.saturating_sub(SWEEP_HOT);
+    let mut admitted = 0usize;
+    let mut idle_holders = Vec::with_capacity(idle_target);
+    for _ in 0..idle_target {
+        let ok = Client::connect(addr).ok().and_then(|mut c| {
+            c.set_timeout(Some(Duration::from_secs(3))).ok()?;
+            c.ping().ok()?;
+            Some(c)
+        });
+        match ok {
+            Some(c) => {
+                idle_holders.push(c);
+                admitted += 1;
+            }
+            None => break,
+        }
+    }
+
+    let start = Instant::now();
+    let hot: Vec<_> = (0..SWEEP_HOT)
+        .map(|t| std::thread::spawn(move || run_hot(addr, t, ops_per_hot)))
+        .collect();
+    let mut lat: Vec<u64> = Vec::new();
+    let mut tally = ThreadResult::default();
+    let mut hot_admitted = 0usize;
+    for h in hot {
+        if let Ok((l, r)) = h.join().expect("hot thread panicked") {
+            lat.extend(l);
+            tally.absorb(r);
+            hot_admitted += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(idle_holders);
+    server.shutdown();
+
+    lat.sort_unstable();
+    let sustained = hot_admitted == SWEEP_HOT
+        && admitted == idle_target
+        && tally.hard_errors == 0
+        && tally.integrity_mismatches == 0;
+    LevelResult {
+        conns,
+        admitted: admitted + hot_admitted,
+        sustained,
+        ops_per_sec: tally.ops as f64 / elapsed.max(1e-9),
+        p50_us: percentile_us(&lat, 0.50),
+        p99_us: percentile_us(&lat, 0.99),
+    }
+}
+
+/// Run the level ladder for one backend, stopping after the first level
+/// it fails to sustain (higher levels cannot do better).
+fn sweep_backend(backend: ServerBackend, levels: &[usize], ops_per_hot: u64) -> BackendSweep {
+    let mut out = BackendSweep { levels: Vec::new() };
+    for &conns in levels {
+        eprintln!("  sweep {}: {} conns ...", backend.name(), conns);
+        let level = sweep_level(backend, conns, ops_per_hot);
+        eprintln!(
+            "    admitted {}/{}, {}, {:.0} ops/s, p50 {:.0} us, p99 {:.0} us",
+            level.admitted,
+            conns,
+            if level.sustained {
+                "sustained"
+            } else {
+                "NOT sustained"
+            },
+            level.ops_per_sec,
+            level.p50_us,
+            level.p99_us,
+        );
+        let stop = !level.sustained;
+        out.levels.push(level);
+        if stop {
+            break;
+        }
+    }
+    out
+}
+
+fn sweep_json(s: &BackendSweep) -> String {
+    let levels: Vec<String> = s
+        .levels
+        .iter()
+        .map(|l| {
+            format!(
+                "{{\"conns\": {}, \"admitted\": {}, \"sustained\": {}, \"ops_per_sec\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+                l.conns, l.admitted, l.sustained, l.ops_per_sec, l.p50_us, l.p99_us
+            )
+        })
+        .collect();
+    format!(
+        "{{\"levels\": [{}], \"max_sustained_conns\": {}}}",
+        levels.join(", "),
+        s.max_sustained()
+    )
 }
 
 fn op_json(snap: &Snapshot, op: &str) -> String {
@@ -234,6 +656,9 @@ fn main() {
     let mut ops_per_thread: u64 = 50_000;
     let mut out_path = String::from("BENCH_server.json");
     let mut smoke_mode = false;
+    let mut backend = ServerBackend::Threaded;
+    let mut pipeline_window: usize = 0;
+    let mut sweep_conns: usize = 0;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -255,6 +680,25 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--backend" => {
+                let name = args.next().unwrap_or_default();
+                backend = ServerBackend::parse(&name).unwrap_or_else(|| {
+                    eprintln!("--backend expects threaded|evented|evented-poll, got {name:?}");
+                    std::process::exit(2);
+                })
+            }
+            "--pipeline" => {
+                pipeline_window = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--pipeline expects a window size (0 disables)");
+                    std::process::exit(2);
+                })
+            }
+            "--conns" => {
+                sweep_conns = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--conns expects a connection count for the A/B sweep");
+                    std::process::exit(2);
+                })
+            }
             "--smoke" => {
                 smoke_mode = true;
                 threads = 4;
@@ -262,7 +706,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown arg: {other}\nusage: loadgen [--threads N] [--ops N] [--out PATH] [--smoke]"
+                    "unknown arg: {other}\nusage: loadgen [--threads N] [--ops N] [--backend threaded|evented|evented-poll] [--pipeline W] [--conns N] [--out PATH] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -278,13 +722,21 @@ fn main() {
     let server = Server::spawn(
         Arc::clone(&store),
         "127.0.0.1:0",
-        ServerConfig::default().with_workers(threads),
+        ServerConfig::default()
+            .with_backend(backend)
+            .with_workers(threads),
     )
     .expect("spawn server");
     let addr = server.local_addr();
     let service = Arc::clone(server.service());
     eprintln!(
-        "loadgen: {threads} clients x {ops_per_thread} ops, {KEYS_PER_THREAD} zipfian(s={ZIPF_S}) keys/thread, mixed 50/40/10 put/get/del, server {addr} ({threads} workers, budget {BUDGET})"
+        "loadgen: {threads} clients x {ops_per_thread} ops, {KEYS_PER_THREAD} zipfian(s={ZIPF_S}) keys/thread, mixed 50/40/10 put/get/del, server {addr} (backend {}, {threads} workers, budget {BUDGET}{})",
+        backend.name(),
+        if pipeline_window > 0 {
+            format!(", pipeline window {pipeline_window}")
+        } else {
+            String::new()
+        }
     );
 
     let zipf = Arc::new(Zipf::new(KEYS_PER_THREAD, ZIPF_S));
@@ -292,20 +744,20 @@ fn main() {
     let handles: Vec<_> = (0..threads)
         .map(|t| {
             let zipf = Arc::clone(&zipf);
-            std::thread::spawn(move || run_client(addr, t, ops_per_thread, &zipf))
+            std::thread::spawn(move || {
+                if pipeline_window > 0 {
+                    run_client_pipelined(addr, t, ops_per_thread, &zipf, pipeline_window)
+                } else {
+                    run_client(addr, t, ops_per_thread, &zipf)
+                }
+            })
         })
         .collect();
     let mut total = ThreadResult::default();
     let mut connect_failures = 0u64;
     for h in handles {
         match h.join().expect("client thread panicked") {
-            Ok(r) => {
-                total.ops += r.ops;
-                total.integrity_mismatches += r.integrity_mismatches;
-                total.hard_errors += r.hard_errors;
-                total.gets_hit += r.gets_hit;
-                total.gets_miss += r.gets_miss;
-            }
+            Ok(r) => total.absorb(r),
             Err(e) => {
                 eprintln!("  client setup failed: {e}");
                 connect_failures += 1;
@@ -323,10 +775,12 @@ fn main() {
         c.stats().expect("stats")
     };
 
-    let busy_seen = if smoke_mode {
+    let busy_seen = if smoke_mode || backend != ServerBackend::Threaded {
         // The smoke gate requires zero rejected frames, so the probe
-        // (which manufactures one) only runs in full mode; BUSY-path
-        // coverage in CI comes from the server integration tests.
+        // (which manufactures one) only runs in full mode; the probe's
+        // park-the-workers construction is also specific to the
+        // threaded pool. BUSY-path coverage for the reactor lives in
+        // the server integration tests and the sweep below.
         false
     } else {
         saturation_probe(addr, threads)
@@ -345,8 +799,8 @@ fn main() {
         stats_counter(&stats_text, "misses"),
     );
     eprintln!(
-        "  {:.0} ops/s over {:.2}s; {} get hits / {} misses; integrity mismatches {}, hard errors {}",
-        ops_per_sec, elapsed, total.gets_hit, total.gets_miss, total.integrity_mismatches, total.hard_errors,
+        "  {:.0} ops/s over {:.2}s; {} get hits / {} misses; integrity mismatches {}, tag mismatches {}, hard errors {}",
+        ops_per_sec, elapsed, total.gets_hit, total.gets_miss, total.integrity_mismatches, total.tag_mismatches, total.hard_errors,
     );
     eprintln!(
         "  wire: put p50 {} ns / get p50 {} ns / del p50 {} ns; conns {} opened / {} closed; busy {} malformed {}",
@@ -359,7 +813,7 @@ fn main() {
         wire("malformed_frames"),
     );
     eprintln!("  store tiers (from STATS): {hits_memory} memory hits, {hits_spill} spill hits, {misses} misses");
-    if !smoke_mode {
+    if !smoke_mode && backend == ServerBackend::Threaded {
         eprintln!(
             "  saturation probe: extra connection {}",
             if busy_seen {
@@ -370,11 +824,70 @@ fn main() {
         );
     }
 
+    // Connection-count A/B sweep: threaded vs evented at increasing
+    // open-connection levels.
+    let sweep = if sweep_conns > 0 {
+        let mut levels: Vec<usize> = Vec::new();
+        let mut c = 4usize;
+        while c < sweep_conns {
+            levels.push(c);
+            c *= 4;
+        }
+        levels.push(sweep_conns);
+        let ops_per_hot: u64 = if smoke_mode { 600 } else { 3_000 };
+        eprintln!(
+            "ab sweep: levels {:?}, {} hot conns x {} ops each, threaded workers {}",
+            levels, SWEEP_HOT, ops_per_hot, SWEEP_WORKERS
+        );
+        let threaded = sweep_backend(ServerBackend::Threaded, &levels, ops_per_hot);
+        let evented = sweep_backend(ServerBackend::Evented, &levels, ops_per_hot);
+        let (t_max, e_max) = (threaded.max_sustained(), evented.max_sustained());
+        let ratio = if t_max > 0 {
+            e_max as f64 / t_max as f64
+        } else {
+            0.0
+        };
+        // Tail-latency comparison at the largest level both backends
+        // sustain: "equal concurrency".
+        let equal = threaded
+            .levels
+            .iter()
+            .filter(|l| l.sustained)
+            .filter_map(|l| {
+                evented
+                    .level(l.conns)
+                    .filter(|e| e.sustained)
+                    .map(|e| (l, e))
+            })
+            .max_by_key(|(l, _)| l.conns);
+        let p99_ratio = equal
+            .map(|(t, e)| e.p99_us / t.p99_us.max(1e-9))
+            .unwrap_or(f64::NAN);
+        eprintln!(
+            "  verdict: threaded sustains {t_max} conns, evented {e_max} ({ratio:.1}x); p99 evented/threaded at {} conns = {:.2}",
+            equal.map(|(l, _)| l.conns).unwrap_or(0),
+            p99_ratio,
+        );
+        Some((threaded, evented, t_max, e_max, ratio, p99_ratio))
+    } else {
+        None
+    };
+
+    let ab_json = match &sweep {
+        Some((t, e, t_max, e_max, ratio, p99_ratio)) => format!(
+            ",\n  \"ab_sweep\": {{\n    \"hot_conns\": {SWEEP_HOT},\n    \"threaded_workers\": {SWEEP_WORKERS},\n    \"threaded\": {},\n    \"evented\": {},\n    \"verdict\": {{\"threaded_max_conns\": {t_max}, \"evented_max_conns\": {e_max}, \"conn_ratio\": {ratio:.1}, \"equal_conns_p99_ratio\": {p99_ratio:.3}}}\n  }}",
+            sweep_json(t),
+            sweep_json(e),
+        ),
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"loadgen\",\n  \"threads\": {threads},\n  \"ops_per_thread\": {ops_per_thread},\n  \"keys_per_thread\": {KEYS_PER_THREAD},\n  \"zipf_s\": {ZIPF_S},\n  \"page_size\": {PAGE},\n  \"budget_bytes\": {BUDGET},\n  \"mix\": \"50% put / 40% get / 10% del\",\n  \"elapsed_s\": {elapsed:.3},\n  \"ops_per_sec\": {ops_per_sec:.0},\n  \"gets_hit\": {},\n  \"gets_miss\": {},\n  \"integrity_mismatches\": {},\n  \"hard_errors\": {},\n  \"ops\": {{\n    \"put\": {},\n    \"get\": {},\n    \"del\": {},\n    \"flush\": {},\n    \"stats\": {},\n    \"ping\": {}\n  }},\n  \"wire\": {{\n    \"req_put\": {},\n    \"req_get\": {},\n    \"req_del\": {},\n    \"conns_opened\": {},\n    \"conns_closed\": {},\n    \"busy_rejected\": {},\n    \"malformed_frames\": {},\n    \"idle_timeouts\": {}\n  }},\n  \"tier_split\": {{\"hits_memory\": {hits_memory}, \"hits_spill\": {hits_spill}, \"misses\": {misses}}},\n  \"saturation_probe_busy\": {},\n  \"note\": \"closed-loop loopback load against the in-process cc-server; every GET verified byte-for-byte against a per-thread shadow model (integrity_mismatches must be 0). ops.* are the server's own per-opcode wire latency histograms in nanoseconds; tier_split is parsed from the STATS Prometheus payload fetched over the wire; saturation_probe_busy records whether an extra connection beyond the worker pool was answered BUSY (full mode only).\"\n}}\n",
+        "{{\n  \"benchmark\": \"loadgen\",\n  \"backend\": \"{}\",\n  \"pipeline_window\": {pipeline_window},\n  \"threads\": {threads},\n  \"ops_per_thread\": {ops_per_thread},\n  \"keys_per_thread\": {KEYS_PER_THREAD},\n  \"zipf_s\": {ZIPF_S},\n  \"page_size\": {PAGE},\n  \"budget_bytes\": {BUDGET},\n  \"mix\": \"50% put / 40% get / 10% del\",\n  \"elapsed_s\": {elapsed:.3},\n  \"ops_per_sec\": {ops_per_sec:.0},\n  \"gets_hit\": {},\n  \"gets_miss\": {},\n  \"integrity_mismatches\": {},\n  \"tag_mismatches\": {},\n  \"hard_errors\": {},\n  \"ops\": {{\n    \"put\": {},\n    \"get\": {},\n    \"del\": {},\n    \"flush\": {},\n    \"stats\": {},\n    \"ping\": {}\n  }},\n  \"wire\": {{\n    \"req_put\": {},\n    \"req_get\": {},\n    \"req_del\": {},\n    \"conns_opened\": {},\n    \"conns_closed\": {},\n    \"busy_rejected\": {},\n    \"malformed_frames\": {},\n    \"idle_timeouts\": {}\n  }},\n  \"tier_split\": {{\"hits_memory\": {hits_memory}, \"hits_spill\": {hits_spill}, \"misses\": {misses}}},\n  \"saturation_probe_busy\": {}{ab_json},\n  \"note\": \"closed-loop loopback load against the in-process cc-server; every GET verified byte-for-byte against a per-thread shadow model (integrity_mismatches must be 0; tag_mismatches counts pipelined responses whose tag was duplicate, unknown, or lost). ops.* are the server's own per-opcode wire latency histograms in nanoseconds; tier_split is parsed from the STATS Prometheus payload fetched over the wire; saturation_probe_busy records whether an extra connection beyond the worker pool was answered BUSY (threaded full mode only); ab_sweep (when present) holds the per-backend connection-count ladder — client-observed hot-path latency with the remaining connections open-and-idle — and the threaded-vs-evented verdict.\"\n}}\n",
+        backend.name(),
         total.gets_hit,
         total.gets_miss,
         total.integrity_mismatches,
+        total.tag_mismatches,
         total.hard_errors,
         op_json(&snap, "put"),
         op_json(&snap, "get"),
@@ -405,6 +918,12 @@ fn main() {
             failures.push(format!(
                 "{} GET/DEL responses disagreed with the shadow model",
                 total.integrity_mismatches
+            ));
+        }
+        if total.tag_mismatches > 0 {
+            failures.push(format!(
+                "{} pipelined response tags were duplicate, unknown, or lost",
+                total.tag_mismatches
             ));
         }
         if total.hard_errors > 0 {
@@ -458,6 +977,27 @@ fn main() {
         };
         if expected.0 != expected.1 {
             failures.push("STATS metric names/order differ from the Exporter schema".into());
+        }
+        // Sweep gates: both backends must sustain at least the smallest
+        // level, and the reactor's tail latency must stay within 2x of
+        // the pool's at equal connection count.
+        if let Some((_, _, t_max, e_max, _, p99_ratio)) = &sweep {
+            if *t_max == 0 {
+                failures.push("sweep: threaded backend sustained no level".into());
+            }
+            if *e_max == 0 {
+                failures.push("sweep: evented backend sustained no level".into());
+            }
+            if *e_max < *t_max {
+                failures.push(format!(
+                    "sweep: evented sustained fewer conns ({e_max}) than threaded ({t_max})"
+                ));
+            }
+            if !p99_ratio.is_nan() && *p99_ratio > 2.0 {
+                failures.push(format!(
+                    "sweep: evented p99 is {p99_ratio:.2}x threaded at equal connection count (gate: 2x)"
+                ));
+            }
         }
         std::process::exit(smoke::report("loadgen", &failures));
     }

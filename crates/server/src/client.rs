@@ -7,6 +7,16 @@
 //! is the building block of the load generator and the integration
 //! tests, and N concurrent clients are N `Client` values on N threads.
 //!
+//! Every request frame carries a `seq` tag the server echoes on the
+//! response; the simple call API verifies the echo, and the **pipelined
+//! mode** ([`Client::pipeline_send`] / [`Client::pipeline_recv`], with
+//! [`Pipeline`] doing the exactly-once window bookkeeping) issues a
+//! window of tagged requests before reaping any responses — one
+//! connection, many requests in flight, no per-request round-trip
+//! stall. Pipelined I/O bypasses the retry policy: a failure mid-window
+//! leaves in-flight requests in an unknown state that only the caller
+//! can reconcile.
+//!
 //! A server answering `BUSY` closes the connection, and a saturated or
 //! briefly unreachable server surfaces as a connect/read failure. Both
 //! are *transient*: [`Client::with_retry`] arms a bounded
@@ -138,6 +148,8 @@ pub struct Client {
     max_frame: usize,
     timeout: Option<Duration>,
     retry: RetryPolicy,
+    /// Next request tag; `0` is reserved for unsolicited server frames.
+    next_seq: u32,
 }
 
 impl Client {
@@ -157,7 +169,18 @@ impl Client {
             max_frame: frame::DEFAULT_MAX_FRAME,
             timeout: None,
             retry: RetryPolicy::default(),
+            next_seq: 1,
         })
+    }
+
+    /// Allocate the next request tag, skipping the reserved `0`.
+    fn alloc_seq(&mut self) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq = match self.next_seq.wrapping_add(1) {
+            frame::SEQ_UNSOLICITED => 1,
+            n => n,
+        };
+        seq
     }
 
     /// Cap the response frames this client will accept.
@@ -208,12 +231,59 @@ impl Client {
     }
 
     /// One wire round-trip; the response body lands in `self.recv`.
+    /// The response must echo the request's tag — the only unsolicited
+    /// frames (tag 0) a server sends are `BUSY`/`ERR` ahead of a close,
+    /// which map to their own outcomes.
     fn call_once(&mut self, req: &Request<'_>) -> Result<Status, ClientError> {
+        let seq = self.alloc_seq();
         self.send.clear();
         req.encode(&mut self.send);
-        frame::write_frame(&mut self.stream, &self.send)?;
-        frame::read_frame(&mut self.stream, &mut self.recv, self.max_frame)?;
-        Ok(Response::decode(&self.recv)?.status)
+        frame::write_frame(&mut self.stream, seq, &self.send)?;
+        let resp_seq = frame::read_frame(&mut self.stream, &mut self.recv, self.max_frame)?;
+        let status = Response::decode(&self.recv)?.status;
+        if resp_seq != seq
+            && !(resp_seq == frame::SEQ_UNSOLICITED && matches!(status, Status::Busy | Status::Err))
+        {
+            return Err(ClientError::Protocol(format!(
+                "response tag mismatch: sent {seq}, got {resp_seq}"
+            )));
+        }
+        Ok(status)
+    }
+
+    /// Pipelined send: encode and write one tagged request *without*
+    /// waiting for its response, returning the tag to reap later with
+    /// [`Client::pipeline_recv`]. No retry is applied.
+    pub fn pipeline_send(&mut self, req: &Request<'_>) -> Result<u32, ClientError> {
+        let seq = self.alloc_seq();
+        self.send.clear();
+        req.encode(&mut self.send);
+        frame::write_frame(&mut self.stream, seq, &self.send)?;
+        Ok(seq)
+    }
+
+    /// Pipelined receive: read the next tagged response, leaving its
+    /// payload in `out` (cleared first). Returns `(seq, status)`; the
+    /// caller matches `seq` against its outstanding window (see
+    /// [`Pipeline`]). An unsolicited `BUSY` (tag 0) surfaces as
+    /// [`ClientError::Busy`].
+    pub fn pipeline_recv(&mut self, out: &mut Vec<u8>) -> Result<(u32, Status), ClientError> {
+        let seq = frame::read_frame(&mut self.stream, &mut self.recv, self.max_frame)?;
+        let resp = Response::decode(&self.recv)?;
+        if seq == frame::SEQ_UNSOLICITED {
+            return match resp.status {
+                Status::Busy => Err(ClientError::Busy),
+                Status::Err => Err(ClientError::Server(
+                    String::from_utf8_lossy(resp.payload).into_owned(),
+                )),
+                other => Err(ClientError::Protocol(format!(
+                    "unsolicited response with status {other:?}"
+                ))),
+            };
+        }
+        out.clear();
+        out.extend_from_slice(resp.payload);
+        Ok((seq, resp.status))
     }
 
     /// Round-trip with the retry policy applied: `BUSY` answers and
@@ -339,5 +409,54 @@ impl Client {
                 "unexpected STATS status {other:?}"
             ))),
         }
+    }
+}
+
+/// Window bookkeeping for pipelined calls on one [`Client`]: tracks the
+/// outstanding tags and enforces that every response reaps exactly one
+/// of them — a duplicate, unknown, or already-reaped tag is a protocol
+/// violation. Responses may complete in any order.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    outstanding: std::collections::HashSet<u32>,
+}
+
+impl Pipeline {
+    /// An empty window.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Requests sent and not yet reaped.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Send one tagged request into the window.
+    pub fn send(&mut self, client: &mut Client, req: &Request<'_>) -> Result<u32, ClientError> {
+        let seq = client.pipeline_send(req)?;
+        if !self.outstanding.insert(seq) {
+            return Err(ClientError::Protocol(format!(
+                "tag {seq} reused while still in flight"
+            )));
+        }
+        Ok(seq)
+    }
+
+    /// Reap one response from the window (any completion order). The
+    /// payload lands in `out`; the returned tag identifies which
+    /// request completed.
+    pub fn recv(
+        &mut self,
+        client: &mut Client,
+        out: &mut Vec<u8>,
+    ) -> Result<(u32, Status), ClientError> {
+        let (seq, status) = client.pipeline_recv(out)?;
+        if !self.outstanding.remove(&seq) {
+            return Err(ClientError::Protocol(format!(
+                "response tag {seq} was not in flight (duplicate or unknown)"
+            )));
+        }
+        Ok((seq, status))
     }
 }

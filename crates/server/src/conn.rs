@@ -1,23 +1,38 @@
-//! Per-connection request loop.
+//! Per-connection request loop (threaded backend).
 //!
 //! A worker owns one [`TcpStream`] at a time and serves frames in order.
-//! The read/write/payload buffers live across requests, so a busy
-//! connection allocates nothing in steady state. Reads happen in short
-//! timed steps ([`READ_STEP`]) so the loop can notice the idle deadline
-//! and the server shutdown flag without a dedicated signalling channel:
+//! The read/write/payload buffers live across requests (and are shrunk
+//! back to [`crate::ServerConfig::buffer_high_water`] after oversized
+//! bursts), so a busy connection allocates nothing in steady state.
+//! Reads happen in short timed steps ([`READ_STEP`]) so the loop can
+//! notice the idle deadline and the server shutdown flag without a
+//! dedicated signalling channel; the final step before the deadline is
+//! clamped to the remaining wall-clock time, so the timeout fires at
+//! `idle_timeout + ε`, not rounded up to the next 20 ms quantum:
 //!
 //! - **Idle timeout** — no new frame starts within
 //!   [`crate::ServerConfig::idle_timeout`]: the connection is closed
-//!   quietly (counted in `idle_timeouts`).
+//!   quietly (counted once in `idle_timeouts`).
 //! - **Shutdown** — the flag is honoured only *between* frames; a frame
 //!   already started is read to completion, executed, and answered, so
 //!   an orderly shutdown never drops an in-flight request.
 //! - **Malformed input** — a truncated header/body, an oversized length
 //!   prefix, or an undecodable body increments `malformed_frames`,
-//!   best-effort writes an `ERR` response, and closes the connection;
+//!   best-effort writes an `ERR` response (tagged with the offending
+//!   frame's `seq` when it was readable), and closes the connection;
 //!   nothing on the wire can panic the worker.
+//!
+//! Every response frame echoes its request's `seq` tag. The threaded
+//! loop still executes strictly one frame at a time, so tags come back
+//! in order here — the evented backend ([`crate::reactor`]) is where
+//! pipelining pays off — but the framing is identical on both backends.
+//!
+//! The open/close connection accounting is guard-based: `conn_opened`
+//! is paired with a drop guard that always runs `conn_closed`, so the
+//! gauge stays balanced on *every* exit path — early transport errors,
+//! malformed frames, and even a panic in the handler.
 
-use crate::frame::LEN_PREFIX;
+use crate::frame::{HEADER_LEN, SEQ_UNSOLICITED};
 use crate::proto::{Request, Response, Status};
 use crate::service::Service;
 use crate::ServerConfig;
@@ -27,7 +42,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Granularity of the stepped socket reads: the worst-case extra delay
-/// before a worker notices shutdown or an expired idle deadline.
+/// before a worker notices shutdown (the idle deadline is exact — the
+/// last step is clamped to the remaining time).
 pub(crate) const READ_STEP: Duration = Duration::from_millis(20);
 
 /// Malformed-frame classes (the `b` value of a `malformed` wire event).
@@ -45,7 +61,7 @@ enum ReadOutcome {
     Done,
     /// EOF before the first byte — the peer closed between frames.
     ClosedClean,
-    /// EOF or idle stall mid-frame.
+    /// EOF or stall mid-frame.
     Truncated,
     /// Idle deadline expired with no frame started.
     IdleTimeout,
@@ -56,10 +72,11 @@ enum ReadOutcome {
 }
 
 /// Fill `buf`, stepping the socket timeout so idle/shutdown stay live.
-/// `frame_started` marks whether earlier bytes of this frame were
-/// already consumed (the header, for a body read): once a frame has
-/// begun, shutdown no longer interrupts it — only completion, the idle
-/// deadline, or EOF end it.
+/// Each step's timeout is clamped to the time left until `deadline`, so
+/// the idle outcome is wall-clock exact. `frame_started` marks whether
+/// earlier bytes of this frame were already consumed (the header, for a
+/// body read): once a frame has begun, shutdown no longer interrupts it
+/// — only completion, the deadline, or EOF end it.
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
@@ -69,6 +86,23 @@ fn read_full(
 ) -> ReadOutcome {
     let mut filled = 0;
     while filled < buf.len() {
+        let started = frame_started || filled > 0;
+        if !started && shutdown.load(Ordering::Relaxed) {
+            return ReadOutcome::Shutdown;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return if started {
+                ReadOutcome::Truncated
+            } else {
+                ReadOutcome::IdleTimeout
+            };
+        }
+        // A zero read timeout means "block forever"; clamp up to 1 ms.
+        let step = READ_STEP.min(remaining).max(Duration::from_millis(1));
+        if stream.set_read_timeout(Some(step)).is_err() {
+            return ReadOutcome::Failed;
+        }
         match stream.read(&mut buf[filled..]) {
             Ok(0) => {
                 return if filled == 0 && !frame_started {
@@ -78,19 +112,7 @@ fn read_full(
                 };
             }
             Ok(n) => filled += n,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                let started = frame_started || filled > 0;
-                if !started && shutdown.load(Ordering::Relaxed) {
-                    return ReadOutcome::Shutdown;
-                }
-                if Instant::now() >= deadline {
-                    return if started {
-                        ReadOutcome::Truncated
-                    } else {
-                        ReadOutcome::IdleTimeout
-                    };
-                }
-            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(_) => return ReadOutcome::Failed,
         }
@@ -107,6 +129,24 @@ enum CloseReason {
     Error,
 }
 
+/// Pairs every [`Service::conn_opened`] with exactly one
+/// [`Service::conn_closed`], no matter how the serve loop exits —
+/// return, transport error, or panic.
+struct ConnGuard<'a> {
+    service: &'a Service,
+    stripe: usize,
+    conn_id: u64,
+    requests: u64,
+    idle: bool,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.service
+            .conn_closed(self.stripe, self.conn_id, self.requests, self.idle);
+    }
+}
+
 /// Serve `stream` until it closes. `stripe` is the worker's telemetry
 /// stripe.
 pub(crate) fn serve(
@@ -118,34 +158,45 @@ pub(crate) fn serve(
 ) {
     let conn_id = service.next_conn_id();
     service.conn_opened(stripe, conn_id);
+    let mut guard = ConnGuard {
+        service,
+        stripe,
+        conn_id,
+        requests: 0,
+        idle: false,
+    };
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_STEP));
 
     let mut body = Vec::new();
     let mut payload = Vec::new();
     let mut wire = Vec::new();
-    let mut requests = 0u64;
 
     let reason = loop {
         // --- Read the next frame (header, then body). ---
-        let mut prefix = [0u8; LEN_PREFIX];
+        let mut header = [0u8; HEADER_LEN];
         let deadline = Instant::now() + cfg.idle_timeout;
-        match read_full(&mut stream, &mut prefix, deadline, shutdown, false) {
+        match read_full(&mut stream, &mut header, deadline, shutdown, false) {
             ReadOutcome::Done => {}
             ReadOutcome::ClosedClean => break CloseReason::Peer,
             ReadOutcome::IdleTimeout => break CloseReason::Idle,
             ReadOutcome::Shutdown => break CloseReason::Shutdown,
             ReadOutcome::Truncated => {
                 service.malformed(stripe, conn_id, malformed_class::TRUNCATED);
-                send_err(&mut stream, &mut wire, "truncated frame header");
+                send_err(
+                    &mut stream,
+                    &mut wire,
+                    SEQ_UNSOLICITED,
+                    "truncated frame header",
+                );
                 break CloseReason::Malformed;
             }
             ReadOutcome::Failed => break CloseReason::Error,
         }
-        let len = u32::from_le_bytes(prefix) as usize;
+        let len = u32::from_le_bytes(header[..4].try_into().expect("fixed split")) as usize;
+        let seq = u32::from_le_bytes(header[4..].try_into().expect("fixed split"));
         if len > cfg.max_frame_bytes {
             service.malformed(stripe, conn_id, malformed_class::OVERSIZED);
-            send_err(&mut stream, &mut wire, "frame exceeds size limit");
+            send_err(&mut stream, &mut wire, seq, "frame exceeds size limit");
             break CloseReason::Malformed;
         }
         body.clear();
@@ -155,19 +206,19 @@ pub(crate) fn serve(
             ReadOutcome::Done => {}
             ReadOutcome::Truncated | ReadOutcome::ClosedClean => {
                 service.malformed(stripe, conn_id, malformed_class::TRUNCATED);
-                send_err(&mut stream, &mut wire, "truncated frame body");
+                send_err(&mut stream, &mut wire, seq, "truncated frame body");
                 break CloseReason::Malformed;
             }
             ReadOutcome::IdleTimeout | ReadOutcome::Shutdown => unreachable!("frame started"),
             ReadOutcome::Failed => break CloseReason::Error,
         }
 
-        // --- Decode, execute, respond. ---
+        // --- Decode, execute, respond (echoing the request's tag). ---
         let req = match Request::decode(&body) {
             Ok(req) => req,
             Err(e) => {
                 service.malformed(stripe, conn_id, malformed_class::UNDECODABLE);
-                send_err(&mut stream, &mut wire, &e.to_string());
+                send_err(&mut stream, &mut wire, seq, &e.to_string());
                 break CloseReason::Malformed;
             }
         };
@@ -180,26 +231,33 @@ pub(crate) fn serve(
             payload: &payload,
         }
         .encode(&mut wire);
-        if crate::frame::write_frame(&mut stream, &wire).is_err() {
+        if crate::frame::write_frame(&mut stream, seq, &wire).is_err() {
             break CloseReason::Error;
         }
         service.record_latency(op, t0.elapsed().as_nanos() as u64);
-        requests += 1;
+        guard.requests += 1;
+
+        // A max-size frame must not pin its worst-case allocation for
+        // the life of the connection.
+        let hw = cfg.buffer_high_water;
+        crate::frame::shrink_to_high_water(&mut body, hw);
+        crate::frame::shrink_to_high_water(&mut payload, hw);
+        crate::frame::shrink_to_high_water(&mut wire, hw);
     };
 
-    let idle = matches!(reason, CloseReason::Idle);
+    guard.idle = matches!(reason, CloseReason::Idle);
     let _ = stream.shutdown(std::net::Shutdown::Both);
-    service.conn_closed(stripe, conn_id, requests, idle);
+    // Dropping the guard runs `conn_closed` exactly once.
 }
 
-/// Best-effort `ERR` response ahead of a malformed-frame close. The
-/// peer may already be gone; failures are ignored.
-fn send_err(stream: &mut TcpStream, wire: &mut Vec<u8>, msg: &str) {
+/// Best-effort `ERR` response (tagged `seq`) ahead of a malformed-frame
+/// close. The peer may already be gone; failures are ignored.
+fn send_err(stream: &mut TcpStream, wire: &mut Vec<u8>, seq: u32, msg: &str) {
     wire.clear();
     Response {
         status: Status::Err,
         payload: msg.as_bytes(),
     }
     .encode(wire);
-    let _ = crate::frame::write_frame(stream, wire);
+    let _ = crate::frame::write_frame(stream, seq, wire);
 }

@@ -4,32 +4,37 @@
 //! The compression cache grew up: Douglis's in-kernel compressed tier is
 //! today deployed as a *networked* cache service (ZipCache's DRAM/SSD
 //! tiers, TMTS's software-defined far memory), and this crate is that
-//! serving surface for the workspace. A [`Server`] owns:
+//! serving surface for the workspace. A [`Server`] runs one of two
+//! interchangeable engines behind [`ServerBackend`]:
 //!
-//! - an **accept loop** on a [`TcpListener`], feeding
-//! - a **fixed worker pool** ([`ServerConfig::workers`] threads) through
-//!   a bounded hand-off — when the pool is saturated a new connection is
-//!   answered `BUSY` and closed instead of queueing unboundedly,
-//! - **per-connection buffers** reused across requests (zero steady-state
-//!   allocation on the request path),
-//! - **idle timeouts** and **graceful shutdown** that drains in-flight
-//!   requests and flushes the store's spill writer,
-//! - **wire telemetry** through the same striped counters, latency
-//!   histograms, and event ring the store itself uses ([`service`]).
+//! - **Threaded** — a fixed worker pool ([`ServerConfig::workers`]
+//!   threads) behind a counted admission gate; each worker serves one
+//!   connection at a time, end to end. Simple, and the baseline the
+//!   evented engine is benchmarked against.
+//! - **Evented** — a single-threaded readiness loop ([`reactor`]) over
+//!   nonblocking sockets ([`event`]: epoll on Linux, poll(2) fallback).
+//!   Connections cost buffers, not threads, so thousands of mostly-idle
+//!   connections are cheap, and the seq-tagged framing lets one
+//!   connection pipeline a window of requests.
 //!
-//! The protocol is a compact length-prefixed binary framing
-//! ([`proto`], [`frame`]): PUT / GET / DEL / FLUSH / STATS / PING.
+//! Both engines share the protocol ([`proto`], [`frame`]: PUT / GET /
+//! DEL / FLUSH / STATS / PING in tagged, length-prefixed frames), the
+//! request dispatcher and wire telemetry ([`service`]), counted
+//! admission with `BUSY` rejection, wall-clock idle timeouts, and
+//! graceful drain shutdown — the integration suite runs against both.
 //! STATS returns the store's and server's Prometheus snapshots verbatim,
 //! so the service is scrapeable from day one. A blocking,
-//! connection-reusing [`Client`] lives in [`client`].
+//! connection-reusing [`Client`] (with a pipelined mode) lives in
+//! [`client`].
 //!
 //! ```no_run
 //! use cc_core::store::{CompressedStore, StoreConfig};
-//! use cc_server::{Client, Server, ServerConfig};
+//! use cc_server::{Client, Server, ServerBackend, ServerConfig};
 //! use std::sync::Arc;
 //!
 //! let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(64 << 20)));
-//! let server = Server::spawn(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let cfg = ServerConfig::default().with_backend(ServerBackend::Evented);
+//! let server = Server::spawn(store, "127.0.0.1:0", cfg).unwrap();
 //! let mut client = Client::connect(server.local_addr()).unwrap();
 //! client.put(7, &[0xAB; 4096]).unwrap();
 //! let mut page = Vec::new();
@@ -43,12 +48,15 @@
 
 pub mod client;
 pub(crate) mod conn;
+pub mod event;
 pub mod frame;
 pub mod pool;
 pub mod proto;
+pub(crate) mod reactor;
 pub mod service;
 
-pub use client::{Client, ClientError, RetryPolicy};
+pub use client::{Client, ClientError, Pipeline, RetryPolicy};
+pub use event::BackendKind;
 pub use proto::{Opcode, ProtoError, Request, Response, Status};
 pub use service::Service;
 
@@ -60,44 +68,107 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Which serving engine a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerBackend {
+    /// Blocking fixed worker pool: one thread per in-flight connection.
+    #[default]
+    Threaded,
+    /// Readiness-based event loop on the platform backend (epoll on
+    /// Linux).
+    Evented,
+    /// The event loop forced onto the portable poll(2) backend — for
+    /// tests and A/B runs exercising the fallback path.
+    EventedPoll,
+}
+
+impl ServerBackend {
+    /// Parse a CLI-style backend name (`threaded`, `evented`,
+    /// `evented-poll`).
+    pub fn parse(s: &str) -> Option<ServerBackend> {
+        match s {
+            "threaded" => Some(ServerBackend::Threaded),
+            "evented" => Some(ServerBackend::Evented),
+            "evented-poll" => Some(ServerBackend::EventedPoll),
+            _ => None,
+        }
+    }
+
+    /// The CLI-style name (`threaded` / `evented` / `evented-poll`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerBackend::Threaded => "threaded",
+            ServerBackend::Evented => "evented",
+            ServerBackend::EventedPoll => "evented-poll",
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads; each serves one connection at a time. This is
-    /// the hard concurrency bound of the service.
+    /// Which engine serves connections.
+    pub backend: ServerBackend,
+    /// Worker threads (threaded backend); each serves one connection at
+    /// a time. This is the hard concurrency bound of the threaded
+    /// service.
     pub workers: usize,
-    /// Connections admitted beyond the worker count (they wait for the
-    /// next free worker). `0` (the default) admits exactly `workers`
-    /// connections; the next one is answered `BUSY`.
+    /// Connections admitted beyond the worker count (threaded backend;
+    /// they wait for the next free worker). `0` (the default) admits
+    /// exactly `workers` connections; the next one is answered `BUSY`.
     pub backlog: usize,
+    /// Admission cap of the evented backend: connections registered
+    /// with the reactor at once. The next accept beyond it is answered
+    /// `BUSY`.
+    pub max_conns: usize,
     /// Ceiling on a request frame body; a length prefix above this is
     /// malformed and closes the connection.
     pub max_frame_bytes: usize,
     /// A connection with no new frame for this long is closed.
     pub idle_timeout: Duration,
+    /// Per-connection buffers above this capacity are shrunk back once
+    /// they empty, so a burst of max-size frames doesn't pin worst-case
+    /// memory per connection. `0` disables shrinking.
+    pub buffer_high_water: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            backend: ServerBackend::default(),
             workers: 4,
             backlog: 0,
+            max_conns: 1024,
             max_frame_bytes: frame::DEFAULT_MAX_FRAME,
             idle_timeout: Duration::from_secs(30),
+            buffer_high_water: 64 << 10,
         }
     }
 }
 
 impl ServerConfig {
+    /// Choose the serving engine.
+    pub fn with_backend(mut self, backend: ServerBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Override the worker count (clamped to at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
     }
 
-    /// Override the admission backlog.
+    /// Override the admission backlog (threaded backend).
     pub fn with_backlog(mut self, backlog: usize) -> Self {
         self.backlog = backlog;
+        self
+    }
+
+    /// Override the evented backend's connection cap (clamped to at
+    /// least 1).
+    pub fn with_max_conns(mut self, max_conns: usize) -> Self {
+        self.max_conns = max_conns.max(1);
         self
     }
 
@@ -112,6 +183,25 @@ impl ServerConfig {
         self.idle_timeout = t;
         self
     }
+
+    /// Override the per-connection buffer high-water mark (`0`
+    /// disables shrinking).
+    pub fn with_buffer_high_water(mut self, bytes: usize) -> Self {
+        self.buffer_high_water = bytes;
+        self
+    }
+}
+
+/// The engine-specific half of a running server.
+enum Engine {
+    Threaded {
+        accept: Option<JoinHandle<()>>,
+        pool: Option<WorkerPool>,
+    },
+    Evented {
+        reactor: Option<JoinHandle<()>>,
+        waker: event::WakeHandle,
+    },
 }
 
 /// A running cache server. Dropping it (or calling
@@ -121,17 +211,16 @@ pub struct Server {
     service: Arc<Service>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept: Mutex<Option<JoinHandle<()>>>,
-    pool: Mutex<Option<WorkerPool>>,
+    engine: Mutex<Engine>,
 }
 
-/// How often the accept loop polls the shutdown flag while no
+/// How often the threaded accept loop polls the shutdown flag while no
 /// connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start the
-    /// accept loop and worker pool.
+    /// configured engine.
     pub fn spawn(
         store: Arc<CompressedStore>,
         addr: impl ToSocketAddrs,
@@ -139,68 +228,58 @@ impl Server {
     ) -> std::io::Result<Server> {
         let cfg = Arc::new(ServerConfig {
             workers: cfg.workers.max(1),
+            max_conns: cfg.max_conns.max(1),
             ..cfg
         });
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        // Non-blocking accept + short poll: the loop notices the
-        // shutdown flag without needing a wake-up connection.
-        listener.set_nonblocking(true)?;
-        let service = Arc::new(Service::new(store, cfg.workers));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let pool = WorkerPool::new(
-            Arc::clone(&service),
-            Arc::clone(&cfg),
-            Arc::clone(&shutdown),
-        );
 
-        let accept = {
-            let service = Arc::clone(&service);
-            let shutdown = Arc::clone(&shutdown);
-            // The accept thread owns this dispatcher (and its sender
-            // clone); it drops when the thread exits, which (with the
-            // pool's own sender dropped in join) is what disconnects
-            // the workers.
-            let dispatcher = pool.dispatcher();
-            let busy_stripe = cfg.workers; // the accept loop's own counter stripe
-            std::thread::Builder::new()
-                .name("cc-server-accept".into())
-                .spawn(move || loop {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            if let Err(stream) = dispatcher.try_dispatch(stream) {
-                                reject_busy(&service, busy_stripe, stream);
-                            }
-                        }
-                        Err(e)
-                            if matches!(
-                                e.kind(),
-                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                            ) =>
-                        {
-                            if shutdown.load(Ordering::Relaxed) {
-                                return;
-                            }
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                        Err(_) => {
-                            if shutdown.load(Ordering::Relaxed) {
-                                return;
-                            }
-                            std::thread::sleep(ACCEPT_POLL);
-                        }
-                    }
-                })
-                .expect("spawn accept loop")
+        let (service, engine) = match cfg.backend {
+            ServerBackend::Threaded => {
+                let service = Arc::new(Service::new(Arc::clone(&store), cfg.workers));
+                let engine = spawn_threaded(
+                    listener,
+                    Arc::clone(&service),
+                    Arc::clone(&cfg),
+                    Arc::clone(&shutdown),
+                )?;
+                (service, engine)
+            }
+            ServerBackend::Evented | ServerBackend::EventedPoll => {
+                // One stripe for the reactor thread, plus the extra
+                // stripe `Service::new` reserves for admission.
+                let service = Arc::new(Service::new(Arc::clone(&store), 1));
+                let kind = match cfg.backend {
+                    ServerBackend::EventedPoll => BackendKind::Poll,
+                    _ => BackendKind::Platform,
+                };
+                let (reactor, waker) = reactor::Reactor::new(
+                    kind,
+                    listener,
+                    Arc::clone(&service),
+                    Arc::clone(&cfg),
+                    Arc::clone(&shutdown),
+                )?;
+                let handle = std::thread::Builder::new()
+                    .name("cc-server-reactor".into())
+                    .spawn(move || reactor.run())
+                    .expect("spawn reactor");
+                (
+                    service,
+                    Engine::Evented {
+                        reactor: Some(handle),
+                        waker,
+                    },
+                )
+            }
         };
 
         Ok(Server {
             service,
             local_addr,
             shutdown,
-            accept: Mutex::new(Some(accept)),
-            pool: Mutex::new(Some(pool)),
+            engine: Mutex::new(engine),
         })
     }
 
@@ -224,11 +303,21 @@ impl Server {
 
     fn shutdown_inner(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.accept.lock().expect("accept handle poisoned").take() {
-            let _ = h.join();
-        }
-        if let Some(mut pool) = self.pool.lock().expect("pool handle poisoned").take() {
-            pool.join();
+        match &mut *self.engine.lock().expect("engine poisoned") {
+            Engine::Threaded { accept, pool } => {
+                if let Some(h) = accept.take() {
+                    let _ = h.join();
+                }
+                if let Some(mut p) = pool.take() {
+                    p.join();
+                }
+            }
+            Engine::Evented { reactor, waker } => {
+                waker.wake();
+                if let Some(h) = reactor.take() {
+                    let _ = h.join();
+                }
+            }
         }
         // The paper's cleaner must not be left with queued work: an
         // orderly server exit leaves every accepted PUT durable. A dead
@@ -244,8 +333,68 @@ impl Drop for Server {
     }
 }
 
-/// Answer `BUSY` on a connection the pool could not admit, then close.
-/// The write is best-effort; the rejection is always counted.
+/// Start the blocking engine: nonblocking accept loop + worker pool.
+fn spawn_threaded(
+    listener: TcpListener,
+    service: Arc<Service>,
+    cfg: Arc<ServerConfig>,
+    shutdown: Arc<AtomicBool>,
+) -> std::io::Result<Engine> {
+    // Non-blocking accept + short poll: the loop notices the shutdown
+    // flag without needing a wake-up connection.
+    listener.set_nonblocking(true)?;
+    let pool = WorkerPool::new(
+        Arc::clone(&service),
+        Arc::clone(&cfg),
+        Arc::clone(&shutdown),
+    );
+    let accept = {
+        // The accept thread owns this dispatcher (and its sender
+        // clone); it drops when the thread exits, which (with the
+        // pool's own sender dropped in join) is what disconnects the
+        // workers.
+        let dispatcher = pool.dispatcher();
+        let busy_stripe = cfg.workers; // the accept loop's own counter stripe
+        std::thread::Builder::new()
+            .name("cc-server-accept".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Err(stream) = dispatcher.try_dispatch(stream) {
+                            reject_busy(&service, busy_stripe, stream);
+                        }
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            })
+            .expect("spawn accept loop")
+    };
+    Ok(Engine::Threaded {
+        accept: Some(accept),
+        pool: Some(pool),
+    })
+}
+
+/// Answer `BUSY` (unsolicited tag 0) on a connection the pool could not
+/// admit, then close. The write is best-effort; the rejection is always
+/// counted.
 fn reject_busy(service: &Service, stripe: usize, mut stream: std::net::TcpStream) {
     let conn_id = service.next_conn_id();
     service.busy_rejected(stripe, conn_id);
@@ -255,6 +404,6 @@ fn reject_busy(service: &Service, stripe: usize, mut stream: std::net::TcpStream
         payload: &[],
     }
     .encode(&mut body);
-    let _ = frame::write_frame(&mut stream, &body);
+    let _ = frame::write_frame(&mut stream, frame::SEQ_UNSOLICITED, &body);
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }

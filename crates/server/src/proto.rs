@@ -1,11 +1,14 @@
 //! The wire protocol: compact length-prefixed binary frames.
 //!
 //! Every message on the wire is one *frame*: a little-endian `u32` body
-//! length followed by that many body bytes (see [`crate::frame`]). A
-//! request body is an opcode byte plus an opcode-specific payload; a
-//! response body is a status byte plus a status/opcode-specific payload.
-//! The protocol is strictly request/response in order on each
-//! connection, so no correlation IDs are needed.
+//! length, a little-endian `u32` sequence tag, then that many body
+//! bytes (see [`crate::frame`]). A request body is an opcode byte plus
+//! an opcode-specific payload; a response body is a status byte plus a
+//! status/opcode-specific payload. The tag correlates responses with
+//! requests, so a connection may *pipeline* a window of requests and
+//! reap tagged responses as they complete; tag `0` is reserved for
+//! unsolicited server frames (`BUSY` at admission, `ERR` ahead of a
+//! close).
 //!
 //! | opcode | request payload | OK response payload |
 //! |---|---|---|

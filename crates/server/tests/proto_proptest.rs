@@ -64,9 +64,10 @@ fn status_strategy() -> impl Strategy<Value = Status> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
-    /// Every request round-trips body-level and through framing.
+    /// Every request round-trips body-level and through framing, with
+    /// its sequence tag intact.
     #[test]
-    fn request_roundtrip(owned in req_strategy()) {
+    fn request_roundtrip(owned in req_strategy(), seq in any::<u32>()) {
         let req = owned.as_request();
         let mut body = Vec::new();
         req.encode(&mut body);
@@ -74,18 +75,21 @@ proptest! {
 
         // Through the framing layer over a byte stream.
         let mut wire = Vec::new();
-        frame::write_frame(&mut wire, &body).unwrap();
+        frame::write_frame(&mut wire, seq, &body).unwrap();
         let mut cursor = &wire[..];
         let mut read = Vec::new();
-        frame::read_frame(&mut cursor, &mut read, frame::DEFAULT_MAX_FRAME).unwrap();
+        let got = frame::read_frame(&mut cursor, &mut read, frame::DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(got, seq);
         prop_assert_eq!(Request::decode(&read).unwrap(), req);
     }
 
-    /// Every response round-trips body-level and through framing.
+    /// Every response round-trips body-level and through framing, with
+    /// its sequence tag intact.
     #[test]
     fn response_roundtrip(
         status in status_strategy(),
         payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        seq in any::<u32>(),
     ) {
         let resp = Response { status, payload: &payload };
         let mut body = Vec::new();
@@ -93,10 +97,11 @@ proptest! {
         prop_assert_eq!(Response::decode(&body).unwrap(), resp);
 
         let mut wire = Vec::new();
-        frame::write_frame(&mut wire, &body).unwrap();
+        frame::write_frame(&mut wire, seq, &body).unwrap();
         let mut cursor = &wire[..];
         let mut read = Vec::new();
-        frame::read_frame(&mut cursor, &mut read, frame::DEFAULT_MAX_FRAME).unwrap();
+        let got = frame::read_frame(&mut cursor, &mut read, frame::DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(got, seq);
         prop_assert_eq!(Response::decode(&read).unwrap(), resp);
     }
 
@@ -133,6 +138,7 @@ proptest! {
     fn oversized_prefix_always_rejected(len in (1u64 << 20)..(u32::MAX as u64)) {
         let mut wire = Vec::new();
         wire.extend_from_slice(&(len as u32).to_le_bytes());
+        wire.extend_from_slice(&1u32.to_le_bytes()); // seq
         let mut cursor = &wire[..];
         let mut buf = Vec::new();
         let max = 1 << 20;

@@ -5,13 +5,22 @@
 //! shadow model, the store budget watched throughout), saturation
 //! answering `BUSY` with the rejection visible in the wire counters,
 //! each malformed-input class closing the connection with `ERR` without
-//! panicking a worker, idle-timeout reaping, STATS being a parseable
-//! Prometheus payload, and graceful shutdown leaving the store flushed
-//! and readable.
+//! panicking the engine, wall-clock idle-timeout reaping, pipelined
+//! windows round-tripping tagged responses, STATS being a parseable
+//! Prometheus payload, graceful shutdown leaving the store flushed and
+//! readable — and the `open_connections` gauge returning to zero on
+//! every path.
+//!
+//! Where the contract is backend-independent, the same scenario runs
+//! against the threaded pool, the epoll reactor, and the poll(2)
+//! fallback reactor.
 
 use cc_core::store::{CompressedStore, StoreConfig};
 use cc_server::frame::{self, FrameError};
-use cc_server::{Client, ClientError, Response, Server, ServerConfig, Status};
+use cc_server::proto::Request;
+use cc_server::{
+    Client, ClientError, Pipeline, Response, Server, ServerBackend, ServerConfig, Status,
+};
 use std::collections::HashMap;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,6 +28,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const PAGE: usize = 1024;
+
+/// Every engine the integration contract must hold on.
+const ALL_BACKENDS: [ServerBackend; 3] = [
+    ServerBackend::Threaded,
+    ServerBackend::Evented,
+    ServerBackend::EventedPoll,
+];
 
 /// Deterministic page content for `(key, version)`; half the versions
 /// compress well, the rest are noise.
@@ -49,20 +65,39 @@ fn spill_server(budget: usize, cfg: ServerConfig, tag: &str) -> (Server, Arc<Com
     (server, store)
 }
 
-/// Satellite: 4 client threads × 10k mixed ops, every GET checked
-/// byte-for-byte against a per-thread shadow map, zero mismatches, and
-/// the store's resident bytes never exceed the budget.
-#[test]
-fn concurrent_integrity_under_mixed_load() {
+/// Shut the server down and assert the satellite invariant: every
+/// opened connection was closed — the gauge is zero and the counters
+/// balance.
+fn shutdown_and_check_gauge(server: Server, what: &str) {
+    let service = Arc::clone(server.service());
+    server.shutdown();
+    assert_eq!(
+        service.open_connections(),
+        0,
+        "{what}: open_connections gauge leaked"
+    );
+    let snap = service.snapshot();
+    assert_eq!(
+        snap.counter("conns_opened"),
+        snap.counter("conns_closed"),
+        "{what}: open/close counters unbalanced"
+    );
+}
+
+/// 4 client threads × mixed ops, every GET checked byte-for-byte
+/// against a per-thread shadow map, zero mismatches, and the store's
+/// resident bytes never exceed the budget.
+fn mixed_load(backend: ServerBackend, ops: u64, tag: &str) {
     const THREADS: usize = 4;
-    const OPS: u64 = 10_000;
     const KEYS_PER_THREAD: u64 = 256;
     const BUDGET: usize = 256 << 10; // well under the working set: spill exercised
 
     let (server, store) = spill_server(
         BUDGET,
-        ServerConfig::default().with_workers(THREADS),
-        "integrity",
+        ServerConfig::default()
+            .with_backend(backend)
+            .with_workers(THREADS),
+        tag,
     );
     let addr = server.local_addr();
 
@@ -99,7 +134,7 @@ fn concurrent_integrity_under_mixed_load() {
                         .wrapping_add(1442695040888963407);
                     rng >> 33
                 };
-                for op in 0..OPS {
+                for op in 0..ops {
                     let key = base + next() % KEYS_PER_THREAD;
                     match next() % 10 {
                         0..=4 => {
@@ -154,26 +189,37 @@ fn concurrent_integrity_under_mixed_load() {
     assert_eq!(wire("conns_opened"), THREADS as u64);
     assert_eq!(
         wire("req_put") + wire("req_get") + wire("req_del"),
-        THREADS as u64 * OPS
+        THREADS as u64 * ops
     );
     assert_eq!(snap.event_count("conn_open"), Some(THREADS as u64));
-    server.shutdown();
+    shutdown_and_check_gauge(server, tag);
 }
 
-/// Reads the one unsolicited response frame off a raw connection.
-fn read_response(stream: &mut TcpStream) -> Result<(Status, Vec<u8>), FrameError> {
+#[test]
+fn concurrent_integrity_under_mixed_load() {
+    mixed_load(ServerBackend::Threaded, 10_000, "integrity");
+}
+
+#[test]
+fn concurrent_integrity_evented_backend() {
+    mixed_load(ServerBackend::Evented, 5_000, "integrity-ev");
+}
+
+/// Reads one response frame (with its tag) off a raw connection.
+fn read_response(stream: &mut TcpStream) -> Result<(u32, Status, Vec<u8>), FrameError> {
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .expect("read timeout");
     let mut body = Vec::new();
-    frame::read_frame(stream, &mut body, frame::DEFAULT_MAX_FRAME)?;
+    let seq = frame::read_frame(stream, &mut body, frame::DEFAULT_MAX_FRAME)?;
     let resp = Response::decode(&body).expect("response decodes");
-    Ok((resp.status, resp.payload.to_vec()))
+    Ok((seq, resp.status, resp.payload.to_vec()))
 }
 
 /// Saturation is bounded and observable: with one worker occupied and a
-/// zero backlog, the next connection is answered `BUSY` and the
-/// rejection shows up in both the counter and the event ring.
+/// zero backlog, the next connection is answered `BUSY` (unsolicited
+/// tag 0) and the rejection shows up in both the counter and the event
+/// ring.
 #[test]
 fn saturated_pool_answers_busy() {
     let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
@@ -193,7 +239,8 @@ fn saturated_pool_answers_busy() {
     // The pool is now full: the next connection must be told BUSY. The
     // server writes the frame unsolicited and closes, so read directly.
     let mut extra = TcpStream::connect(addr).expect("connect extra");
-    let (status, payload) = read_response(&mut extra).expect("read BUSY frame");
+    let (seq, status, payload) = read_response(&mut extra).expect("read BUSY frame");
+    assert_eq!(seq, frame::SEQ_UNSOLICITED, "BUSY must carry tag 0");
     assert_eq!(status, Status::Busy);
     assert!(payload.is_empty());
     let mut rest = Vec::new();
@@ -224,16 +271,81 @@ fn saturated_pool_answers_busy() {
     // traffic.
     holder.ping().expect("holder still served");
     drop(holder);
-    server.shutdown();
+    shutdown_and_check_gauge(server, "saturated pool");
 }
 
-/// Satellite: the client's bounded retry-with-backoff rides out a
-/// saturation window. With one worker held busy, a no-retry client gets
-/// `BUSY` immediately; a retrying client keeps reconnecting with
-/// backoff and succeeds once the holder releases the worker — within
-/// the policy's `max_backoff_total` bound (plus I/O slack). A retrying
-/// client against a *permanently* saturated pool still fails, in
-/// bounded time.
+/// The evented engine's counted admission: with `max_conns = 1` and one
+/// connection registered, the next accept is answered `BUSY` (tag 0)
+/// and closed — and admitted traffic is untouched.
+#[test]
+fn evented_admission_answers_busy() {
+    for backend in [ServerBackend::Evented, ServerBackend::EventedPoll] {
+        let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
+        let server = Server::spawn(
+            store,
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_backend(backend)
+                .with_max_conns(1),
+        )
+        .expect("spawn server");
+        let addr = server.local_addr();
+
+        let mut holder = Client::connect(addr).expect("connect holder");
+        holder.ping().expect("ping");
+
+        let mut extra = TcpStream::connect(addr).expect("connect extra");
+        let (seq, status, payload) = read_response(&mut extra).expect("read BUSY frame");
+        assert_eq!(seq, frame::SEQ_UNSOLICITED, "BUSY must carry tag 0");
+        assert_eq!(status, Status::Busy, "{backend:?}");
+        assert!(payload.is_empty());
+        let mut rest = Vec::new();
+        assert!(
+            matches!(
+                frame::read_frame(&mut extra, &mut rest, frame::DEFAULT_MAX_FRAME),
+                Err(FrameError::Closed)
+            ),
+            "{backend:?}: rejected connection should be closed after BUSY"
+        );
+
+        let snap = server.service().snapshot();
+        assert_eq!(snap.counter("busy_rejected"), Some(1), "{backend:?}");
+        assert_eq!(snap.event_count("busy"), Some(1), "{backend:?}");
+
+        // Releasing the held slot frees admission for the next client.
+        holder.ping().expect("holder still served");
+        drop(holder);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match Client::connect(addr).and_then_ping() {
+                Ok(()) => break,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("{backend:?}: slot never freed after close: {e}"),
+            }
+        }
+        shutdown_and_check_gauge(server, "evented admission");
+    }
+}
+
+/// Small helper so the retry loop above reads cleanly.
+trait AndThenPing {
+    fn and_then_ping(self) -> Result<(), ClientError>;
+}
+impl AndThenPing for std::io::Result<Client> {
+    fn and_then_ping(self) -> Result<(), ClientError> {
+        let mut c = self.map_err(ClientError::Io)?;
+        c.ping()
+    }
+}
+
+/// The client's bounded retry-with-backoff rides out a saturation
+/// window. With one worker held busy, a no-retry client gets `BUSY`
+/// immediately; a retrying client keeps reconnecting with backoff and
+/// succeeds once the holder releases the worker — within the policy's
+/// `max_backoff_total` bound (plus I/O slack). A retrying client
+/// against a *permanently* saturated pool still fails, in bounded time.
 #[test]
 fn client_retry_rides_out_saturation() {
     let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
@@ -299,138 +411,268 @@ fn client_retry_rides_out_saturation() {
     assert!(retrier.get(9, &mut out).expect("get after retry"));
     assert_eq!(out, vec![0x5A; PAGE]);
     drop(retrier);
-    server.shutdown();
+    shutdown_and_check_gauge(server, "client retry");
 }
 
-/// Every malformed-input class: the server answers `ERR`, closes the
-/// connection, bumps `malformed_frames`, and keeps serving new
-/// connections (no worker panics).
+/// Every malformed-input class on every backend: the server answers
+/// `ERR`, closes the connection, bumps `malformed_frames`, and keeps
+/// serving new connections (no engine panics).
 #[test]
 fn malformed_frames_close_with_err_and_count() {
-    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
-    let server = Server::spawn(
-        store,
-        "127.0.0.1:0",
-        ServerConfig::default().with_workers(2),
-    )
-    .expect("spawn server");
-    let addr = server.local_addr();
-    let service = Arc::clone(server.service());
-    let malformed = || service.snapshot().counter("malformed_frames").unwrap_or(0);
+    for backend in ALL_BACKENDS {
+        let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
+        let server = Server::spawn(
+            store,
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_backend(backend)
+                .with_workers(2),
+        )
+        .expect("spawn server");
+        let addr = server.local_addr();
+        let service = Arc::clone(server.service());
+        let malformed = || service.snapshot().counter("malformed_frames").unwrap_or(0);
 
-    let expect_err_then_close = |stream: &mut TcpStream, what: &str| {
-        let (status, payload) =
-            read_response(stream).unwrap_or_else(|e| panic!("{what}: expected ERR frame, got {e}"));
-        assert_eq!(status, Status::Err, "{what}: wrong status");
-        assert!(!payload.is_empty(), "{what}: ERR should carry a message");
-        let mut rest = Vec::new();
-        assert!(
-            matches!(
-                frame::read_frame(stream, &mut rest, frame::DEFAULT_MAX_FRAME),
+        let expect_err_then_close = |stream: &mut TcpStream, what: &str| {
+            let (_seq, status, payload) = read_response(stream)
+                .unwrap_or_else(|e| panic!("{backend:?} {what}: expected ERR frame, got {e}"));
+            assert_eq!(status, Status::Err, "{backend:?} {what}: wrong status");
+            assert!(
+                !payload.is_empty(),
+                "{backend:?} {what}: ERR should carry a message"
+            );
+            let mut rest = Vec::new();
+            assert!(
+                matches!(
+                    frame::read_frame(stream, &mut rest, frame::DEFAULT_MAX_FRAME),
+                    Err(FrameError::Closed)
+                ),
+                "{backend:?} {what}: connection should be closed after ERR"
+            );
+        };
+
+        // Malformed frames are answered with ERR, counted, and the
+        // counter classes agree with the event ring afterwards.
+        {
+            use std::io::Write as _;
+
+            // 1. Truncated header: half a header, then EOF.
+            let before = malformed();
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&[7, 0]).expect("write partial header");
+            s.shutdown(std::net::Shutdown::Write).expect("half-close");
+            expect_err_then_close(&mut s, "truncated header");
+            assert_eq!(malformed(), before + 1, "truncated header not counted");
+
+            // 2. Oversized length prefix: rejected before any body
+            // allocation, as soon as the header is visible.
+            let before = malformed();
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&u32::MAX.to_le_bytes()).expect("write length");
+            s.write_all(&1u32.to_le_bytes()).expect("write seq");
+            expect_err_then_close(&mut s, "oversized prefix");
+            assert_eq!(malformed(), before + 1, "oversized prefix not counted");
+
+            // 3. Unknown opcode: a whole, well-framed body that fails
+            // decoding; the ERR echoes the frame's tag.
+            let before = malformed();
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut wire = Vec::new();
+            frame::write_frame(&mut wire, 99, &[42]).expect("encode frame");
+            s.write_all(&wire).expect("write frame");
+            let (seq, status, payload) = read_response(&mut s)
+                .unwrap_or_else(|e| panic!("{backend:?} unknown opcode: expected ERR, got {e}"));
+            assert_eq!(seq, 99, "{backend:?}: ERR must echo the request tag");
+            assert_eq!(status, Status::Err);
+            assert!(!payload.is_empty());
+            let mut rest = Vec::new();
+            assert!(matches!(
+                frame::read_frame(&mut s, &mut rest, frame::DEFAULT_MAX_FRAME),
                 Err(FrameError::Closed)
-            ),
-            "{what}: connection should be closed after ERR"
+            ));
+            assert_eq!(malformed(), before + 1, "unknown opcode not counted");
+
+            // 4. Truncated body: header promises more bytes than arrive.
+            let before = malformed();
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&16u32.to_le_bytes()).expect("write length");
+            s.write_all(&2u32.to_le_bytes()).expect("write seq");
+            s.write_all(&[1, 2, 3]).expect("write partial body");
+            s.shutdown(std::net::Shutdown::Write).expect("half-close");
+            expect_err_then_close(&mut s, "truncated body");
+            assert_eq!(malformed(), before + 1, "truncated body not counted");
+        }
+
+        // The events agree with the counter, and the server still
+        // serves.
+        let snap = service.snapshot();
+        assert_eq!(
+            snap.event_count("malformed"),
+            snap.counter("malformed_frames")
         );
-    };
-
-    // 1. Truncated header: half a length prefix, then EOF.
-    {
-        use std::io::Write as _;
-        let before = malformed();
-        let mut s = TcpStream::connect(addr).expect("connect");
-        s.write_all(&[7, 0]).expect("write partial prefix");
-        s.shutdown(std::net::Shutdown::Write).expect("half-close");
-        expect_err_then_close(&mut s, "truncated header");
-        assert_eq!(malformed(), before + 1, "truncated header not counted");
+        let mut client = Client::connect(addr).expect("connect after abuse");
+        client.ping().expect("server survived malformed input");
+        client.put(1, &vec![3u8; PAGE]).expect("put works");
+        let mut out = Vec::new();
+        assert!(client.get(1, &mut out).expect("get works"));
+        assert_eq!(out, vec![3u8; PAGE]);
+        drop(client);
+        shutdown_and_check_gauge(server, "malformed frames");
     }
-
-    // 2. Oversized length prefix: rejected before any body allocation.
-    {
-        use std::io::Write as _;
-        let before = malformed();
-        let mut s = TcpStream::connect(addr).expect("connect");
-        s.write_all(&u32::MAX.to_le_bytes()).expect("write prefix");
-        expect_err_then_close(&mut s, "oversized prefix");
-        assert_eq!(malformed(), before + 1, "oversized prefix not counted");
-    }
-
-    // 3. Unknown opcode: a whole, well-framed body that fails decoding.
-    {
-        use std::io::Write as _;
-        let before = malformed();
-        let mut s = TcpStream::connect(addr).expect("connect");
-        let mut wire = Vec::new();
-        frame::write_frame(&mut wire, &[42]).expect("encode frame");
-        s.write_all(&wire).expect("write frame");
-        expect_err_then_close(&mut s, "unknown opcode");
-        assert_eq!(malformed(), before + 1, "unknown opcode not counted");
-    }
-
-    // 4. Truncated body: prefix promises more bytes than ever arrive.
-    {
-        use std::io::Write as _;
-        let before = malformed();
-        let mut s = TcpStream::connect(addr).expect("connect");
-        s.write_all(&16u32.to_le_bytes()).expect("write prefix");
-        s.write_all(&[1, 2, 3]).expect("write partial body");
-        s.shutdown(std::net::Shutdown::Write).expect("half-close");
-        expect_err_then_close(&mut s, "truncated body");
-        assert_eq!(malformed(), before + 1, "truncated body not counted");
-    }
-
-    // The events agree with the counter, and the server still serves.
-    let snap = service.snapshot();
-    assert_eq!(
-        snap.event_count("malformed"),
-        snap.counter("malformed_frames")
-    );
-    let mut client = Client::connect(addr).expect("connect after abuse");
-    client.ping().expect("server survived malformed input");
-    client.put(1, &vec![3u8; PAGE]).expect("put works");
-    let mut out = Vec::new();
-    assert!(client.get(1, &mut out).expect("get works"));
-    assert_eq!(out, vec![3u8; PAGE]);
-    drop(client);
-    server.shutdown();
 }
 
-/// Idle connections are reaped after the configured timeout and counted.
+/// Satellite: the idle timeout is wall-clock on every backend. A
+/// connection idle for exactly `timeout + ε` is closed — the close
+/// lands near the deadline, not rounded up in 20 ms read-step quanta —
+/// and is counted exactly once.
 #[test]
-fn idle_connections_time_out() {
-    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
-    let server = Server::spawn(
-        store,
-        "127.0.0.1:0",
-        ServerConfig::default()
-            .with_workers(1)
-            .with_idle_timeout(Duration::from_millis(150)),
-    )
-    .expect("spawn server");
-    let addr = server.local_addr();
+fn idle_timeout_is_wall_clock_and_counted_once() {
+    const TIMEOUT: Duration = Duration::from_millis(250);
+    for backend in ALL_BACKENDS {
+        let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
+        let server = Server::spawn(
+            store,
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_backend(backend)
+                .with_workers(1)
+                .with_idle_timeout(TIMEOUT),
+        )
+        .expect("spawn server");
+        let addr = server.local_addr();
+        let service = Arc::clone(server.service());
 
-    let mut client = Client::connect(addr).expect("connect");
-    client.ping().expect("ping");
-    // Go quiet past the idle deadline; the server closes from its side.
-    std::thread::sleep(Duration::from_millis(600));
-    assert!(
-        client.ping().is_err(),
-        "connection should be closed after idling"
-    );
-    // Allow the close-side accounting to land.
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    loop {
-        let snap = server.service().snapshot();
-        if snap.counter("idle_timeouts") == Some(1) && snap.counter("conns_closed") == Some(1) {
-            break;
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "idle timeout never counted: {:?}",
-            snap.counters
+        // Raw connection: one PING round-trip (activity), then silence.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let mut body = Vec::new();
+        Request::Ping.encode(&mut body);
+        frame::write_frame(&mut s, 1, &body).expect("write ping");
+        let mut resp = Vec::new();
+        assert_eq!(
+            frame::read_frame(&mut s, &mut resp, frame::DEFAULT_MAX_FRAME).expect("pong"),
+            1
         );
-        std::thread::sleep(Duration::from_millis(10));
+        let idle_from = std::time::Instant::now();
+
+        // The server closes from its side at timeout + ε: the blocking
+        // read observes EOF. `ε` tolerances: the server's idle clock
+        // started marginally before ours (it saw the frame before we
+        // read the response), and CI schedulers add delay on top.
+        use std::io::Read as _;
+        let mut junk = [0u8; 16];
+        let n = s.read(&mut junk).expect("EOF, not an error");
+        let elapsed = idle_from.elapsed();
+        assert_eq!(n, 0, "{backend:?}: expected server-side close");
+        assert!(
+            elapsed >= TIMEOUT.saturating_sub(Duration::from_millis(60)),
+            "{backend:?}: closed {elapsed:?} into an idle period of {TIMEOUT:?} — too early"
+        );
+        assert!(
+            elapsed <= TIMEOUT + Duration::from_millis(500),
+            "{backend:?}: idle close took {elapsed:?}, deadline {TIMEOUT:?} — not wall-clock"
+        );
+
+        // Counted exactly once, and it stays that way.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = service.snapshot();
+            if snap.counter("idle_timeouts") == Some(1) && snap.counter("conns_closed") == Some(1) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{backend:?}: idle timeout never counted: {:?}",
+                snap.counters
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        let snap = service.snapshot();
+        assert_eq!(
+            snap.counter("idle_timeouts"),
+            Some(1),
+            "{backend:?}: idle timeout double-counted"
+        );
+        assert_eq!(
+            snap.counter("conns_closed"),
+            Some(1),
+            "{backend:?}: close double-counted"
+        );
+        shutdown_and_check_gauge(server, "idle timeout");
     }
-    server.shutdown();
+}
+
+/// A pipelined window over a live server: W tagged requests issued
+/// before any response is reaped, every response matched to its tag
+/// exactly once, GET payloads byte-for-byte — on every backend.
+#[test]
+fn pipelined_window_roundtrips_tagged_responses() {
+    const WINDOW: usize = 32;
+    for backend in ALL_BACKENDS {
+        let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(16 << 20)));
+        let server = Server::spawn(
+            store,
+            "127.0.0.1:0",
+            ServerConfig::default().with_backend(backend),
+        )
+        .expect("spawn server");
+        let addr = server.local_addr();
+
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .set_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let mut pipe = Pipeline::new();
+        let mut page = vec![0u8; PAGE];
+
+        // Window of PUTs, all in flight before the first reap.
+        let mut tags: HashMap<u32, u64> = HashMap::new();
+        for key in 0..WINDOW as u64 {
+            fill_page(key, key + 1, &mut page);
+            let seq = pipe
+                .send(&mut client, &Request::Put { key, page: &page })
+                .expect("pipeline PUT");
+            tags.insert(seq, key);
+        }
+        assert_eq!(pipe.in_flight(), WINDOW);
+        let mut out = Vec::new();
+        for _ in 0..WINDOW {
+            let (seq, status) = pipe.recv(&mut client, &mut out).expect("reap PUT");
+            assert_eq!(status, Status::Ok, "{backend:?}: PUT tag {seq} failed");
+            assert!(
+                tags.contains_key(&seq),
+                "{backend:?}: unknown PUT tag {seq}"
+            );
+        }
+        assert_eq!(pipe.in_flight(), 0);
+
+        // Window of GETs; every payload must match its tag's key.
+        let mut expect = vec![0u8; PAGE];
+        tags.clear();
+        for key in 0..WINDOW as u64 {
+            let seq = pipe
+                .send(&mut client, &Request::Get { key })
+                .expect("pipeline GET");
+            tags.insert(seq, key);
+        }
+        for _ in 0..WINDOW {
+            let (seq, status) = pipe.recv(&mut client, &mut out).expect("reap GET");
+            assert_eq!(status, Status::Ok, "{backend:?}: GET tag {seq} failed");
+            let key = tags[&seq];
+            fill_page(key, key + 1, &mut expect);
+            assert_eq!(
+                out, expect,
+                "{backend:?}: GET({key}) corrupted under pipelining"
+            );
+        }
+
+        // The connection is still a normal connection afterwards.
+        client.ping().expect("ping after pipelined windows");
+        drop(client);
+        shutdown_and_check_gauge(server, "pipelined window");
+    }
 }
 
 /// STATS over the wire is a parseable Prometheus payload carrying both
@@ -480,40 +722,120 @@ fn stats_is_scrapeable_prometheus() {
     local.push_str(&server.service().snapshot().to_prometheus("cc_server"));
     assert_eq!(names(&text), names(&local), "STATS schema drifted");
     drop(client);
-    server.shutdown();
+    shutdown_and_check_gauge(server, "stats");
 }
 
-/// Graceful shutdown drains the spill writer: every acknowledged PUT is
-/// readable from the store afterwards, and the listener is gone.
+/// Graceful shutdown drains the spill writer on both engines: every
+/// acknowledged PUT is readable from the store afterwards, and the
+/// listener is gone.
 #[test]
 fn shutdown_flushes_store_and_stops_listening() {
     const BUDGET: usize = 32 << 10; // force most pages through the spill writer
-    let (server, store) = spill_server(BUDGET, ServerConfig::default().with_workers(2), "shutdown");
-    let addr = server.local_addr();
-    let mut client = Client::connect(addr).expect("connect");
-    let mut page = vec![0u8; PAGE];
-    for key in 0..128 {
-        fill_page(key, key + 7, &mut page);
-        client.put(key, &page).expect("put");
-    }
-    drop(client);
-    server.shutdown();
-
-    // Acknowledged data survives: the writer was flushed on the way out.
-    let mut out = vec![0u8; PAGE];
-    let mut expect = vec![0u8; PAGE];
-    for key in 0..128 {
-        assert!(
-            store.get(key, &mut out).expect("get after shutdown"),
-            "key {key} lost by shutdown"
+    for backend in [ServerBackend::Threaded, ServerBackend::Evented] {
+        let (server, store) = spill_server(
+            BUDGET,
+            ServerConfig::default()
+                .with_backend(backend)
+                .with_workers(2),
+            &format!("shutdown-{}", backend.name()),
         );
-        fill_page(key, key + 7, &mut expect);
-        assert_eq!(out, expect, "key {key} corrupted across shutdown");
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).expect("connect");
+        let mut page = vec![0u8; PAGE];
+        for key in 0..128 {
+            fill_page(key, key + 7, &mut page);
+            client.put(key, &page).expect("put");
+        }
+        drop(client);
+        shutdown_and_check_gauge(server, "shutdown flush");
+
+        // Acknowledged data survives: the writer was flushed on the way
+        // out.
+        let mut out = vec![0u8; PAGE];
+        let mut expect = vec![0u8; PAGE];
+        for key in 0..128 {
+            assert!(
+                store.get(key, &mut out).expect("get after shutdown"),
+                "{backend:?}: key {key} lost by shutdown"
+            );
+            fill_page(key, key + 7, &mut expect);
+            assert_eq!(
+                out, expect,
+                "{backend:?}: key {key} corrupted across shutdown"
+            );
+        }
+        // The listener is gone: connects are refused (or at best reset
+        // without service).
+        match Client::connect(addr) {
+            Err(_) => {}
+            Ok(mut c) => assert!(
+                c.ping().is_err(),
+                "{backend:?}: server still serving after shutdown"
+            ),
+        }
     }
-    // The listener is gone: connects are refused (or at best reset
-    // without service).
-    match Client::connect(addr) {
-        Err(_) => {}
-        Ok(mut c) => assert!(c.ping().is_err(), "server still serving after shutdown"),
+}
+
+/// Satellite: connection churn over every close path — clean closes,
+/// mid-frame aborts, malformed frames — leaves the `open_connections`
+/// gauge at zero while the server is still running, on every backend.
+#[test]
+fn gauge_survives_connection_churn() {
+    for backend in ALL_BACKENDS {
+        let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(4 << 20)));
+        let server = Server::spawn(
+            store,
+            "127.0.0.1:0",
+            ServerConfig::default()
+                .with_backend(backend)
+                .with_workers(2)
+                .with_idle_timeout(Duration::from_secs(30)),
+        )
+        .expect("spawn server");
+        let addr = server.local_addr();
+        let service = Arc::clone(server.service());
+
+        for round in 0..10 {
+            match round % 3 {
+                // Clean: one request, orderly close.
+                0 => {
+                    let mut c = Client::connect(addr).expect("connect");
+                    c.ping().expect("ping");
+                }
+                // Abort mid-frame: half a header, then drop.
+                1 => {
+                    use std::io::Write as _;
+                    let mut s = TcpStream::connect(addr).expect("connect");
+                    s.write_all(&[9, 0, 0]).expect("partial header");
+                    // Dropped here: FIN mid-frame on the server side.
+                }
+                // Malformed: well-framed junk body.
+                _ => {
+                    use std::io::Write as _;
+                    let mut s = TcpStream::connect(addr).expect("connect");
+                    let mut wire = Vec::new();
+                    frame::write_frame(&mut wire, 5, &[77]).expect("frame");
+                    s.write_all(&wire).expect("write");
+                    let _ = read_response(&mut s);
+                }
+            }
+        }
+
+        // All churned connections settle closed while the server runs.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if service.open_connections() == 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{backend:?}: gauge stuck at {} after churn",
+                service.open_connections()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let snap = service.snapshot();
+        assert_eq!(snap.counter("conns_opened"), snap.counter("conns_closed"));
+        shutdown_and_check_gauge(server, "gauge churn");
     }
 }
