@@ -1,0 +1,43 @@
+//! Temporary repro: pipelined window large enough to trip write
+//! backpressure on the evented backend.
+
+use cc_core::store::{CompressedStore, StoreConfig};
+use cc_server::{Client, Pipeline, Request, Server, ServerBackend, ServerConfig, Status};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn big_pipelined_window_survives_backpressure() {
+    const PAGE: usize = 4096;
+    const WINDOW: usize = 400; // ~1.6 MiB of responses > 1 MiB cap
+    let store = Arc::new(CompressedStore::new(StoreConfig::in_memory(64 << 20)));
+    let server = Server::spawn(
+        store,
+        "127.0.0.1:0",
+        ServerConfig::default().with_backend(ServerBackend::Evented),
+    )
+    .expect("spawn server");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let page = vec![0xA5u8; PAGE];
+    for key in 0..WINDOW as u64 {
+        client.put(key, &page).expect("put");
+    }
+
+    let mut pipe = Pipeline::new();
+    for key in 0..WINDOW as u64 {
+        pipe.send(&mut client, &Request::Get { key }).expect("send");
+    }
+    let mut out = Vec::new();
+    for i in 0..WINDOW {
+        let (seq, status) = pipe
+            .recv(&mut client, &mut out)
+            .unwrap_or_else(|e| panic!("reap {i} failed: {e:?}"));
+        assert_eq!(status, Status::Ok, "tag {seq}");
+        assert_eq!(out.len(), PAGE, "tag {seq}");
+    }
+}
