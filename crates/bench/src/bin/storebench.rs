@@ -20,6 +20,12 @@
 //!    GC event counts from the ring), and an interleaved best-of-3
 //!    probe measures the throughput cost of telemetry against a
 //!    `with_telemetry(false)` run of the same zipfian mixed trial.
+//! 5. **Codec sweep** — a put-heavy mix over pattern-heavy pages (near-
+//!    zero, narrow, base+delta, text, noise) for each `CodecPolicy`
+//!    (`lzrw1-only` / `adaptive` / `bdi-only`), reporting per-policy
+//!    put/get percentiles, per-codec routing counts and achieved
+//!    ratios, compress/decompress p50s from the per-codec histograms,
+//!    and each policy's compression on the ordinary zipfian mix.
 //!
 //! Results land in `BENCH_store.json`.
 //!
@@ -30,11 +36,14 @@
 //! cargo run --release -p cc-bench --bin storebench -- --smoke
 //! ```
 //!
-//! `--smoke` runs a reduced-ops spill + same-filled pass and exits
-//! nonzero if the resident-bytes budget is ever exceeded, the spill
-//! pipeline goes unexercised, the latency histograms fail basic sanity
-//! (empty, or p50/p99/max out of order), or telemetry costs more than
-//! 5% of throughput — CI runs it on every push.
+//! `--smoke` runs a reduced-ops spill + same-filled + codec-sweep pass
+//! and exits nonzero if the resident-bytes budget is ever exceeded, the
+//! spill pipeline goes unexercised, the latency histograms fail basic
+//! sanity (empty, or p50/p99/max out of order), telemetry costs more
+//! than 5% of throughput, adaptive codec selection is slower at put p50
+//! than the lzrw1-only baseline on the pattern mix (or loses
+//! compression on the zipfian mix), or any per-codec histogram goes
+//! unexercised — CI runs it on every push.
 //!
 //! `--chaos` (optionally with `--seed N`; `--chaos --smoke` is the
 //! reduced CI variant) runs the mixed workload against a seeded
@@ -45,6 +54,7 @@
 //! schedule, or the memory budget stays violated after settling.
 
 use cc_bench::smoke;
+use cc_compress::CodecPolicy;
 use cc_core::medium::{FaultInjector, FaultPlan, FileMedium, SpillMedium};
 use cc_core::store::{CompressedStore, HitTier, StoreConfig};
 use cc_telemetry::Snapshot;
@@ -107,6 +117,48 @@ fn page_for(key: u64, buf: &mut [u8]) {
     }
 }
 
+/// Pattern-heavy page payload for the codec sweep: the word-regular
+/// classes the BDI codec targets (near-zero, narrow values, pointer-like
+/// base+delta) plus the byte-regular and incompressible classes it must
+/// leave to LZRW1 — roughly 15/25/25/20/15 by key.
+fn pattern_page_for(key: u64, buf: &mut [u8]) {
+    let class = key % 20;
+    if class < 3 {
+        // Almost-zero pages, with sparse nonzero words so the
+        // same-filled elision does not swallow them before any codec.
+        buf.fill(0);
+        for (i, w) in buf.chunks_exact_mut(8).enumerate() {
+            if i % 64 == 0 {
+                w.copy_from_slice(&(key + i as u64 + 1).to_le_bytes());
+            }
+        }
+    } else if class < 8 {
+        // Narrow values around zero (counters, small ints).
+        let mut rng = SplitMix64::new(key | 1);
+        for w in buf.chunks_exact_mut(8) {
+            w.copy_from_slice(&(rng.next_u64() % 251).to_le_bytes());
+        }
+    } else if class < 13 {
+        // Pointer-like words clustered near one base.
+        let base = 0x7F00_0000_0000u64 ^ (key << 21);
+        let mut rng = SplitMix64::new(key | 1);
+        for w in buf.chunks_exact_mut(8) {
+            w.copy_from_slice(&(base + rng.next_u64() % 120).to_le_bytes());
+        }
+    } else if class < 17 {
+        // Text-like filler: byte-regular, word-irregular — LZRW1's class.
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = ((key as usize + i / 13) % 64) as u8 + b' ';
+        }
+    } else {
+        // Incompressible noise: the stored-raw class under any policy.
+        let mut rng = SplitMix64::new(key | 1);
+        for b in buf.iter_mut() {
+            *b = rng.next_u64() as u8;
+        }
+    }
+}
+
 /// A same-filled page for `key`: one derived 8-byte word repeated.
 fn same_page_for(key: u64, buf: &mut [u8]) {
     let word = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_ne_bytes();
@@ -136,11 +188,13 @@ fn run_trial(
     ops_per_thread: u64,
     zipf: &Arc<Zipf>,
     telemetry: bool,
+    policy: CodecPolicy,
 ) -> Trial {
     let store = Arc::new(CompressedStore::new(
         StoreConfig::in_memory(BUDGET)
             .with_shards(shards)
-            .with_telemetry(telemetry),
+            .with_telemetry(telemetry)
+            .with_codec_policy(policy),
     ));
     // Pre-populate the whole key space so gets mostly hit.
     let mut page = vec![0u8; PAGE];
@@ -354,8 +408,10 @@ fn run_overhead_probe(ops_per_thread: u64, zipf: &Arc<Zipf>) -> Overhead {
     let mut best_on = 0.0f64;
     let mut best_off = 0.0f64;
     for _ in 0..3 {
-        best_off = best_off.max(run_trial(1, 1, ops_per_thread, zipf, false).ops_per_sec);
-        best_on = best_on.max(run_trial(1, 1, ops_per_thread, zipf, true).ops_per_sec);
+        best_off = best_off
+            .max(run_trial(1, 1, ops_per_thread, zipf, false, CodecPolicy::Adaptive).ops_per_sec);
+        best_on = best_on
+            .max(run_trial(1, 1, ops_per_thread, zipf, true, CodecPolicy::Adaptive).ops_per_sec);
     }
     Overhead {
         ops_per_sec_on: best_on,
@@ -405,6 +461,164 @@ fn run_same_filled_trial(ops: u64) -> SameFilledTrial {
         put_compressed_p50_ns: pct(&comp_ns, 0.50),
         same_filled_counter: s.same_filled,
     }
+}
+
+/// One arm of the codec sweep: a put/get mix over the pattern-heavy page
+/// classes under one [`CodecPolicy`], plus the same policy's zipfian
+/// mixed-trial ratio (the "does adapting cost compression on ordinary
+/// pages?" control).
+struct CodecTrial {
+    policy: CodecPolicy,
+    ops_per_sec: f64,
+    put_p50_ns: u64,
+    put_p99_ns: u64,
+    get_p50_ns: u64,
+    get_p99_ns: u64,
+    /// Whole-store compression ratio on the pattern mix (orig/stored).
+    ratio: f64,
+    /// Compression ratio of the standard zipfian text/noise mixed trial
+    /// under this policy.
+    zipf_ratio: f64,
+    puts_lzrw1: u64,
+    puts_bdi: u64,
+    codec_fallbacks: u64,
+    /// Achieved per-codec ratios over admitted pages (orig/sealed).
+    lzrw1_ratio: f64,
+    bdi_ratio: f64,
+    /// The trial's telemetry snapshot: per-codec compress/decompress
+    /// latency histograms live here.
+    telemetry: Snapshot,
+}
+
+fn run_codec_trial(policy: CodecPolicy, ops: u64, zipf: &Arc<Zipf>, zipf_ops: u64) -> CodecTrial {
+    let store = CompressedStore::new(StoreConfig::in_memory(BUDGET).with_codec_policy(policy));
+    let mut rng = SplitMix64::new(0xC0DE ^ policy as u64);
+    let mut page = vec![0u8; PAGE];
+    let mut out = vec![0u8; PAGE];
+    // Prefill so gets hit from the first op.
+    for key in 0..KEYS {
+        pattern_page_for(key, &mut page);
+        store.put(key, &page).expect("prefill");
+    }
+    let mut put_ns = Vec::new();
+    let mut get_ns = Vec::new();
+    let start = Instant::now();
+    for _ in 0..ops {
+        let key = rng.next_u64() % KEYS;
+        // 60/40 put/get: the sweep is about the put path, but decompress
+        // histograms must be exercised too.
+        if rng.next_u64() % 10 < 6 {
+            pattern_page_for(key, &mut page);
+            let t0 = Instant::now();
+            store.put(key, &page).expect("put");
+            put_ns.push(t0.elapsed().as_nanos() as u64);
+        } else {
+            let t0 = Instant::now();
+            let _ = store.get(key, &mut out).expect("get");
+            get_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    put_ns.sort_unstable();
+    get_ns.sort_unstable();
+    let s = store.stats();
+    let telemetry = store.telemetry_snapshot();
+    let ratio = if s.memory_bytes > 0 {
+        (store.len() as u64 * PAGE as u64) as f64 / s.memory_bytes as f64
+    } else {
+        1.0
+    };
+    let per_codec = |in_bytes: u64, out_bytes: u64| {
+        if out_bytes > 0 {
+            in_bytes as f64 / out_bytes as f64
+        } else {
+            0.0
+        }
+    };
+    let zipf_ratio = run_trial(1, 1, zipf_ops, zipf, false, policy).ratio;
+    CodecTrial {
+        policy,
+        ops_per_sec: (put_ns.len() + get_ns.len()) as f64 / elapsed,
+        put_p50_ns: pct(&put_ns, 0.50),
+        put_p99_ns: pct(&put_ns, 0.99),
+        get_p50_ns: pct(&get_ns, 0.50),
+        get_p99_ns: pct(&get_ns, 0.99),
+        ratio,
+        zipf_ratio,
+        puts_lzrw1: s.puts_lzrw1,
+        puts_bdi: s.puts_bdi,
+        codec_fallbacks: s.codec_fallbacks,
+        lzrw1_ratio: per_codec(s.lzrw1_in_bytes, s.lzrw1_out_bytes),
+        bdi_ratio: per_codec(s.bdi_in_bytes, s.bdi_out_bytes),
+        telemetry,
+    }
+}
+
+fn run_codec_sweep(ops: u64, zipf: &Arc<Zipf>, zipf_ops: u64) -> Vec<CodecTrial> {
+    CodecPolicy::all()
+        .into_iter()
+        .map(|policy| {
+            let t = run_codec_trial(policy, ops, zipf, zipf_ops);
+            eprintln!(
+                "  [codec {:<10}] {:>10.0} ops/s  put p50={:>6} p99={:>7} ns  get p50={:>6} ns  ratio={:.2} (zipf {:.2})  lzrw1/bdi/fallback={}/{}/{}",
+                t.policy.name(),
+                t.ops_per_sec,
+                t.put_p50_ns,
+                t.put_p99_ns,
+                t.get_p50_ns,
+                t.ratio,
+                t.zipf_ratio,
+                t.puts_lzrw1,
+                t.puts_bdi,
+                t.codec_fallbacks,
+            );
+            t
+        })
+        .collect()
+}
+
+fn op_p50(snap: &Snapshot, op: &str) -> u64 {
+    snap.op(op).map(|s| s.p50).unwrap_or(0)
+}
+
+fn json_codec_sweep(sweep: &[CodecTrial]) -> String {
+    let rows: Vec<String> = sweep
+        .iter()
+        .map(|t| {
+            format!(
+                "      {{\"policy\": \"{}\", \"ops_per_sec\": {:.0}, \"put_p50_ns\": {}, \"put_p99_ns\": {}, \"get_p50_ns\": {}, \"get_p99_ns\": {}, \"ratio\": {:.3}, \"zipf_ratio\": {:.3}, \"puts_lzrw1\": {}, \"puts_bdi\": {}, \"codec_fallbacks\": {}, \"lzrw1_ratio\": {:.3}, \"bdi_ratio\": {:.3}, \"compress_lzrw1_p50_ns\": {}, \"compress_bdi_p50_ns\": {}, \"decompress_lzrw1_p50_ns\": {}, \"decompress_bdi_p50_ns\": {}}}",
+                t.policy.name(),
+                t.ops_per_sec,
+                t.put_p50_ns,
+                t.put_p99_ns,
+                t.get_p50_ns,
+                t.get_p99_ns,
+                t.ratio,
+                t.zipf_ratio,
+                t.puts_lzrw1,
+                t.puts_bdi,
+                t.codec_fallbacks,
+                t.lzrw1_ratio,
+                t.bdi_ratio,
+                op_p50(&t.telemetry, "compress_lzrw1"),
+                op_p50(&t.telemetry, "compress_bdi"),
+                op_p50(&t.telemetry, "decompress_lzrw1"),
+                op_p50(&t.telemetry, "decompress_bdi"),
+            )
+        })
+        .collect();
+    let lz = sweep.iter().find(|t| t.policy == CodecPolicy::Lzrw1Only);
+    let ad = sweep.iter().find(|t| t.policy == CodecPolicy::Adaptive);
+    let win_pct = match (lz, ad) {
+        (Some(lz), Some(ad)) if lz.put_p50_ns > 0 => {
+            (1.0 - ad.put_p50_ns as f64 / lz.put_p50_ns as f64) * 100.0
+        }
+        _ => 0.0,
+    };
+    format!(
+        "{{\n    \"mix\": \"~15% near-zero / 25% narrow / 25% base+delta / 20% text / 15% noise, 60/40 put/get\",\n    \"adaptive_put_p50_win_pct\": {win_pct:.1},\n    \"policies\": [\n{}\n    ]\n  }}",
+        rows.join(",\n")
+    )
 }
 
 fn json_trials(trials: &[Trial]) -> String {
@@ -644,10 +858,11 @@ fn chaos_page(key: u64, version: u64, buf: &mut [u8]) {
 /// and telemetry plane for real, and fail loudly if an invariant breaks.
 fn run_smoke() -> i32 {
     let zipf = Arc::new(Zipf::new(KEYS, ZIPF_S));
-    eprintln!("storebench --smoke: spill pipeline + same-filled + telemetry gate");
+    eprintln!("storebench --smoke: spill pipeline + same-filled + telemetry + codec-sweep gate");
     let spill = run_spill_trial(SPILL_THREADS, 10_000, &zipf);
     let same = run_same_filled_trial(20_000);
     let ovh = run_overhead_probe(20_000, &zipf);
+    let sweep = run_codec_sweep(20_000, &zipf, 10_000);
     eprintln!(
         "  spill: {:.0} ops/s, {} spilled in {} batches ({:.1}/batch), gc_runs={}, file={} B, max_resident={} B (budget {SPILL_BUDGET})",
         spill.ops_per_sec,
@@ -717,6 +932,53 @@ fn run_smoke() -> i32 {
             ovh.overhead_pct, ovh.ops_per_sec_on, ovh.ops_per_sec_off
         ));
     }
+    // Codec-sweep gates: on the pattern-heavy mix, adaptive selection
+    // must not lose to the LZRW1-only baseline at put p50, must route
+    // pages to both codecs, must exercise all four per-codec latency
+    // histograms, and must not pay for the put win with compression on
+    // the ordinary zipfian text/noise mix.
+    let lz = sweep
+        .iter()
+        .find(|t| t.policy == CodecPolicy::Lzrw1Only)
+        .expect("sweep ran lzrw1-only");
+    let ad = sweep
+        .iter()
+        .find(|t| t.policy == CodecPolicy::Adaptive)
+        .expect("sweep ran adaptive");
+    if ad.put_p50_ns > lz.put_p50_ns {
+        failures.push(format!(
+            "adaptive put p50 ({} ns) slower than lzrw1-only ({} ns) on the pattern mix",
+            ad.put_p50_ns, lz.put_p50_ns
+        ));
+    }
+    if ad.puts_bdi == 0 || ad.puts_lzrw1 == 0 {
+        failures.push(format!(
+            "adaptive routed nothing to some codec: {} lzrw1, {} bdi puts",
+            ad.puts_lzrw1, ad.puts_bdi
+        ));
+    }
+    for op in [
+        "compress_lzrw1",
+        "compress_bdi",
+        "decompress_lzrw1",
+        "decompress_bdi",
+    ] {
+        if let Some(f) = smoke::check_hist(&ad.telemetry, op) {
+            failures.push(f);
+        }
+    }
+    if ad.ratio < lz.ratio * 0.99 {
+        failures.push(format!(
+            "adaptive pattern-mix ratio {:.3} worse than lzrw1-only {:.3}",
+            ad.ratio, lz.ratio
+        ));
+    }
+    if ad.zipf_ratio < lz.zipf_ratio * 0.99 {
+        failures.push(format!(
+            "adaptive zipfian ratio {:.3} worse than lzrw1-only {:.3}",
+            ad.zipf_ratio, lz.zipf_ratio
+        ));
+    }
     smoke::report("storebench", &failures)
 }
 
@@ -777,7 +1039,14 @@ fn main() {
     let run_set = |label: &str, shards: usize| -> Vec<Trial> {
         let mut trials = Vec::new();
         for &t in &THREAD_COUNTS {
-            let trial = run_trial(shards, t, ops_per_thread, &zipf, true);
+            let trial = run_trial(
+                shards,
+                t,
+                ops_per_thread,
+                &zipf,
+                true,
+                CodecPolicy::Adaptive,
+            );
             eprintln!(
                 "  [{label}] threads={:<2} {:>12.0} ops/s  p50={:>6} ns  p99={:>7} ns  ratio={:.2}",
                 trial.threads, trial.ops_per_sec, trial.p50_ns, trial.p99_ns, trial.ratio
@@ -832,12 +1101,15 @@ fn main() {
         ovh.overhead_pct, ovh.ops_per_sec_on, ovh.ops_per_sec_off,
     );
 
+    let sweep = run_codec_sweep(ops_per_thread, &zipf, ops_per_thread / 2);
+
     let json = format!(
-        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"spill\": {},\n  \"same_filled\": {},\n  \"telemetry\": {},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal. spill.entries_per_batch is the write-coalescing factor (1.0 = one syscall per entry, the pre-pipeline behaviour); gc_runs > 0 with a bounded file_bytes_on_disk shows dead-extent compaction under churn. telemetry.spill_trial is the spill trial's own snapshot: ops are nanosecond latency histograms split by serving tier, events are ring counts; telemetry.overhead is the throughput cost of the telemetry plane vs with_telemetry(false), gated at 5% by --smoke.\"\n}}\n",
+        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"spill\": {},\n  \"same_filled\": {},\n  \"codec_sweep\": {},\n  \"telemetry\": {},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal. spill.entries_per_batch is the write-coalescing factor (1.0 = one syscall per entry, the pre-pipeline behaviour); gc_runs > 0 with a bounded file_bytes_on_disk shows dead-extent compaction under churn. telemetry.spill_trial is the spill trial's own snapshot: ops are nanosecond latency histograms split by serving tier, events are ring counts; telemetry.overhead is the throughput cost of the telemetry plane vs with_telemetry(false), gated at 5% by --smoke. codec_sweep compares codec policies on a pattern-heavy page mix: adaptive_put_p50_win_pct is the put-latency win of sampled-probe codec selection over the lzrw1-only baseline, and each policy row carries per-codec routing counts, achieved ratios, and compress/decompress p50s from the per-codec telemetry histograms; zipf_ratio is the same policy's compression on the ordinary zipfian text/noise mix (adaptive must hold it), gated by --smoke.\"\n}}\n",
         json_trials(&baseline),
         json_trials(&sharded),
         json_spill(&spill),
         json_same_filled(&same),
+        json_codec_sweep(&sweep),
         json_telemetry(&spill.telemetry, &ovh),
     );
     let mut f = std::fs::File::create(&out_path).expect("create output");

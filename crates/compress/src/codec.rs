@@ -1,0 +1,527 @@
+//! The codec layer: stable codec ids, the [`Codec`] trait, per-page
+//! adaptive selection, and the [`CodecSet`] used by the store's hot path.
+//!
+//! The store records *which* codec sealed each page — in the in-memory
+//! entry and in the spill extent header — so decode always dispatches on
+//! the recorded [`CodecId`], never on guesswork. Selection between codecs
+//! is a policy ([`CodecPolicy`]): LZRW1-only (the paper's configuration),
+//! BDI-only (the word-pattern fast path), or adaptive, which classifies
+//! the page with a cheap sampled probe ([`probe_bdi`]) and falls back to
+//! LZRW1 when the pattern codec would miss the keep-compressed threshold.
+
+use crate::bdi::Bdi;
+use crate::lzrw1::Lzrw1;
+use crate::lzss::Lzss;
+use crate::null::Null;
+use crate::rle::Rle;
+use crate::samefilled::SameFilled;
+use crate::threshold::{CompressDecision, ThresholdPolicy};
+use crate::{store_raw, Compressor, DecompressError};
+
+/// Stable on-the-wire codec identifier, recorded per entry and per spill
+/// extent. Values match each codec's leading method byte, so the id and
+/// the first byte of a sealed block always agree.
+///
+/// **Never renumber these** — spilled extents outlive the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CodecId {
+    /// Stored block (threshold reject / incompressible).
+    Raw = 0,
+    /// LZRW1 (the paper's codec).
+    Lzrw1 = 1,
+    /// Run-length encoding.
+    Rle = 2,
+    /// LZSS comparator.
+    Lzss = 3,
+    /// Same-filled pattern word.
+    SameFilled = 4,
+    /// Base+delta-immediate word-pattern codec.
+    Bdi = 5,
+}
+
+impl CodecId {
+    /// Decode an id byte read from an entry or extent header.
+    pub fn from_u8(b: u8) -> Option<CodecId> {
+        match b {
+            0 => Some(CodecId::Raw),
+            1 => Some(CodecId::Lzrw1),
+            2 => Some(CodecId::Rle),
+            3 => Some(CodecId::Lzss),
+            4 => Some(CodecId::SameFilled),
+            5 => Some(CodecId::Bdi),
+            _ => None,
+        }
+    }
+
+    /// The wire byte.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::Raw => "raw",
+            CodecId::Lzrw1 => "lzrw1",
+            CodecId::Rle => "rle",
+            CodecId::Lzss => "lzss",
+            CodecId::SameFilled => "same-filled",
+            CodecId::Bdi => "bdi",
+        }
+    }
+}
+
+/// A [`Compressor`] with a stable identity the store can persist.
+pub trait Codec: Compressor {
+    /// The stable id recorded wherever this codec's output is stored.
+    fn id(&self) -> CodecId;
+}
+
+impl Codec for Null {
+    fn id(&self) -> CodecId {
+        CodecId::Raw
+    }
+}
+impl Codec for Lzrw1 {
+    fn id(&self) -> CodecId {
+        CodecId::Lzrw1
+    }
+}
+impl Codec for Rle {
+    fn id(&self) -> CodecId {
+        CodecId::Rle
+    }
+}
+impl Codec for Lzss {
+    fn id(&self) -> CodecId {
+        CodecId::Lzss
+    }
+}
+impl Codec for SameFilled {
+    fn id(&self) -> CodecId {
+        CodecId::SameFilled
+    }
+}
+impl Codec for Bdi {
+    fn id(&self) -> CodecId {
+        CodecId::Bdi
+    }
+}
+
+/// Construct the codec registered under `id` (fresh state; prefer a
+/// long-lived [`CodecSet`] on hot paths).
+pub fn codec_for(id: CodecId) -> Box<dyn Codec> {
+    match id {
+        CodecId::Raw => Box::new(Null::new()),
+        CodecId::Lzrw1 => Box::new(Lzrw1::new()),
+        CodecId::Rle => Box::new(Rle::new()),
+        CodecId::Lzss => Box::new(Lzss::new()),
+        CodecId::SameFilled => Box::new(SameFilled::new()),
+        CodecId::Bdi => Box::new(Bdi::new()),
+    }
+}
+
+/// Which codec(s) the store's put path may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecPolicy {
+    /// Always LZRW1 (the paper's configuration; pre-codec-layer behavior).
+    Lzrw1Only,
+    /// Always BDI (word-pattern pages compress hard, everything else
+    /// stores raw — an ablation arm, not a production setting).
+    BdiOnly,
+    /// Probe each page; BDI when the word-pattern classifier predicts it
+    /// beats the admit bound, LZRW1 otherwise (with fallback if the
+    /// prediction misses).
+    #[default]
+    Adaptive,
+}
+
+impl CodecPolicy {
+    /// Stable name, also accepted by [`CodecPolicy::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecPolicy::Lzrw1Only => "lzrw1-only",
+            CodecPolicy::BdiOnly => "bdi-only",
+            CodecPolicy::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parse a policy name as used by bench CLIs.
+    pub fn parse(s: &str) -> Option<CodecPolicy> {
+        match s {
+            "lzrw1-only" | "lzrw1" => Some(CodecPolicy::Lzrw1Only),
+            "bdi-only" | "bdi" => Some(CodecPolicy::BdiOnly),
+            "adaptive" => Some(CodecPolicy::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// All sweepable policies, for bench iteration.
+    pub fn all() -> [CodecPolicy; 3] {
+        [
+            CodecPolicy::Lzrw1Only,
+            CodecPolicy::Adaptive,
+            CodecPolicy::BdiOnly,
+        ]
+    }
+}
+
+/// Number of 8-byte words the probe samples (eight 64-byte cache lines'
+/// worth, spread evenly across the page).
+const PROBE_WORDS: usize = 64;
+
+/// Cheap classifier: would BDI's delta scheme fit `page` under
+/// `admit_bound` bytes? Samples [`PROBE_WORDS`] evenly spaced words
+/// (~1.5% of a 4 KB page) instead of scanning all of them, so a "no" costs
+/// almost nothing on pages LZRW1 will handle anyway. The prediction is
+/// optimistic — unsampled words can widen the delta — which is why
+/// adaptive selection re-checks the real compressed size and falls back.
+pub fn probe_bdi(page: &[u8], admit_bound: usize) -> bool {
+    let nwords = page.len() / 8;
+    if nwords == 0 {
+        return false;
+    }
+    let word_at =
+        |i: usize| u64::from_le_bytes(page[i * 8..i * 8 + 8].try_into().expect("8-byte word"));
+    let base = word_at(0);
+    let samples = PROBE_WORDS.min(nwords);
+    let (mut wbase, mut wzero) = (1usize, 1usize);
+    for s in 0..samples {
+        let w = word_at(s * nwords / samples);
+        wbase = wbase.max(crate::bdi::sig_width(w.wrapping_sub(base) as i64));
+        wzero = wzero.max(crate::bdi::sig_width(w as i64));
+    }
+    let width = wbase.min(wzero);
+    if width == 8 {
+        return false;
+    }
+    // Predicted delta-scheme size (zero/repeated pages predict smaller
+    // still; the delta bound covers them).
+    let predicted = 2 + 1 + 8 + width * nwords + page.len() % 8;
+    predicted <= admit_bound
+}
+
+/// What [`CodecSet::compress_with_policy`] chose and produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// Codec that sealed the bytes now in `dst` ([`CodecId::Raw`] when the
+    /// threshold rejected compression).
+    pub codec: CodecId,
+    /// `dst.len()` — the sealed size including the method byte.
+    pub len: usize,
+    /// Whether the threshold admitted the compressed form. When `false`,
+    /// `dst` holds a stored block and `codec` is [`CodecId::Raw`].
+    pub admitted: bool,
+    /// Adaptive only: the probe predicted BDI but its real output missed
+    /// the admit bound, so LZRW1 ran as well.
+    pub fell_back: bool,
+}
+
+/// The codecs a put path selects among, owned per thread (LZRW1 carries
+/// its hash table; reusing it avoids a per-page allocation).
+#[derive(Debug)]
+pub struct CodecSet {
+    lzrw1: Lzrw1,
+    bdi: Bdi,
+}
+
+impl Default for CodecSet {
+    fn default() -> Self {
+        CodecSet::new()
+    }
+}
+
+impl CodecSet {
+    /// Create the set with default codec parameters.
+    pub fn new() -> Self {
+        CodecSet {
+            lzrw1: Lzrw1::new(),
+            bdi: Bdi::new(),
+        }
+    }
+
+    /// Worst-case sealed size any codec reachable under `policy` may
+    /// produce for `n` input bytes. Scratch buffers must be sized to
+    /// *this*, not to one codec's bound.
+    pub fn max_compressed_len(&self, policy: CodecPolicy, n: usize) -> usize {
+        let lz = self.lzrw1.max_compressed_len(n);
+        let bdi = self.bdi.max_compressed_len(n);
+        // A threshold reject rewrites dst as a stored block (n + 1).
+        let stored = n + 1;
+        match policy {
+            CodecPolicy::Lzrw1Only => lz.max(stored),
+            CodecPolicy::BdiOnly => bdi.max(stored),
+            CodecPolicy::Adaptive => lz.max(bdi).max(stored),
+        }
+    }
+
+    /// Compress `page` into `dst` under `policy`, then apply `threshold`.
+    ///
+    /// On [`CompressDecision::Reject`] the contents of `dst` are replaced
+    /// with a stored block and the selection reports [`CodecId::Raw`], so
+    /// `dst` is always sealed by exactly the codec named in the result.
+    pub fn compress_with_policy(
+        &mut self,
+        policy: CodecPolicy,
+        threshold: ThresholdPolicy,
+        page: &[u8],
+        dst: &mut Vec<u8>,
+    ) -> Selection {
+        let n = page.len();
+        // Per-codec scratch sizing: reserve the worst case for *this*
+        // policy's codec set up front so no codec ever reallocates
+        // mid-compress or overruns a smaller codec's assumption.
+        let bound = self.max_compressed_len(policy, n);
+        dst.clear();
+        dst.reserve(bound);
+
+        let admit = threshold.max_compressed_len(n);
+        let (codec, fell_back) = match policy {
+            CodecPolicy::Lzrw1Only => {
+                self.lzrw1.compress(page, dst);
+                (CodecId::Lzrw1, false)
+            }
+            CodecPolicy::BdiOnly => {
+                self.bdi.compress(page, dst);
+                (CodecId::Bdi, false)
+            }
+            CodecPolicy::Adaptive => {
+                if probe_bdi(page, admit) {
+                    let len = self.bdi.compress(page, dst);
+                    if len <= admit {
+                        (CodecId::Bdi, false)
+                    } else {
+                        // The sampled probe was too optimistic; pay the
+                        // LZ pass it was meant to avoid.
+                        self.lzrw1.compress(page, dst);
+                        (CodecId::Lzrw1, true)
+                    }
+                } else {
+                    self.lzrw1.compress(page, dst);
+                    (CodecId::Lzrw1, false)
+                }
+            }
+        };
+        assert!(
+            dst.len() <= bound,
+            "{} produced {} bytes for {} input, over its {} bound",
+            codec.name(),
+            dst.len(),
+            n,
+            bound
+        );
+        match threshold.evaluate(n, dst.len()) {
+            CompressDecision::Keep => Selection {
+                codec,
+                len: dst.len(),
+                admitted: true,
+                fell_back,
+            },
+            CompressDecision::Reject => {
+                let len = store_raw(page, dst);
+                Selection {
+                    codec: CodecId::Raw,
+                    len,
+                    admitted: false,
+                    fell_back,
+                }
+            }
+        }
+    }
+
+    /// Decode a block sealed by `codec` (as recorded in the entry or the
+    /// extent header). The method byte inside `src` must agree with the
+    /// recorded id — a mismatch is a [`DecompressError`], never a decode
+    /// under the wrong codec.
+    pub fn decompress(
+        &mut self,
+        codec: CodecId,
+        src: &[u8],
+        dst: &mut Vec<u8>,
+        expected_len: usize,
+    ) -> Result<(), DecompressError> {
+        match src.first() {
+            None => return Err(DecompressError::Truncated),
+            // A stored block is decodable by any codec; any other method
+            // byte must match the recorded codec id exactly.
+            Some(&m) if m != 0 && m != codec.as_u8() => return Err(DecompressError::BadMethod(m)),
+            _ => {}
+        }
+        match codec {
+            CodecId::Raw => Null::new().decompress(src, dst, expected_len),
+            CodecId::Lzrw1 => self.lzrw1.decompress(src, dst, expected_len),
+            CodecId::Rle => Rle::new().decompress(src, dst, expected_len),
+            CodecId::Lzss => Lzss::new().decompress(src, dst, expected_len),
+            CodecId::SameFilled => SameFilled::new().decompress(src, dst, expected_len),
+            CodecId::Bdi => self.bdi.decompress(src, dst, expected_len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn narrow_page(n: usize) -> Vec<u8> {
+        let mut page = vec![0u8; n];
+        for (i, w) in page.chunks_exact_mut(8).enumerate() {
+            w[..2].copy_from_slice(&(i as u16).to_le_bytes());
+        }
+        page
+    }
+
+    fn text_page(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i / 13 % 64) as u8 + b' ').collect()
+    }
+
+    fn noise_page(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = cc_util::SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64() as u8).collect()
+    }
+
+    #[test]
+    fn codec_id_round_trips_and_matches_method_bytes() {
+        for id in [
+            CodecId::Raw,
+            CodecId::Lzrw1,
+            CodecId::Rle,
+            CodecId::Lzss,
+            CodecId::SameFilled,
+            CodecId::Bdi,
+        ] {
+            assert_eq!(CodecId::from_u8(id.as_u8()), Some(id));
+            let mut codec = codec_for(id);
+            // A compressible input that each codec actually claims: its
+            // output's method byte equals the id (or 0 for stored).
+            let input = vec![7u8; 256];
+            let mut packed = Vec::new();
+            codec.compress(&input, &mut packed);
+            assert!(
+                packed[0] == id.as_u8() || packed[0] == 0,
+                "{}: method byte {} vs id {}",
+                id.name(),
+                packed[0],
+                id.as_u8()
+            );
+        }
+        assert_eq!(CodecId::from_u8(6), None);
+        assert_eq!(CodecId::from_u8(0xEE), None);
+    }
+
+    #[test]
+    fn probe_classifies_obvious_pages() {
+        let t = ThresholdPolicy::default();
+        let admit = t.max_compressed_len(4096);
+        assert!(probe_bdi(&vec![0u8; 4096], admit));
+        assert!(probe_bdi(&narrow_page(4096), admit));
+        assert!(!probe_bdi(&noise_page(4096, 3), admit));
+        assert!(!probe_bdi(&[], admit));
+        // Text pages are byte-regular but word-irregular: LZRW1 territory.
+        assert!(!probe_bdi(&text_page(4096), admit));
+    }
+
+    #[test]
+    fn adaptive_picks_bdi_on_patterns_and_lzrw1_on_text() {
+        let mut set = CodecSet::new();
+        let t = ThresholdPolicy::default();
+        let mut dst = Vec::new();
+
+        let sel = set.compress_with_policy(CodecPolicy::Adaptive, t, &narrow_page(4096), &mut dst);
+        assert_eq!(sel.codec, CodecId::Bdi);
+        assert!(sel.admitted && !sel.fell_back);
+
+        let sel = set.compress_with_policy(CodecPolicy::Adaptive, t, &text_page(4096), &mut dst);
+        assert_eq!(sel.codec, CodecId::Lzrw1);
+        assert!(sel.admitted && !sel.fell_back);
+
+        let sel =
+            set.compress_with_policy(CodecPolicy::Adaptive, t, &noise_page(4096, 9), &mut dst);
+        assert_eq!(sel.codec, CodecId::Raw);
+        assert!(!sel.admitted);
+        assert_eq!(sel.len, 4097);
+    }
+
+    #[test]
+    fn probe_miss_falls_back_to_lzrw1() {
+        // First 64 sampled words are zero, but the words between samples
+        // are wide: the probe predicts BDI, the real pass misses the
+        // bound, and adaptive must fall back — with text filler so LZRW1
+        // still admits the page.
+        let mut page = text_page(4096);
+        let mut rng = cc_util::SplitMix64::new(11);
+        for (i, w) in page.chunks_exact_mut(8).enumerate() {
+            if i % 8 == 0 {
+                w.copy_from_slice(&0u64.to_le_bytes());
+            } else if i % 8 == 1 {
+                w.copy_from_slice(&rng.next_u64().to_le_bytes());
+            }
+        }
+        let t = ThresholdPolicy::default();
+        assert!(probe_bdi(&page, t.max_compressed_len(page.len())));
+        let mut set = CodecSet::new();
+        let mut dst = Vec::new();
+        let sel = set.compress_with_policy(CodecPolicy::Adaptive, t, &page, &mut dst);
+        assert!(sel.fell_back, "expected a probe misprediction");
+        assert_ne!(sel.codec, CodecId::Bdi);
+    }
+
+    #[test]
+    fn sealed_bytes_always_decode_with_recorded_codec() {
+        let mut set = CodecSet::new();
+        let t = ThresholdPolicy::default();
+        for policy in CodecPolicy::all() {
+            for page in [
+                vec![0u8; 4096],
+                narrow_page(4096),
+                text_page(4096),
+                noise_page(4096, 17),
+                vec![],
+                vec![3u8; 7],
+            ] {
+                let mut dst = Vec::new();
+                let sel = set.compress_with_policy(policy, t, &page, &mut dst);
+                assert_eq!(sel.len, dst.len());
+                let mut out = Vec::new();
+                set.decompress(sel.codec, &dst, &mut out, page.len())
+                    .unwrap_or_else(|e| panic!("{:?}/{}: {e}", policy, sel.codec.name()));
+                assert_eq!(out, page);
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_codec_id_is_rejected_not_misdecoded() {
+        let mut set = CodecSet::new();
+        let mut dst = Vec::new();
+        let sel = set.compress_with_policy(
+            CodecPolicy::BdiOnly,
+            ThresholdPolicy::default(),
+            &narrow_page(4096),
+            &mut dst,
+        );
+        assert_eq!(sel.codec, CodecId::Bdi);
+        let mut out = Vec::new();
+        for wrong in [
+            CodecId::Lzrw1,
+            CodecId::Rle,
+            CodecId::SameFilled,
+            CodecId::Raw,
+        ] {
+            assert!(
+                set.decompress(wrong, &dst, &mut out, 4096).is_err(),
+                "{} decoded bdi bytes",
+                wrong.name()
+            );
+        }
+    }
+
+    #[test]
+    fn policy_names_parse() {
+        for p in CodecPolicy::all() {
+            assert_eq!(CodecPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(CodecPolicy::parse("gzip"), None);
+        assert_eq!(CodecPolicy::default(), CodecPolicy::Adaptive);
+    }
+}

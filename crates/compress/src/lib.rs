@@ -12,7 +12,19 @@
 //!   §2.2 (Taunton; Atkinson et al.);
 //! - [`rle::Rle`] — a trivially fast run-length codec, useful for
 //!   zero-dominated pages and as a lower bound on compression effort;
-//! - [`null::Null`] — the identity codec, the "no compression" baseline.
+//! - [`null::Null`] — the identity codec, the "no compression" baseline;
+//! - [`bdi::Bdi`] — a single-pass base+delta-immediate word-pattern codec
+//!   (Pekhimenko's BDI / CPack family): zeros, repeated words, narrow
+//!   values, and base+delta over 8-byte words, no hash table;
+//! - [`samefilled::SameFilled`] — zswap-style same-filled pages (one
+//!   repeated word) as a first-class codec.
+//!
+//! The [`codec`] module layers identity and selection on top: a stable
+//! [`CodecId`] per codec (persisted in store entries and spill extent
+//! headers so decode always uses the codec that sealed the bytes), a
+//! [`CodecPolicy`] (`lzrw1-only` / `bdi-only` / `adaptive`), the sampled
+//! [`probe_bdi`] classifier, and [`CodecSet`] — the per-thread bundle the
+//! store's put path selects from.
 //!
 //! Every codec implements [`Compressor`] and obeys the same contract:
 //! `compress` never produces more than [`Compressor::max_compressed_len`]
@@ -26,16 +38,22 @@
 
 #![warn(missing_docs)]
 
+pub mod bdi;
+pub mod codec;
 pub mod lzrw1;
 pub mod lzss;
 pub mod null;
 pub mod rle;
+pub mod samefilled;
 pub mod threshold;
 
+pub use bdi::Bdi;
+pub use codec::{codec_for, probe_bdi, Codec, CodecId, CodecPolicy, CodecSet, Selection};
 pub use lzrw1::Lzrw1;
 pub use lzss::Lzss;
 pub use null::Null;
 pub use rle::Rle;
+pub use samefilled::{expand_same_filled, same_filled_pattern, SameFilled};
 pub use threshold::{CompressDecision, ThresholdPolicy};
 
 use std::fmt;
@@ -180,6 +198,8 @@ mod tests {
             Box::new(Lzss::new()),
             Box::new(Rle::new()),
             Box::new(Null::new()),
+            Box::new(Bdi::new()),
+            Box::new(SameFilled::new()),
         ]
     }
 

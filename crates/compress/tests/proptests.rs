@@ -5,7 +5,9 @@
 //! So we hammer the roundtrip and the decoder's robustness with generated
 //! inputs, including structured ones that look like real page contents.
 
-use cc_compress::{Compressor, Lzrw1, Lzss, Null, Rle};
+use cc_compress::{
+    Bdi, CodecPolicy, CodecSet, Compressor, Lzrw1, Lzss, Null, Rle, SameFilled, ThresholdPolicy,
+};
 use proptest::prelude::*;
 
 fn codecs() -> Vec<Box<dyn Compressor>> {
@@ -15,6 +17,8 @@ fn codecs() -> Vec<Box<dyn Compressor>> {
         Box::new(Lzss::new()),
         Box::new(Rle::new()),
         Box::new(Null::new()),
+        Box::new(Bdi::new()),
+        Box::new(SameFilled::new()),
     ]
 }
 
@@ -191,5 +195,139 @@ proptest! {
         let mut out = Vec::new();
         shared.decompress(&via_shared, &mut out, second.len()).unwrap();
         prop_assert_eq!(&out, &second);
+    }
+}
+
+/// Inputs engineered against BDI's word classifier: pages that sit exactly
+/// on scheme boundaries (all-zero with one disturbed word, repeated words
+/// with a ragged tail, deltas that straddle a width class, sign flips
+/// around the base) plus plain noise that must take the stored fallback.
+fn adversarial_bdi() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // All-zero except (maybe) one word — flips zero-scheme vs delta.
+        (0usize..512, any::<bool>(), any::<u64>(), 1usize..4097).prop_map(
+            |(pos, disturb, val, len)| {
+                let mut v = vec![0u8; len];
+                if disturb {
+                    let nwords = len / 8;
+                    if nwords > 0 {
+                        let i = pos % nwords;
+                        v[i * 8..i * 8 + 8].copy_from_slice(&val.to_le_bytes());
+                    }
+                }
+                v
+            }
+        ),
+        // One repeated word, arbitrary tail bytes — rep scheme only when
+        // the tail matches the pattern's prefix.
+        (
+            any::<u64>(),
+            1usize..512,
+            proptest::collection::vec(any::<u8>(), 0..8)
+        )
+            .prop_map(|(w, n, tail)| {
+                let mut v = Vec::with_capacity(n * 8 + tail.len());
+                for _ in 0..n {
+                    v.extend_from_slice(&w.to_le_bytes());
+                }
+                v.extend_from_slice(&tail);
+                v
+            }),
+        // Base + deltas drawn to straddle width classes: some fit i8, a
+        // few spill into i16/i32, signs on both sides of the base.
+        (any::<u64>(), 1u64..1 << 32, 1usize..512, any::<u64>()).prop_map(
+            |(base, spread, n, seed)| {
+                let mut rng = cc_util::SplitMix64::new(seed | 1);
+                let mut v = Vec::with_capacity(n * 8);
+                for _ in 0..n {
+                    let d = (rng.next_u64() % (2 * spread)) as i64 - spread as i64;
+                    v.extend_from_slice(&base.wrapping_add(d as u64).to_le_bytes());
+                }
+                v
+            }
+        ),
+        // Narrow absolute values around zero (the zero-base arm).
+        (1usize..512, any::<u64>()).prop_map(|(n, seed)| {
+            let mut rng = cc_util::SplitMix64::new(seed | 1);
+            let mut v = Vec::with_capacity(n * 8);
+            for _ in 0..n {
+                let d = (rng.next_u64() % 512) as i64 - 256;
+                v.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            v
+        }),
+        // Unaligned lengths of noise: stored-fallback territory.
+        proptest::collection::vec(any::<u8>(), 0..4100),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bdi_adversarial_roundtrip(input in adversarial_bdi()) {
+        let mut bdi = Bdi::new();
+        let mut packed = Vec::new();
+        let n = bdi.compress(&input, &mut packed);
+        prop_assert!(n <= bdi.max_compressed_len(input.len()));
+        let mut out = Vec::new();
+        bdi.decompress(&packed, &mut out, input.len()).unwrap();
+        prop_assert_eq!(&out, &input);
+    }
+
+    #[test]
+    fn bdi_decoder_survives_corruption(
+        input in adversarial_bdi(),
+        flip_byte in 0usize..4200,
+        flip_bit in 0u8..8,
+        expected_skew in 0usize..128,
+    ) {
+        let mut bdi = Bdi::new();
+        let mut packed = Vec::new();
+        bdi.compress(&input, &mut packed);
+        if packed.is_empty() {
+            return Ok(());
+        }
+        let idx = flip_byte % packed.len();
+        packed[idx] ^= 1 << flip_bit;
+        let expected = (input.len() + expected_skew).saturating_sub(64);
+        let mut out = Vec::new();
+        // Detection is the extent CRC's job; the decoder's contract here
+        // is only: no panic, no wrong-length success.
+        if bdi.decompress(&packed, &mut out, expected).is_ok() {
+            prop_assert_eq!(out.len(), expected);
+        }
+    }
+
+    /// The adaptive-selection contract (whatever the probe decides): the
+    /// sealed bytes decode back byte-for-byte under the codec the
+    /// selection names, the sealed size never exceeds the policy-wide
+    /// scratch bound, and an admitted page never exceeds the threshold's
+    /// admit bound.
+    #[test]
+    fn selection_roundtrips_and_respects_bounds(
+        input in adversarial_bdi(),
+        num in 2u32..8,
+    ) {
+        let threshold = ThresholdPolicy::new(num, num - 1);
+        let mut set = CodecSet::new();
+        for policy in CodecPolicy::all() {
+            let mut packed = Vec::new();
+            let sel = set.compress_with_policy(policy, threshold, &input, &mut packed);
+            prop_assert_eq!(sel.len, packed.len());
+            prop_assert!(sel.len <= set.max_compressed_len(policy, input.len()));
+            if sel.admitted {
+                prop_assert!(
+                    sel.len <= threshold.max_compressed_len(input.len()),
+                    "admitted {} bytes over the {} admit bound under {:?}",
+                    sel.len,
+                    threshold.max_compressed_len(input.len()),
+                    policy
+                );
+            }
+            let mut out = Vec::new();
+            set.decompress(sel.codec, &packed, &mut out, input.len()).unwrap();
+            prop_assert_eq!(&out, &input, "policy {:?} codec {}", policy, sel.codec.name());
+        }
     }
 }

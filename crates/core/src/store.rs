@@ -39,10 +39,21 @@
 //!
 //! The spill path assumes the medium *lies* (see [`crate::medium`]):
 //! every extent on the file carries a self-verifying header (magic,
-//! payload length, generation, CRC-32 of the compressed payload) written
-//! at batch-commit time, so a corrupted or misdirected read is detected
-//! and surfaced as [`StoreError::Corrupt`] — never decompressed into a
-//! user page. Transient read/write failures get bounded retry with
+//! payload length, generation, codec id, and a CRC-32 covering both the
+//! header fields and the compressed payload) written at batch-commit
+//! time, so a corrupted or misdirected read is detected and surfaced as
+//! [`StoreError::Corrupt`] — never decompressed into a user page, and
+//! never decoded with a codec other than the one that sealed it.
+//!
+//! # Codec selection
+//!
+//! Each put selects a codec under [`StoreConfig::codec_policy`]
+//! (default adaptive): a cheap sampled probe classifies the page and
+//! routes word-regular pages to the single-pass BDI codec, everything
+//! else to LZRW1, with automatic fallback when the probe mispredicts.
+//! The chosen [`cc_compress::CodecId`] is recorded in the entry and
+//! sealed into any spill extent; per-codec put counts, achieved bytes,
+//! and compress/decompress latency histograms flow through telemetry. Transient read/write failures get bounded retry with
 //! exponential backoff ([`StoreConfig::with_spill_retry`]); after
 //! [`StoreConfig::degrade_after`] consecutive hard batch failures the
 //! store enters **degraded mode**: spill is disabled, eviction becomes
@@ -85,9 +96,11 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::medium::{FileMedium, SpillMedium};
-use cc_compress::{CompressDecision, Compressor, Lzrw1, ThresholdPolicy};
+use cc_compress::{
+    expand_same_filled, same_filled_pattern, CodecId, CodecPolicy, CodecSet, ThresholdPolicy,
+};
 use cc_telemetry::{Telemetry, TelemetrySpec};
-use cc_util::{crc32, LruList};
+use cc_util::{Crc32, LruList};
 
 /// Counter indices into the store's [`TelemetrySpec`] (one striped,
 /// cache-padded atomic per shard per counter — the statistics of record,
@@ -110,6 +123,13 @@ mod tstat {
     pub const DEGRADED_ENTERED: usize = 14;
     pub const DEGRADED_RECOVERED: usize = 15;
     pub const MEDIUM_PROBES: usize = 16;
+    pub const PUTS_LZRW1: usize = 17;
+    pub const PUTS_BDI: usize = 18;
+    pub const CODEC_FALLBACKS: usize = 19;
+    pub const LZRW1_IN_BYTES: usize = 20;
+    pub const LZRW1_OUT_BYTES: usize = 21;
+    pub const BDI_IN_BYTES: usize = 22;
+    pub const BDI_OUT_BYTES: usize = 23;
     pub const NAMES: &[&str] = &[
         "compressed",
         "stored_raw",
@@ -128,6 +148,13 @@ mod tstat {
         "degraded_entered",
         "degraded_recovered",
         "medium_probes",
+        "puts_lzrw1",
+        "puts_bdi",
+        "codec_fallbacks",
+        "lzrw1_in_bytes",
+        "lzrw1_out_bytes",
+        "bdi_in_bytes",
+        "bdi_out_bytes",
     ];
 }
 
@@ -140,6 +167,10 @@ mod top {
     pub const SPILL_WRITE: usize = 4;
     pub const SPILL_READ: usize = 5;
     pub const GC_PAUSE: usize = 6;
+    pub const COMPRESS_LZRW1: usize = 7;
+    pub const COMPRESS_BDI: usize = 8;
+    pub const DECOMPRESS_LZRW1: usize = 9;
+    pub const DECOMPRESS_BDI: usize = 10;
     pub const NAMES: &[&str] = &[
         "put",
         "get_memory",
@@ -148,6 +179,10 @@ mod top {
         "spill_write",
         "spill_read",
         "gc_pause",
+        "compress_lzrw1",
+        "compress_bdi",
+        "decompress_lzrw1",
+        "decompress_bdi",
     ];
 }
 
@@ -206,6 +241,14 @@ pub struct StoreConfig {
     /// Keep-compressed threshold; pages failing it are stored raw (they
     /// still count against the budget — exactly the paper's accounting).
     pub threshold: ThresholdPolicy,
+    /// Which codec(s) the put path may use. The default,
+    /// [`CodecPolicy::Adaptive`], probes each page and runs the BDI
+    /// word-pattern codec when it predicts a win, LZRW1 otherwise;
+    /// `Lzrw1Only` reproduces the paper's single-codec behavior and
+    /// `BdiOnly` is the ablation arm. The chosen codec's id is recorded
+    /// in the entry and sealed into any spill extent, so a policy change
+    /// between runs never misdecodes existing data.
+    pub codec_policy: CodecPolicy,
     /// Number of lock-striped shards, rounded up to a power of two.
     /// `0` (the default) sizes the striping to the hardware parallelism.
     pub shards: usize,
@@ -262,6 +305,7 @@ impl StoreConfig {
             memory_budget,
             spill_path: None,
             threshold: ThresholdPolicy::default(),
+            codec_policy: CodecPolicy::default(),
             shards: 0,
             spill_batch_bytes: DEFAULT_SPILL_BATCH,
             gc_dead_ratio: 0.5,
@@ -279,6 +323,14 @@ impl StoreConfig {
             spill_path: Some(path.into()),
             ..StoreConfig::in_memory(memory_budget)
         }
+    }
+
+    /// Override the codec-selection policy (see
+    /// [`StoreConfig::codec_policy`]). The bench harness sweeps
+    /// `lzrw1-only` / `adaptive` / `bdi-only` through this.
+    pub fn with_codec_policy(mut self, policy: CodecPolicy) -> Self {
+        self.codec_policy = policy;
+        self
     }
 
     /// Override the shard count (rounded up to a power of two; `1` gives
@@ -423,6 +475,22 @@ pub struct StoreStats {
     pub compressed: u64,
     /// Pages stored raw (failed the threshold).
     pub stored_raw: u64,
+    /// Admitted pages whose stored form was sealed by LZRW1.
+    pub puts_lzrw1: u64,
+    /// Admitted pages whose stored form was sealed by the BDI codec.
+    pub puts_bdi: u64,
+    /// Adaptive-policy probe mispredictions: the probe chose BDI but its
+    /// real output missed the admit bound, so LZRW1 ran as well.
+    pub codec_fallbacks: u64,
+    /// Original bytes of pages admitted under LZRW1 (with
+    /// [`StoreStats::lzrw1_out_bytes`], the codec's achieved ratio).
+    pub lzrw1_in_bytes: u64,
+    /// Sealed bytes produced by LZRW1 for admitted pages.
+    pub lzrw1_out_bytes: u64,
+    /// Original bytes of pages admitted under BDI.
+    pub bdi_in_bytes: u64,
+    /// Sealed bytes produced by BDI for admitted pages.
+    pub bdi_out_bytes: u64,
     /// Pages detected as a single repeated word and stored as an 8-byte
     /// pattern, bypassing the compressor and the memory budget.
     pub same_filled: u64,
@@ -505,6 +573,11 @@ enum Residence {
 struct Entry {
     residence: Residence,
     orig_len: u32,
+    /// [`CodecId`] (as its wire byte) that sealed this entry's bytes.
+    /// Decode always dispatches on this — never on guessing — and it is
+    /// also sealed into the spill extent header so the two can be
+    /// cross-checked after a read.
+    codec: u8,
 }
 
 /// Multiplicative hasher for the per-shard entry maps: the keys are
@@ -574,46 +647,79 @@ struct Padded<T>(T);
 struct SpillJob {
     key: u64,
     gen: u64,
+    /// Codec id byte, sealed into the extent header alongside the data.
+    codec: u8,
     data: Arc<Vec<u8>>,
 }
 
 /// Completion offset reported when the batch write itself failed.
 const SPILL_FAILED: u64 = u64::MAX;
 
-/// Magic leading every on-file extent header.
-const EXTENT_MAGIC: u32 = 0xCC5E_E001;
+/// Magic leading every on-file extent header. The low nibble is the
+/// format version: `..E001` was the PR 5 codec-less layout (20-byte
+/// header, CRC over the payload only); `..E002` added the codec id byte
+/// and widened the CRC to cover the header fields too. Old-format
+/// extents fail the magic check and surface as [`StoreError::Corrupt`]
+/// instead of being decoded with a guessed codec.
+const EXTENT_MAGIC: u32 = 0xCC5E_E002;
 
 /// Bytes of self-verifying header preceding every spilled payload:
-/// `magic: u32 | payload_len: u32 | gen: u64 | crc32(payload): u32`,
-/// all little-endian.
-const EXTENT_HEADER: usize = 20;
+/// `magic: u32 | payload_len: u32 | gen: u64 | codec: u8 | pad: [u8; 3] |
+/// crc: u32`, all little-endian. The CRC covers the first
+/// [`EXTENT_CRC_OFFSET`] header bytes *and* the payload, so a flipped
+/// codec id is a verification failure — decoding with the wrong codec is
+/// impossible by construction, not merely unlikely.
+const EXTENT_HEADER: usize = 24;
+
+/// Offset of the CRC field inside the header; everything before it is
+/// covered by the CRC.
+const EXTENT_CRC_OFFSET: usize = 20;
 
 /// Append `payload`'s extent (header + payload) to `buf`. The CRC is
 /// computed here, at batch-commit time — the last moment the writer
 /// still holds the payload bytes it is about to trust to the medium.
-fn encode_extent(buf: &mut Vec<u8>, gen: u64, payload: &[u8]) {
+fn encode_extent(buf: &mut Vec<u8>, gen: u64, codec: u8, payload: &[u8]) {
+    let start = buf.len();
     buf.extend_from_slice(&EXTENT_MAGIC.to_le_bytes());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     buf.extend_from_slice(&gen.to_le_bytes());
-    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.push(codec);
+    buf.extend_from_slice(&[0u8; 3]);
+    let mut h = Crc32::new();
+    h.update(&buf[start..start + EXTENT_CRC_OFFSET]);
+    h.update(payload);
+    buf.extend_from_slice(&h.finish().to_le_bytes());
     buf.extend_from_slice(payload);
 }
 
-/// Check `ext` (a full extent as read back) against the generation the
-/// entry map says lives there. Any mismatch — magic, length, generation,
-/// or payload CRC — means the bytes must not be decompressed.
-fn verify_extent(ext: &[u8], gen: u64) -> bool {
+/// Check `ext` (a full extent as read back) against the generation and
+/// codec id the entry map says live there. Any mismatch — magic/version,
+/// length, generation, codec, or CRC over header + payload — means the
+/// bytes must not be decompressed. The codec is checked twice over: the
+/// header byte must equal the entry's recorded id, *and* the CRC covers
+/// that byte, so neither a flipped header nor a stale entry can route
+/// the payload to the wrong decoder.
+fn verify_extent(ext: &[u8], gen: u64, codec: u8) -> bool {
     if ext.len() < EXTENT_HEADER {
         return false;
     }
     let magic = u32::from_le_bytes(ext[0..4].try_into().expect("4-byte slice"));
     let plen = u32::from_le_bytes(ext[4..8].try_into().expect("4-byte slice")) as usize;
     let hgen = u64::from_le_bytes(ext[8..16].try_into().expect("8-byte slice"));
-    let crc = u32::from_le_bytes(ext[16..20].try_into().expect("4-byte slice"));
+    let hcodec = ext[16];
+    let crc = u32::from_le_bytes(
+        ext[EXTENT_CRC_OFFSET..EXTENT_HEADER]
+            .try_into()
+            .expect("4-byte slice"),
+    );
+    let mut h = Crc32::new();
+    h.update(&ext[..EXTENT_CRC_OFFSET]);
+    h.update(&ext[EXTENT_HEADER..]);
     magic == EXTENT_MAGIC
         && hgen == gen
+        && hcodec == codec
         && plen == ext.len() - EXTENT_HEADER
-        && crc == crc32(&ext[EXTENT_HEADER..])
+        && crc == h.finish()
 }
 
 /// Backoff before retry `attempt` (1-based): `base << (attempt - 1)`,
@@ -631,46 +737,13 @@ struct Completion {
     len: u32,
 }
 
-/// Detect a page that is one 8-byte word repeated end to end (zswap's
-/// "same-filled" pages: zero pages and memset patterns). Pages shorter
-/// than a word qualify when all their bytes are equal; a tail shorter
-/// than a word must match the leading bytes of the pattern.
-fn same_filled_pattern(page: &[u8]) -> Option<u64> {
-    if page.is_empty() {
-        return None;
-    }
-    if page.len() < 8 {
-        let b = page[0];
-        return page[1..]
-            .iter()
-            .all(|&x| x == b)
-            .then_some(u64::from_ne_bytes([b; 8]));
-    }
-    let word: [u8; 8] = page[..8].try_into().expect("8-byte prefix");
-    let mut chunks = page.chunks_exact(8);
-    if !chunks.by_ref().all(|c| c == word) {
-        return None;
-    }
-    let rem = chunks.remainder();
-    (*rem == word[..rem.len()]).then_some(u64::from_ne_bytes(word))
-}
-
-/// Reconstruct a same-filled page from its pattern word.
-fn expand_same_filled(out: &mut [u8], pattern: u64) {
-    let word = pattern.to_ne_bytes();
-    let mut chunks = out.chunks_exact_mut(8);
-    for c in chunks.by_ref() {
-        c.copy_from_slice(&word);
-    }
-    let rem = chunks.into_remainder();
-    let n = rem.len();
-    rem.copy_from_slice(&word[..n]);
-}
-
-/// Scratch space reused across calls on each thread: codec state plus
-/// compression, staging, and decompression buffers.
+/// Scratch space reused across calls on each thread: the codec set
+/// (LZRW1's hash table lives here) plus compression, staging, and
+/// decompression buffers. `comp` is sized by
+/// [`CodecSet::max_compressed_len`] for the active policy on every
+/// compress — each codec's own worst case, not LZRW1's.
 struct Scratch {
-    codec: Lzrw1,
+    codecs: CodecSet,
     comp: Vec<u8>,
     stage: Vec<u8>,
     decomp: Vec<u8>,
@@ -678,7 +751,7 @@ struct Scratch {
 
 thread_local! {
     static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch {
-        codec: Lzrw1::new(),
+        codecs: CodecSet::new(),
         comp: Vec::new(),
         stage: Vec::new(),
         decomp: Vec::new(),
@@ -1071,6 +1144,7 @@ impl StoreCore {
                 Entry {
                     residence: Residence::SameFilled { pattern },
                     orig_len: page.len() as u32,
+                    codec: CodecId::SameFilled.as_u8(),
                 },
             );
             drop(shard);
@@ -1083,31 +1157,59 @@ impl StoreCore {
         }
 
         // Compress outside any lock, into this thread's reusable buffer.
-        let (len, raw) = SCRATCH.with(|c| {
+        // The policy picks the codec (probe → BDI or LZRW1), the
+        // threshold then admits or rewrites the buffer as a stored block;
+        // either way the selection names exactly the codec that sealed
+        // what sits in `comp`.
+        let timing = self.tel.timing_enabled();
+        let (sel, comp_ns) = SCRATCH.with(|c| {
             let s = &mut *c.borrow_mut();
-            let n = s.codec.compress(page, &mut s.comp);
-            match self.cfg.threshold.evaluate(page.len(), n) {
-                CompressDecision::Keep => (n, false),
-                CompressDecision::Reject => {
-                    // Stored raw, framed the same way (method byte 0).
-                    s.comp.clear();
-                    s.comp.push(0);
-                    s.comp.extend_from_slice(page);
-                    (s.comp.len(), true)
-                }
-            }
+            let ct0 = timing.then(Instant::now);
+            let sel = s.codecs.compress_with_policy(
+                self.cfg.codec_policy,
+                self.cfg.threshold,
+                page,
+                &mut s.comp,
+            );
+            (sel, ct0.map(|t| t.elapsed().as_nanos() as u64))
         });
+        let len = sel.len;
 
         let shard_idx = self.shard_index(key);
         let mut shard = self.shard(key);
         self.remove_locked(&mut shard, key);
-        if raw {
-            self.tel.count(shard_idx, tstat::STORED_RAW, 1);
-            if self.tel.timing_enabled() {
-                self.tel.event(tevent::THRESHOLD_REJECT, key, len as u64);
+        if sel.fell_back {
+            self.tel.count(shard_idx, tstat::CODEC_FALLBACKS, 1);
+        }
+        match sel.codec {
+            CodecId::Lzrw1 => {
+                self.tel.count(shard_idx, tstat::COMPRESSED, 1);
+                self.tel.count(shard_idx, tstat::PUTS_LZRW1, 1);
+                self.tel
+                    .count(shard_idx, tstat::LZRW1_IN_BYTES, page.len() as u64);
+                self.tel
+                    .count(shard_idx, tstat::LZRW1_OUT_BYTES, len as u64);
+                if let Some(ns) = comp_ns {
+                    self.tel.record(top::COMPRESS_LZRW1, ns);
+                }
             }
-        } else {
-            self.tel.count(shard_idx, tstat::COMPRESSED, 1);
+            CodecId::Bdi => {
+                self.tel.count(shard_idx, tstat::COMPRESSED, 1);
+                self.tel.count(shard_idx, tstat::PUTS_BDI, 1);
+                self.tel
+                    .count(shard_idx, tstat::BDI_IN_BYTES, page.len() as u64);
+                self.tel.count(shard_idx, tstat::BDI_OUT_BYTES, len as u64);
+                if let Some(ns) = comp_ns {
+                    self.tel.record(top::COMPRESS_BDI, ns);
+                }
+            }
+            _ => {
+                debug_assert_eq!(sel.codec, CodecId::Raw, "unexpected put codec");
+                self.tel.count(shard_idx, tstat::STORED_RAW, 1);
+                if timing {
+                    self.tel.event(tevent::THRESHOLD_REJECT, key, len as u64);
+                }
+            }
         }
 
         // Reserve budget for the new entry before publishing it. The CAS
@@ -1178,6 +1280,7 @@ impl StoreCore {
                     .send(SpillJob {
                         key,
                         gen,
+                        codec: sel.codec.as_u8(),
                         data: Arc::clone(&data),
                     })
                     .is_err()
@@ -1204,6 +1307,7 @@ impl StoreCore {
             Entry {
                 residence,
                 orig_len: page.len() as u32,
+                codec: sel.codec.as_u8(),
             },
         );
         drop(shard);
@@ -1231,6 +1335,7 @@ impl StoreCore {
                 return Ok(None);
             };
             let orig_len = entry.orig_len as usize;
+            let codec = entry.codec;
             if out.len() != orig_len {
                 return Err(StoreError::BadPageSize {
                     expected: orig_len,
@@ -1257,7 +1362,7 @@ impl StoreCore {
                     });
                     shard.lru.touch(handle);
                     drop(shard);
-                    self.decompress_staged(orig_len, out);
+                    self.decompress_staged(codec, orig_len, out);
                     self.tel.count(shard_idx, tstat::HITS_MEMORY, 1);
                     self.sample_end(top::GET_MEMORY, t0);
                     return Ok(Some(HitTier::Memory));
@@ -1265,7 +1370,7 @@ impl StoreCore {
                 Residence::Spilling { data, .. } => {
                     let data = Arc::clone(data);
                     drop(shard);
-                    self.decompress_into(&data, orig_len, out);
+                    self.decompress_into(codec, &data, orig_len, out);
                     self.tel.count(shard_idx, tstat::HITS_MEMORY, 1);
                     self.sample_end(top::GET_MEMORY, t0);
                     return Ok(Some(HitTier::Memory));
@@ -1307,7 +1412,7 @@ impl StoreCore {
                     // legitimate GC relocation took the `continue` above
                     // and never reaches here, so a failure now is real
                     // corruption — count it, never decompress it.
-                    if !self.verify_staged(gen) {
+                    if !self.verify_staged(gen, codec) {
                         self.tel.count(shard_idx, tstat::CORRUPT_DETECTED, 1);
                         if self.tel.timing_enabled() {
                             self.tel.event(tevent::CORRUPT, key, offset);
@@ -1338,7 +1443,7 @@ impl StoreCore {
                         continue;
                     }
                     self.tel.count(shard_idx, tstat::HITS_SPILL, 1);
-                    self.decompress_staged(orig_len, out);
+                    self.decompress_staged(codec, orig_len, out);
                     self.sample_end(top::GET_SPILL, t0);
                     return Ok(Some(HitTier::Spill));
                 }
@@ -1352,6 +1457,13 @@ impl StoreCore {
         StoreStats {
             compressed: self.tel.counter_sum(tstat::COMPRESSED),
             stored_raw: self.tel.counter_sum(tstat::STORED_RAW),
+            puts_lzrw1: self.tel.counter_sum(tstat::PUTS_LZRW1),
+            puts_bdi: self.tel.counter_sum(tstat::PUTS_BDI),
+            codec_fallbacks: self.tel.counter_sum(tstat::CODEC_FALLBACKS),
+            lzrw1_in_bytes: self.tel.counter_sum(tstat::LZRW1_IN_BYTES),
+            lzrw1_out_bytes: self.tel.counter_sum(tstat::LZRW1_OUT_BYTES),
+            bdi_in_bytes: self.tel.counter_sum(tstat::BDI_IN_BYTES),
+            bdi_out_bytes: self.tel.counter_sum(tstat::BDI_OUT_BYTES),
             same_filled: self.tel.counter_sum(tstat::SAME_FILLED),
             hits_memory: self.tel.counter_sum(tstat::HITS_MEMORY),
             hits_spill: self.tel.counter_sum(tstat::HITS_SPILL),
@@ -1390,12 +1502,13 @@ impl StoreCore {
         })
     }
 
-    /// Verify the staged extent against `gen`; on success strip the
-    /// header so only the payload remains staged for decompression.
-    fn verify_staged(&self, gen: u64) -> bool {
+    /// Verify the staged extent against `gen` and the entry's recorded
+    /// `codec`; on success strip the header so only the payload remains
+    /// staged for decompression.
+    fn verify_staged(&self, gen: u64, codec: u8) -> bool {
         SCRATCH.with(|c| {
             let s = &mut *c.borrow_mut();
-            if !verify_extent(&s.stage, gen) {
+            if !verify_extent(&s.stage, gen, codec) {
                 return false;
             }
             s.stage.drain(..EXTENT_HEADER);
@@ -1403,32 +1516,53 @@ impl StoreCore {
         })
     }
 
-    /// Decompress this thread's staging buffer into `out`.
-    fn decompress_staged(&self, orig_len: usize, out: &mut [u8]) {
+    /// Record a decompression latency sample on the per-codec histogram.
+    #[inline]
+    fn record_decompress(&self, codec: CodecId, t0: Option<Instant>) {
+        let Some(t0) = t0 else { return };
+        // Raw blocks are a memcpy, not a codec — they are excluded so the
+        // per-codec histograms measure real decode work.
+        let op = match codec {
+            CodecId::Bdi => top::DECOMPRESS_BDI,
+            CodecId::Lzrw1 => top::DECOMPRESS_LZRW1,
+            _ => return,
+        };
+        self.tel.record(op, t0.elapsed().as_nanos() as u64);
+    }
+
+    /// Decompress this thread's staging buffer into `out`, dispatching on
+    /// the entry's recorded codec id.
+    fn decompress_staged(&self, codec: u8, orig_len: usize, out: &mut [u8]) {
+        let id = CodecId::from_u8(codec).expect("unknown codec id in entry");
+        let t0 = self.sample_start();
         SCRATCH.with(|c| {
             let s = &mut *c.borrow_mut();
             let Scratch {
-                codec,
+                codecs,
                 stage,
                 decomp,
                 ..
             } = &mut *s;
-            codec
-                .decompress(stage, decomp, orig_len)
+            codecs
+                .decompress(id, stage, decomp, orig_len)
                 .expect("corrupt page in store");
             out.copy_from_slice(decomp);
         });
+        self.record_decompress(id, t0);
     }
 
-    fn decompress_into(&self, data: &[u8], orig_len: usize, out: &mut [u8]) {
+    fn decompress_into(&self, codec: u8, data: &[u8], orig_len: usize, out: &mut [u8]) {
+        let id = CodecId::from_u8(codec).expect("unknown codec id in entry");
+        let t0 = self.sample_start();
         SCRATCH.with(|c| {
             let s = &mut *c.borrow_mut();
-            let Scratch { codec, decomp, .. } = &mut *s;
-            codec
-                .decompress(data, decomp, orig_len)
+            let Scratch { codecs, decomp, .. } = &mut *s;
+            codecs
+                .decompress(id, data, decomp, orig_len)
                 .expect("corrupt page in store");
             out.copy_from_slice(decomp);
         });
+        self.record_decompress(id, t0);
     }
 
     fn remove_locked(&self, shard: &mut Shard, key: u64) -> bool {
@@ -1508,6 +1642,7 @@ impl StoreCore {
             return self.shed_one(shard);
         }
         let entry = shard.entries.get_mut(&victim).expect("lru/map sync");
+        let codec = entry.codec;
         let Residence::Memory { data, handle } = &mut entry.residence else {
             unreachable!("LRU entry not in memory")
         };
@@ -1525,6 +1660,7 @@ impl StoreCore {
             .send(SpillJob {
                 key: victim,
                 gen,
+                codec,
                 data,
             })
             .is_err()
@@ -1841,7 +1977,7 @@ impl SpillWriter {
     /// (with the payload CRC, computed here at commit time) + payload.
     fn stage(buf: &mut Vec<u8>, staged: &mut Vec<StagedJob>, job: SpillJob) {
         let rel = buf.len();
-        encode_extent(buf, job.gen, &job.data);
+        encode_extent(buf, job.gen, job.codec, &job.data);
         staged.push(StagedJob {
             key: job.key,
             gen: job.gen,
@@ -2073,29 +2209,186 @@ mod tests {
     #[test]
     fn extent_header_roundtrip_and_tamper_detection() {
         let payload: Vec<u8> = (0..777u32).map(|i| (i * 13 % 251) as u8).collect();
+        let codec = CodecId::Lzrw1.as_u8();
         let mut ext = Vec::new();
-        encode_extent(&mut ext, 42, &payload);
+        encode_extent(&mut ext, 42, codec, &payload);
         assert_eq!(ext.len(), EXTENT_HEADER + payload.len());
-        assert!(verify_extent(&ext, 42));
+        assert!(verify_extent(&ext, 42, codec));
         assert_eq!(&ext[EXTENT_HEADER..], &payload[..]);
         // Wrong generation: a stale or misdirected read.
-        assert!(!verify_extent(&ext, 43));
+        assert!(!verify_extent(&ext, 43, codec));
+        // Wrong codec: the entry and the extent disagree about how the
+        // payload was sealed — never decode.
+        assert!(!verify_extent(&ext, 42, CodecId::Bdi.as_u8()));
         // Truncated extent (torn write).
-        assert!(!verify_extent(&ext[..ext.len() - 1], 42));
-        assert!(!verify_extent(&ext[..EXTENT_HEADER - 1], 42));
-        // Any single bit flip, header or payload, is caught.
+        assert!(!verify_extent(&ext[..ext.len() - 1], 42, codec));
+        assert!(!verify_extent(&ext[..EXTENT_HEADER - 1], 42, codec));
+        // Any single bit flip — header (including the codec byte and its
+        // padding) or payload — is caught.
         let mut tampered = ext.clone();
         for byte in 0..ext.len() {
             for bit in 0..8 {
                 tampered[byte] ^= 1 << bit;
                 assert!(
-                    !verify_extent(&tampered, 42),
+                    !verify_extent(&tampered, 42, codec),
                     "flip at {byte}:{bit} undetected"
                 );
                 tampered[byte] ^= 1 << bit;
             }
         }
         assert_eq!(tampered, ext);
+    }
+
+    /// Regression (format versioning): a PR 5-era extent — 20-byte header
+    /// without a codec id, CRC over the payload only, magic `..E001` —
+    /// must be rejected outright, not misdecoded with a guessed codec.
+    #[test]
+    fn old_format_extent_is_rejected_as_corrupt() {
+        let payload: Vec<u8> = (0..777u32).map(|i| (i * 13 % 251) as u8).collect();
+        let gen = 42u64;
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&0xCC5E_E001u32.to_le_bytes());
+        v1.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        v1.extend_from_slice(&gen.to_le_bytes());
+        v1.extend_from_slice(&cc_util::crc32(&payload).to_le_bytes());
+        v1.extend_from_slice(&payload);
+        for codec in 0..=u8::MAX {
+            assert!(
+                !verify_extent(&v1, gen, codec),
+                "v1 extent accepted under codec {codec}"
+            );
+        }
+    }
+
+    /// A page of 8-byte words clustered near one base — the BDI sweet
+    /// spot (pointer-array-like data that LZRW1 handles poorly).
+    fn bdi_page(tag: u8) -> Vec<u8> {
+        let base = 0x7f00_dead_0000u64 + ((tag as u64) << 16);
+        let mut p = Vec::with_capacity(4096);
+        for i in 0..512u64 {
+            p.extend_from_slice(&(base + (i * 37 + tag as u64 * 11) % 120).to_le_bytes());
+        }
+        p
+    }
+
+    #[test]
+    fn adaptive_policy_routes_bdi_pages_and_falls_back() {
+        let store = CompressedStore::new(StoreConfig::in_memory(1 << 20));
+        assert_eq!(store.core.cfg.codec_policy, CodecPolicy::Adaptive);
+        let mut out = vec![0u8; 4096];
+        // Word-patterned pages go through BDI...
+        for k in 0..16u64 {
+            store.put(k, &bdi_page(k as u8)).unwrap();
+        }
+        // ...while byte-ramp pages (not BDI-able) take LZRW1.
+        for k in 16..32u64 {
+            store.put(k, &page(k as u8)).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.puts_bdi, 16, "{s:?}");
+        assert_eq!(s.puts_lzrw1, 16, "{s:?}");
+        // BDI packs 512 clustered words into ~523 bytes.
+        assert!(s.bdi_out_bytes < s.bdi_in_bytes / 4, "{s:?}");
+        for k in 0..16u64 {
+            assert!(store.get(k, &mut out).unwrap());
+            assert_eq!(out, bdi_page(k as u8), "key {k}");
+        }
+        for k in 16..32u64 {
+            assert!(store.get(k, &mut out).unwrap());
+            assert_eq!(out, page(k as u8), "key {k}");
+        }
+    }
+
+    #[test]
+    fn codec_policy_pins_the_codec() {
+        let mut out = vec![0u8; 4096];
+        // lzrw1-only never runs BDI, even on its best-case input.
+        let store = CompressedStore::new(
+            StoreConfig::in_memory(1 << 20).with_codec_policy(CodecPolicy::Lzrw1Only),
+        );
+        for k in 0..8u64 {
+            store.put(k, &bdi_page(k as u8)).unwrap();
+        }
+        let s = store.stats();
+        assert_eq!(s.puts_bdi, 0, "{s:?}");
+        assert!(s.puts_lzrw1 + s.stored_raw == 8, "{s:?}");
+        for k in 0..8u64 {
+            assert!(store.get(k, &mut out).unwrap());
+            assert_eq!(out, bdi_page(k as u8), "key {k}");
+        }
+        // bdi-only runs BDI everywhere; non-BDI-able pages degrade to
+        // stored-raw inside the BDI stream but still roundtrip.
+        let store = CompressedStore::new(
+            StoreConfig::in_memory(1 << 20).with_codec_policy(CodecPolicy::BdiOnly),
+        );
+        for k in 0..8u64 {
+            store.put(k, &bdi_page(k as u8)).unwrap();
+        }
+        store.put(99, &page(7)).unwrap();
+        let s = store.stats();
+        assert_eq!(s.puts_lzrw1, 0, "{s:?}");
+        assert_eq!(s.puts_bdi, 8, "{s:?}");
+        for k in 0..8u64 {
+            assert!(store.get(k, &mut out).unwrap());
+            assert_eq!(out, bdi_page(k as u8), "key {k}");
+        }
+        assert!(store.get(99, &mut out).unwrap());
+        assert_eq!(out, page(7));
+    }
+
+    #[test]
+    fn codec_id_survives_spill_and_gc() {
+        let (dir, path) = temp_path("codecid");
+        {
+            // Tiny budget + tiny batches + aggressive GC: BDI-sealed
+            // extents are spilled, relocated by compaction, and must still
+            // decode with the codec recorded at seal time.
+            let store = CompressedStore::new(
+                StoreConfig::with_spill(4 * 1024, &path)
+                    .with_spill_batch_bytes(2 * 1024)
+                    .with_gc_dead_ratio(0.3),
+            );
+            const KEYS: u64 = 24;
+            let mut last_round = 0u64;
+            for round in 0..200u64 {
+                for k in 0..KEYS {
+                    // Mix codecs so relocated batches carry both ids.
+                    if k % 2 == 0 {
+                        store.put(k, &bdi_page((k + round) as u8)).unwrap();
+                    } else {
+                        store.put(k, &page((k + round) as u8)).unwrap();
+                    }
+                }
+                last_round = round;
+                if round >= 39 {
+                    store.flush().unwrap();
+                    if store.stats().gc_runs > 0 {
+                        break;
+                    }
+                }
+            }
+            let s = store.stats();
+            assert!(s.gc_runs > 0, "churn never triggered GC: {s:?}");
+            assert!(s.puts_bdi > 0 && s.puts_lzrw1 > 0, "{s:?}");
+            let mut out = vec![0u8; 4096];
+            let mut disk_hits = 0;
+            for k in 0..KEYS {
+                let tier = store.get_tier(k, &mut out).unwrap();
+                assert!(tier.is_some(), "key {k} lost");
+                let want = if k % 2 == 0 {
+                    bdi_page((k + last_round) as u8)
+                } else {
+                    page((k + last_round) as u8)
+                };
+                assert_eq!(out, want, "key {k} corrupted");
+                if tier == Some(HitTier::Spill) {
+                    disk_hits += 1;
+                }
+            }
+            assert!(disk_hits > 0, "nothing read back from disk: {s:?}");
+            assert_eq!(store.stats().corrupt_detected, 0);
+        }
+        cleanup(dir, path);
     }
 
     #[test]

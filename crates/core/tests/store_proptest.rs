@@ -1,5 +1,6 @@
 //! Property tests of the standalone `CompressedStore` against a model.
 
+use cc_compress::CodecPolicy;
 use cc_core::store::{CompressedStore, StoreConfig};
 use cc_util::SplitMix64;
 use proptest::prelude::*;
@@ -15,6 +16,9 @@ enum Fill {
     Noise,
     /// A single repeated word (exercises the same-filled fast path).
     Same,
+    /// 8-byte words clustered near one base (exercises the BDI codec
+    /// under the default adaptive policy).
+    Words,
 }
 
 #[derive(Debug, Clone)]
@@ -29,6 +33,7 @@ fn op() -> impl Strategy<Value = Op> {
         3 => Just(Fill::Text),
         2 => Just(Fill::Noise),
         1 => Just(Fill::Same),
+        2 => Just(Fill::Words),
     ];
     prop_oneof![
         3 => (any::<u8>(), any::<u16>(), fill).prop_map(|(key, seed, fill)| Op::Put {
@@ -59,6 +64,14 @@ fn page_for(seed: u16, fill: Fill) -> Vec<u8> {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .to_ne_bytes();
             word.iter().copied().cycle().take(PAGE).collect()
+        }
+        Fill::Words => {
+            let base = 0x5000_0000_0000u64 ^ ((seed as u64) << 24);
+            let mut p = Vec::with_capacity(PAGE);
+            for i in 0..(PAGE as u64 / 8) {
+                p.extend_from_slice(&(base + (i * 7 + seed as u64) % 200).to_le_bytes());
+            }
+            p
         }
     }
 }
@@ -126,6 +139,33 @@ proptest! {
         {
             // Budget of ~4 compressed pages forces constant spilling.
             let store = CompressedStore::new(StoreConfig::with_spill(4 * PAGE, &path));
+            run_ops(&store, &ops)?;
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Every codec policy matches the model: whatever lzrw1-only /
+    /// bdi-only / adaptive selects per page, gets return exact bytes
+    /// across memory and spill tiers.
+    #[test]
+    fn every_codec_policy_matches_model(
+        ops in proptest::collection::vec(op(), 1..100),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = CodecPolicy::all()[policy_idx];
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "ccstore-polprop-{}-{:x}.bin",
+            std::process::id(),
+            ops.len() as u64 ^ (std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos() as u64)
+        ));
+        {
+            let store = CompressedStore::new(
+                StoreConfig::with_spill(4 * PAGE, &path).with_codec_policy(policy),
+            );
             run_ops(&store, &ops)?;
         }
         let _ = std::fs::remove_file(&path);

@@ -568,13 +568,37 @@ impl Reactor {
             }
         }
 
-        let flushed = match conn.wire.flush_to(&mut conn.stream) {
-            Ok(done) => done,
-            Err(_) => {
-                self.close(token, CloseReason::Error);
-                return;
+        // Flush, then re-drain: flushing can drop pending output back
+        // below the backpressure cap while complete frames sit parked
+        // in the read buffer. The peer may have nothing left to send,
+        // so no further readable event will arrive — parsing must
+        // resume here or the connection stalls. Loop until parsing
+        // makes no progress (partial frame) or the cap is hit again.
+        let mut flushed;
+        loop {
+            flushed = match conn.wire.flush_to(&mut conn.stream) {
+                Ok(done) => done,
+                Err(_) => {
+                    self.close(token, CloseReason::Error);
+                    return;
+                }
+            };
+            if conn.close_after_flush.is_some()
+                || !conn.wire.has_unparsed()
+                || conn.wire.pending_out() > WRITE_BACKPRESSURE
+            {
+                break;
             }
-        };
+            let before = conn.wire.requests();
+            if let Some(reason) = conn
+                .wire
+                .drain_requests(service, cfg, conn.conn_id, scratch)
+            {
+                conn.close_after_flush = Some(reason);
+            } else if conn.wire.requests() == before {
+                break;
+            }
+        }
         conn.wire.housekeeping(cfg.buffer_high_water);
 
         if flushed {

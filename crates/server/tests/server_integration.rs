@@ -688,13 +688,40 @@ fn stats_is_scrapeable_prometheus() {
         fill_page(key, key + 1, &mut page);
         client.put(key, &page).expect("put");
     }
+    // One word-patterned page routes through the BDI codec under the
+    // default adaptive policy, so the per-codec counters are live.
+    for (i, w) in page.chunks_exact_mut(8).enumerate() {
+        w.copy_from_slice(&(0x4400_0000_0000u64 + (i as u64 * 3) % 90).to_le_bytes());
+    }
+    client.put(64, &page).expect("put bdi page");
     let mut out = Vec::new();
     client.get(3, &mut out).expect("get");
+    client.get(64, &mut out).expect("get bdi page");
+    assert_eq!(out, page, "bdi page corrupted over the wire");
     let text = client.stats().expect("stats");
 
     assert!(text.contains("cc_store_compressed_total"), "{text}");
-    assert!(text.contains("cc_server_req_put_total 64"), "{text}");
-    assert!(text.contains("cc_server_req_get_total 1"), "{text}");
+    assert!(text.contains("cc_server_req_put_total 65"), "{text}");
+    assert!(text.contains("cc_server_req_get_total 2"), "{text}");
+    // Per-codec routing counters and latency histograms are part of the
+    // STATS surface, and the sweep above exercised both codecs.
+    assert!(text.contains("cc_store_puts_bdi_total 1"), "{text}");
+    assert!(text.contains("cc_store_codec_fallbacks_total"), "{text}");
+    assert!(
+        text.contains("cc_store_compress_lzrw1_latency_ns"),
+        "{text}"
+    );
+    assert!(text.contains("cc_store_compress_bdi_latency_ns"), "{text}");
+    assert!(
+        text.contains("cc_store_decompress_bdi_latency_ns"),
+        "{text}"
+    );
+    let puts_lzrw1 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("cc_store_puts_lzrw1_total "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("cc_store_puts_lzrw1_total missing");
+    assert!(puts_lzrw1 > 0, "no puts routed to lzrw1: {text}");
     for line in text
         .lines()
         .filter(|l| !l.starts_with('#') && !l.is_empty())

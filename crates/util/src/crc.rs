@@ -32,11 +32,50 @@ const fn build_table() -> [u32; 256] {
 
 /// CRC-32 of `data` (full message; init `0xFFFF_FFFF`, final xor-out).
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finish()
+}
+
+/// Incremental CRC-32 over a message supplied in pieces.
+///
+/// The spill extent header checksums discontiguous regions (the header
+/// prefix and then the payload, with the CRC field itself sitting between
+/// them on disk), so the one-shot [`crc32`] is not enough: feed each region
+/// with [`Crc32::update`] and read the digest with [`Crc32::finish`].
+/// Feeding the same bytes in any split produces the same value as one
+/// contiguous [`crc32`] call.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh digest (init `0xFFFF_FFFF`).
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
     }
-    !crc
+
+    /// Absorb the next region of the message.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final digest (applies the final xor-out; the hasher may keep
+    /// absorbing afterwards — `finish` does not consume it).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
 }
 
 #[cfg(test)]
@@ -50,6 +89,24 @@ mod tests {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
         assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_for_every_split() {
+        let base: Vec<u8> = (0..129u32).map(|i| (i * 131 % 251) as u8).collect();
+        let want = crc32(&base);
+        for split in 0..=base.len() {
+            let mut h = Crc32::new();
+            h.update(&base[..split]);
+            h.update(&base[split..]);
+            assert_eq!(h.finish(), want, "split at {split}");
+        }
+        // Three-way split with an empty middle piece.
+        let mut h = Crc32::new();
+        h.update(&base[..40]);
+        h.update(&[]);
+        h.update(&base[40..]);
+        assert_eq!(h.finish(), want);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod rng;
 pub mod slab;
 pub mod time;
 
-pub use crc::crc32;
+pub use crc::{crc32, Crc32};
 pub use hist::Histogram;
 pub use lru::{LruHandle, LruList};
 pub use rng::SplitMix64;
