@@ -57,9 +57,11 @@
 //! runs it on every push next to `storebench --smoke`.
 
 use cc_bench::smoke;
+use cc_core::medium::{Fault, FaultInjector, FaultPlan, FileMedium};
 use cc_core::store::{CompressedStore, StoreConfig};
 use cc_server::proto::Request;
 use cc_server::{Client, ClientError, Pipeline, Server, ServerBackend, ServerConfig};
+use cc_telemetry::trace::{orphan_spans, Tracer};
 use cc_telemetry::Snapshot;
 use cc_util::SplitMix64;
 use std::collections::HashMap;
@@ -651,6 +653,158 @@ fn stats_counter(stats: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+// ---------------------------------------------------------------------
+// Request tracing (`--trace`)
+// ---------------------------------------------------------------------
+
+/// What the `--trace` run measured, for the JSON `trace` section and
+/// the smoke gates.
+struct TraceInfo {
+    sample_every: u64,
+    sampled_spans: u64,
+    wrapped: bool,
+    orphans: usize,
+    dumps_auto: u64,
+    /// The on-demand DUMP fetched over the wire parsed as a recorder
+    /// document.
+    wire_dump_ok: bool,
+    overhead: TraceOverhead,
+    /// Automatic dumps produced by the injected-fault trial.
+    fault_dumps: u64,
+    /// Trace id on the dedicated exemplar trial's GET max.
+    max_exemplar_trace: u64,
+    /// That trace id appeared as a dumped trace in the DUMP payload.
+    exemplar_resolved: bool,
+}
+
+/// Throughput cost of tracing at the default sampling rate: the same
+/// interleaved best-of-3 construction as the storebench telemetry
+/// gate, so machine noise hits both configurations alike.
+struct TraceOverhead {
+    ops_per_sec_on: f64,
+    ops_per_sec_off: f64,
+    overhead_pct: f64,
+}
+
+/// One probe trial: a fresh single-worker server (traced or not), one
+/// closed-loop client, client-observed throughput.
+fn trace_probe_trial(ops: u64, zipf: &Zipf, traced: bool) -> f64 {
+    let mut cfg = StoreConfig::in_memory(BUDGET);
+    if traced {
+        // Default sampling (1-in-64) — the rate the overhead budget is
+        // defined at.
+        cfg = cfg.with_tracer(Arc::new(
+            Tracer::builder()
+                .ring_capacity(1 << 13)
+                .sink_memory()
+                .build(),
+        ));
+    }
+    let store = Arc::new(CompressedStore::new(cfg));
+    let server = Server::spawn(
+        store,
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(1),
+    )
+    .expect("spawn probe server");
+    let addr = server.local_addr();
+    let start = Instant::now();
+    let r = run_client(addr, 0, ops, zipf).expect("probe client");
+    let rate = r.ops as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    server.shutdown();
+    rate
+}
+
+fn run_trace_overhead_probe(ops: u64, zipf: &Zipf) -> TraceOverhead {
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    for _ in 0..3 {
+        best_off = best_off.max(trace_probe_trial(ops, zipf, false));
+        best_on = best_on.max(trace_probe_trial(ops, zipf, true));
+    }
+    TraceOverhead {
+        ops_per_sec_on: best_on,
+        ops_per_sec_off: best_off,
+        overhead_pct: ((1.0 - best_on / best_off.max(1.0)) * 100.0).max(0.0),
+    }
+}
+
+/// Injected-fault trial: a store whose medium corrupts every spill
+/// read must trip the flight recorder — the anomaly fires at the CRC
+/// failure and auto-dumps. Returns the number of dumps written. The
+/// fault script keys on the global medium-operation index (read faults
+/// at write indices pass through harmlessly), so the trial is
+/// deterministic regardless of writer scheduling.
+fn trace_fault_trial() -> u64 {
+    let tracer = Arc::new(Tracer::builder().sample_every(1).sink_memory().build());
+    let path = std::env::temp_dir().join(format!("loadgen-trace-fault-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let plan = FaultPlan {
+        script: (0..4096).map(|i| (i, Fault::ReadCorrupt)).collect(),
+        ..FaultPlan::quiet()
+    };
+    let medium = FaultInjector::new(FileMedium::create(&path).expect("spill file"), plan);
+    let store = CompressedStore::with_medium(
+        StoreConfig::with_spill(16 << 10, &path).with_tracer(Arc::clone(&tracer)),
+        Arc::new(medium),
+    );
+    let mut page = vec![0u8; PAGE];
+    for key in 0..64u64 {
+        fill_page(key, 1, &mut page);
+        store
+            .put_traced(key, &page, tracer.sample())
+            .expect("fault-trial put");
+    }
+    store.flush().expect("fault-trial flush");
+    let mut out = vec![0u8; PAGE];
+    for key in 0..64u64 {
+        // The first spilled entry surfaces the corruption; stop there.
+        if store.get_traced(key, &mut out, tracer.sample()).is_err() {
+            break;
+        }
+    }
+    store.shutdown();
+    let _ = std::fs::remove_file(&path);
+    tracer.dumps_written()
+}
+
+/// Exemplar trial: every request sampled and the rings sized to hold
+/// the whole run, so the wire GET histogram's max exemplar must carry a
+/// trace id that resolves inside the DUMP payload fetched over the
+/// wire. Returns `(max_trace, resolved)`.
+fn trace_exemplar_trial() -> (u64, bool) {
+    let tracer = Arc::new(
+        Tracer::builder()
+            .sample_every(1)
+            .ring_capacity(1 << 13)
+            .sink_memory()
+            .build(),
+    );
+    let store = Arc::new(CompressedStore::new(
+        StoreConfig::in_memory(8 << 20).with_tracer(Arc::clone(&tracer)),
+    ));
+    let server = Server::spawn(
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(2),
+    )
+    .expect("spawn exemplar server");
+    let mut client = Client::connect(server.local_addr()).expect("exemplar connect");
+    let mut page = vec![0u8; PAGE];
+    let mut out = Vec::with_capacity(PAGE);
+    for key in 0..256u64 {
+        fill_page(key, 1, &mut page);
+        client.put(key, &page).expect("exemplar put");
+        client.get(key, &mut out).expect("exemplar get");
+    }
+    let dump = client.dump().expect("exemplar DUMP");
+    let snap = server.service().snapshot();
+    server.shutdown();
+    let max_trace = snap.op("get").map_or(0, |s| s.max_trace);
+    let resolved = max_trace != 0 && dump.contains(&format!("\"trace_id\": {max_trace}"));
+    (max_trace, resolved)
+}
+
 fn main() {
     let mut threads: usize = 4;
     let mut ops_per_thread: u64 = 50_000;
@@ -659,6 +813,7 @@ fn main() {
     let mut backend = ServerBackend::Threaded;
     let mut pipeline_window: usize = 0;
     let mut sweep_conns: usize = 0;
+    let mut trace_mode = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -704,9 +859,10 @@ fn main() {
                 threads = 4;
                 ops_per_thread = 10_000;
             }
+            "--trace" => trace_mode = true,
             other => {
                 eprintln!(
-                    "unknown arg: {other}\nusage: loadgen [--threads N] [--ops N] [--backend threaded|evented|evented-poll] [--pipeline W] [--conns N] [--out PATH] [--smoke]"
+                    "unknown arg: {other}\nusage: loadgen [--threads N] [--ops N] [--backend threaded|evented|evented-poll] [--pipeline W] [--conns N] [--trace] [--out PATH] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -715,10 +871,23 @@ fn main() {
     let threads = threads.max(1);
 
     let spill_path = std::env::temp_dir().join(format!("loadgen-spill-{}.bin", std::process::id()));
-    let store = Arc::new(CompressedStore::new(StoreConfig::with_spill(
-        BUDGET,
-        &spill_path,
-    )));
+    // `--trace`: the store (and through it the server) samples requests
+    // into the flight recorder at the default 1-in-64 rate; stripes
+    // match the worker count so span recording stays uncontended.
+    let tracer = trace_mode.then(|| {
+        Arc::new(
+            Tracer::builder()
+                .stripes(threads + 1)
+                .ring_capacity(1 << 13)
+                .sink_memory()
+                .build(),
+        )
+    });
+    let mut store_cfg = StoreConfig::with_spill(BUDGET, &spill_path);
+    if let Some(t) = &tracer {
+        store_cfg = store_cfg.with_tracer(Arc::clone(t));
+    }
+    let store = Arc::new(CompressedStore::new(store_cfg));
     let server = Server::spawn(
         Arc::clone(&store),
         "127.0.0.1:0",
@@ -775,6 +944,13 @@ fn main() {
         c.stats().expect("stats")
     };
 
+    // With tracing on, also pull the flight recorder over the wire: the
+    // DUMP opcode must answer a recorder document mid-run.
+    let wire_dump = tracer.as_ref().map(|_| {
+        let mut c = Client::connect(addr).expect("dump connection");
+        c.dump().expect("DUMP")
+    });
+
     let busy_seen = if smoke_mode || backend != ServerBackend::Threaded {
         // The smoke gate requires zero rejected frames, so the probe
         // (which manufactures one) only runs in full mode; the probe's
@@ -823,6 +999,57 @@ fn main() {
             }
         );
     }
+
+    // Trace plane: span accounting from the main run, then the three
+    // dedicated trials (overhead probe, injected-fault dump, exemplar
+    // resolution) on their own fresh servers.
+    let trace_info = tracer.as_ref().map(|t| {
+        let spans = t.spans();
+        let wrapped = t.wrapped();
+        let orphans = if wrapped { 0 } else { orphan_spans(&spans) };
+        let wire_dump_ok = wire_dump
+            .as_deref()
+            .is_some_and(|d| d.contains("\"reason\": \"on-demand\""));
+        eprintln!(
+            "  trace: 1-in-{} sampling, {} spans recorded{}, {} orphan(s), {} auto dump(s), wire DUMP {}",
+            t.sample_rate(),
+            t.spans_recorded(),
+            if wrapped { " (rings wrapped)" } else { "" },
+            orphans,
+            t.dumps_written(),
+            if wire_dump_ok { "ok" } else { "BAD" },
+        );
+        let probe_ops = (ops_per_thread / 2).max(2_000);
+        let overhead = run_trace_overhead_probe(probe_ops, &zipf);
+        eprintln!(
+            "  trace overhead: {:.2}% ({:.0} ops/s traced vs {:.0} ops/s untraced, interleaved best-of-3)",
+            overhead.overhead_pct, overhead.ops_per_sec_on, overhead.ops_per_sec_off,
+        );
+        let fault_dumps = trace_fault_trial();
+        let (max_exemplar_trace, exemplar_resolved) = trace_exemplar_trial();
+        eprintln!(
+            "  trace trials: injected corruption wrote {} dump(s); GET max exemplar trace {:#x} {}",
+            fault_dumps,
+            max_exemplar_trace,
+            if exemplar_resolved {
+                "resolved in the wire DUMP"
+            } else {
+                "NOT resolved"
+            },
+        );
+        TraceInfo {
+            sample_every: t.sample_rate(),
+            sampled_spans: t.spans_recorded(),
+            wrapped,
+            orphans,
+            dumps_auto: t.dumps_written(),
+            wire_dump_ok,
+            overhead,
+            fault_dumps,
+            max_exemplar_trace,
+            exemplar_resolved,
+        }
+    });
 
     // Connection-count A/B sweep: threaded vs evented at increasing
     // open-connection levels.
@@ -881,8 +1108,26 @@ fn main() {
         ),
         None => String::new(),
     };
+    let trace_json = match &trace_info {
+        Some(ti) => format!(
+            ",\n  \"trace\": {{\n    \"sample_every\": {},\n    \"sampled_spans\": {},\n    \"rings_wrapped\": {},\n    \"orphan_spans\": {},\n    \"dumps_auto\": {},\n    \"wire_dump_ok\": {},\n    \"overhead\": {{\"ops_per_sec_traced\": {:.0}, \"ops_per_sec_untraced\": {:.0}, \"overhead_pct\": {:.2}}},\n    \"fault_trial_dumps\": {},\n    \"max_exemplar_trace\": {},\n    \"exemplar_resolved\": {}\n  }}",
+            ti.sample_every,
+            ti.sampled_spans,
+            ti.wrapped,
+            ti.orphans,
+            ti.dumps_auto,
+            ti.wire_dump_ok,
+            ti.overhead.ops_per_sec_on,
+            ti.overhead.ops_per_sec_off,
+            ti.overhead.overhead_pct,
+            ti.fault_dumps,
+            ti.max_exemplar_trace,
+            ti.exemplar_resolved,
+        ),
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"loadgen\",\n  \"backend\": \"{}\",\n  \"pipeline_window\": {pipeline_window},\n  \"threads\": {threads},\n  \"ops_per_thread\": {ops_per_thread},\n  \"keys_per_thread\": {KEYS_PER_THREAD},\n  \"zipf_s\": {ZIPF_S},\n  \"page_size\": {PAGE},\n  \"budget_bytes\": {BUDGET},\n  \"mix\": \"50% put / 40% get / 10% del\",\n  \"elapsed_s\": {elapsed:.3},\n  \"ops_per_sec\": {ops_per_sec:.0},\n  \"gets_hit\": {},\n  \"gets_miss\": {},\n  \"integrity_mismatches\": {},\n  \"tag_mismatches\": {},\n  \"hard_errors\": {},\n  \"ops\": {{\n    \"put\": {},\n    \"get\": {},\n    \"del\": {},\n    \"flush\": {},\n    \"stats\": {},\n    \"ping\": {}\n  }},\n  \"wire\": {{\n    \"req_put\": {},\n    \"req_get\": {},\n    \"req_del\": {},\n    \"conns_opened\": {},\n    \"conns_closed\": {},\n    \"busy_rejected\": {},\n    \"malformed_frames\": {},\n    \"idle_timeouts\": {}\n  }},\n  \"tier_split\": {{\"hits_memory\": {hits_memory}, \"hits_spill\": {hits_spill}, \"misses\": {misses}}},\n  \"saturation_probe_busy\": {}{ab_json},\n  \"note\": \"closed-loop loopback load against the in-process cc-server; every GET verified byte-for-byte against a per-thread shadow model (integrity_mismatches must be 0; tag_mismatches counts pipelined responses whose tag was duplicate, unknown, or lost). ops.* are the server's own per-opcode wire latency histograms in nanoseconds; tier_split is parsed from the STATS Prometheus payload fetched over the wire; saturation_probe_busy records whether an extra connection beyond the worker pool was answered BUSY (threaded full mode only); ab_sweep (when present) holds the per-backend connection-count ladder — client-observed hot-path latency with the remaining connections open-and-idle — and the threaded-vs-evented verdict.\"\n}}\n",
+        "{{\n  \"benchmark\": \"loadgen\",\n  \"backend\": \"{}\",\n  \"pipeline_window\": {pipeline_window},\n  \"threads\": {threads},\n  \"ops_per_thread\": {ops_per_thread},\n  \"keys_per_thread\": {KEYS_PER_THREAD},\n  \"zipf_s\": {ZIPF_S},\n  \"page_size\": {PAGE},\n  \"budget_bytes\": {BUDGET},\n  \"mix\": \"50% put / 40% get / 10% del\",\n  \"elapsed_s\": {elapsed:.3},\n  \"ops_per_sec\": {ops_per_sec:.0},\n  \"gets_hit\": {},\n  \"gets_miss\": {},\n  \"integrity_mismatches\": {},\n  \"tag_mismatches\": {},\n  \"hard_errors\": {},\n  \"ops\": {{\n    \"put\": {},\n    \"get\": {},\n    \"del\": {},\n    \"flush\": {},\n    \"stats\": {},\n    \"ping\": {}\n  }},\n  \"wire\": {{\n    \"req_put\": {},\n    \"req_get\": {},\n    \"req_del\": {},\n    \"conns_opened\": {},\n    \"conns_closed\": {},\n    \"busy_rejected\": {},\n    \"malformed_frames\": {},\n    \"idle_timeouts\": {}\n  }},\n  \"tier_split\": {{\"hits_memory\": {hits_memory}, \"hits_spill\": {hits_spill}, \"misses\": {misses}}},\n  \"saturation_probe_busy\": {}{ab_json}{trace_json},\n  \"note\": \"closed-loop loopback load against the in-process cc-server; every GET verified byte-for-byte against a per-thread shadow model (integrity_mismatches must be 0; tag_mismatches counts pipelined responses whose tag was duplicate, unknown, or lost). ops.* are the server's own per-opcode wire latency histograms in nanoseconds; tier_split is parsed from the STATS Prometheus payload fetched over the wire; saturation_probe_busy records whether an extra connection beyond the worker pool was answered BUSY (threaded full mode only); ab_sweep (when present) holds the per-backend connection-count ladder — client-observed hot-path latency with the remaining connections open-and-idle — and the threaded-vs-evented verdict; trace (when present, from --trace) holds the flight-recorder accounting — main-run span sampling, the interleaved traced-vs-untraced overhead probe, the injected-corruption dump trial, and whether the GET max-latency exemplar's trace id resolved inside the on-wire DUMP payload.\"\n}}\n",
         backend.name(),
         total.gets_hit,
         total.gets_miss,
@@ -996,6 +1241,42 @@ fn main() {
             if !p99_ratio.is_nan() && *p99_ratio > 2.0 {
                 failures.push(format!(
                     "sweep: evented p99 is {p99_ratio:.2}x threaded at equal connection count (gate: 2x)"
+                ));
+            }
+        }
+        // Trace gates: sampling must stay within its overhead budget,
+        // every sampled span must resolve its parent, anomalies must
+        // dump, and the tail exemplar must name a dumped trace.
+        if let Some(ti) = &trace_info {
+            if !ti.wrapped && ti.orphans > 0 {
+                failures.push(format!(
+                    "trace: {} orphan span(s) — sampled requests lost part of their tree",
+                    ti.orphans
+                ));
+            }
+            if ti.sampled_spans == 0 {
+                failures.push("trace: the run recorded no spans at all".into());
+            }
+            if !ti.wire_dump_ok {
+                failures.push("trace: the DUMP opcode did not answer a recorder document".into());
+            }
+            if ti.overhead.overhead_pct > 5.0 {
+                failures.push(format!(
+                    "trace: overhead {:.2}% exceeds the 5% budget ({:.0} ops/s traced vs {:.0} ops/s untraced)",
+                    ti.overhead.overhead_pct,
+                    ti.overhead.ops_per_sec_on,
+                    ti.overhead.ops_per_sec_off
+                ));
+            }
+            if ti.fault_dumps == 0 {
+                failures.push(
+                    "trace: injected spill corruption produced no flight-recorder dump".into(),
+                );
+            }
+            if !ti.exemplar_resolved {
+                failures.push(format!(
+                    "trace: GET max exemplar trace {:#x} did not resolve to a dumped trace",
+                    ti.max_exemplar_trace
                 ));
             }
         }

@@ -99,6 +99,7 @@ use crate::medium::{FileMedium, SpillMedium};
 use cc_compress::{
     expand_same_filled, same_filled_pattern, CodecId, CodecPolicy, CodecSet, ThresholdPolicy,
 };
+use cc_telemetry::trace::{sop, tier as strier, AnomalyKind, Span, TraceCtx, Tracer};
 use cc_telemetry::{Telemetry, TelemetrySpec};
 use cc_util::{Crc32, LruList};
 
@@ -281,6 +282,13 @@ pub struct StoreConfig {
     /// write/read round-trip at this interval, re-enabling spill on
     /// success. Default 50 ms.
     pub probe_interval: Duration,
+    /// Optional request tracer / flight recorder. When set, sampled
+    /// requests record causal spans (put/get, compress, spill queue +
+    /// write, spill read, GC) and store anomalies (corruption,
+    /// degraded-mode entry, long GC pauses) trigger automatic dumps.
+    /// Share the same instance with the server (the service picks it up
+    /// from the store) so one trace covers wire and store.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 /// The paper's §4.3 write-back batch size.
@@ -314,6 +322,7 @@ impl StoreConfig {
             spill_retry_base: DEFAULT_RETRY_BASE,
             degrade_after: DEFAULT_DEGRADE_AFTER,
             probe_interval: DEFAULT_PROBE_INTERVAL,
+            tracer: None,
         }
     }
 
@@ -382,6 +391,13 @@ impl StoreConfig {
     /// Override the degraded-mode medium re-probe interval.
     pub fn with_probe_interval(mut self, t: Duration) -> Self {
         self.probe_interval = t;
+        self
+    }
+
+    /// Attach a request tracer / flight recorder (see
+    /// [`StoreConfig::tracer`]).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -650,6 +666,28 @@ struct SpillJob {
     /// Codec id byte, sealed into the extent header alongside the data.
     codec: u8,
     data: Arc<Vec<u8>>,
+    /// Trace context of the sampled put that queued this job
+    /// ([`TraceCtx::NONE`] for background eviction / unsampled puts):
+    /// the writer records a `spill_write` span under it.
+    ctx: TraceCtx,
+    /// When the job was queued — the writer splits queue-wait from
+    /// service time in the span. Set iff `ctx` is sampled.
+    queued: Option<Instant>,
+}
+
+/// Span bookkeeping for one traced store operation: its span id and
+/// start instant (see [`StoreCore::op_trace`]).
+struct OpTrace {
+    span: u32,
+    t0: Instant,
+}
+
+/// What a store operation reports back for its span: the tier it
+/// resolved to and the codec involved.
+#[derive(Default)]
+struct TraceOut {
+    tier: u8,
+    codec: u8,
 }
 
 /// Completion offset reported when the batch write itself failed.
@@ -926,19 +964,38 @@ impl CompressedStore {
 
     /// Store (or replace) `key`'s page.
     pub fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
-        self.core.put(key, page)
+        self.core.put(key, page, TraceCtx::NONE)
+    }
+
+    /// Like [`CompressedStore::put`], recording causal spans under `ctx`
+    /// when the request is sampled (and a tracer is configured).
+    pub fn put_traced(&self, key: u64, page: &[u8], ctx: TraceCtx) -> Result<(), StoreError> {
+        self.core.put(key, page, ctx)
     }
 
     /// Fetch `key`'s page into `out` (must be page-sized). Returns false
     /// if the key is unknown.
     pub fn get(&self, key: u64, out: &mut [u8]) -> Result<bool, StoreError> {
-        Ok(self.core.get(key, out)?.is_some())
+        Ok(self.core.get(key, out, TraceCtx::NONE)?.is_some())
+    }
+
+    /// Like [`CompressedStore::get`], recording causal spans under `ctx`
+    /// when the request is sampled (and a tracer is configured).
+    pub fn get_traced(&self, key: u64, out: &mut [u8], ctx: TraceCtx) -> Result<bool, StoreError> {
+        Ok(self.core.get(key, out, ctx)?.is_some())
     }
 
     /// Like [`CompressedStore::get`], but reports which tier served the
     /// hit — memory, the same-filled fast path, or the spill file.
     pub fn get_tier(&self, key: u64, out: &mut [u8]) -> Result<Option<HitTier>, StoreError> {
-        self.core.get(key, out)
+        self.core.get(key, out, TraceCtx::NONE)
+    }
+
+    /// The configured request tracer, if any (see
+    /// [`StoreConfig::with_tracer`]). The server's service shares this
+    /// instance so wire spans and store spans join into one trace.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.core.cfg.tracer.as_ref()
     }
 
     /// Remove a key (e.g. the page was freed). Returns whether it existed.
@@ -1084,6 +1141,9 @@ impl StoreCore {
         if !self.degraded.swap(true, Ordering::Relaxed) {
             self.tel.count(0, tstat::DEGRADED_ENTERED, 1);
             self.tel.event(tevent::DEGRADE, failures, 0);
+            if let Some(tr) = self.cfg.tracer.as_deref() {
+                tr.anomaly(AnomalyKind::Degraded, 0, failures, 0);
+            }
         }
     }
 
@@ -1115,7 +1175,114 @@ impl StoreCore {
         }
     }
 
-    fn put(&self, key: u64, page: &[u8]) -> Result<(), StoreError> {
+    /// Like [`StoreCore::sample_end`], tagging the sample with the
+    /// request's trace id so the histogram keeps tail exemplars.
+    #[inline]
+    fn sample_end_traced(&self, op: usize, t0: Option<Instant>, ctx: TraceCtx) {
+        if let Some(t0) = t0 {
+            self.tel
+                .record_traced(op, t0.elapsed().as_nanos() as u64, ctx.trace_id);
+        }
+    }
+
+    /// Start tracing one store operation under a sampled request:
+    /// allocates the operation's span id and stamps its start. `None`
+    /// when the request is unsampled or no tracer is configured —
+    /// callers skip all span work in that case.
+    #[inline]
+    fn op_trace(&self, ctx: TraceCtx) -> Option<OpTrace> {
+        if !ctx.sampled() {
+            return None;
+        }
+        let tr = self.cfg.tracer.as_deref()?;
+        Some(OpTrace {
+            span: tr.alloc_span(),
+            t0: Instant::now(),
+        })
+    }
+
+    /// Record the span opened by [`StoreCore::op_trace`].
+    fn finish_op(&self, ot: OpTrace, ctx: TraceCtx, op: u8, tout: &TraceOut, status: u8, key: u64) {
+        let Some(tr) = self.cfg.tracer.as_deref() else {
+            return;
+        };
+        tr.record(
+            self.shard_index(key),
+            &Span {
+                trace_id: ctx.trace_id,
+                span_id: ot.span,
+                parent: ctx.parent_span,
+                op,
+                tier: tout.tier,
+                codec: tout.codec,
+                status,
+                start_ns: tr.now_ns(ot.t0),
+                queue_ns: 0,
+                service_ns: ot.t0.elapsed().as_nanos() as u64,
+                arg: key,
+            },
+        );
+    }
+
+    /// Record a leaf child span under `ctx` spanning `t0 → now` (no-op
+    /// when unsampled, untimed, or untraced).
+    #[allow(clippy::too_many_arguments)]
+    fn child_span(
+        &self,
+        ctx: TraceCtx,
+        t0: Option<Instant>,
+        op: u8,
+        tier: u8,
+        codec: u8,
+        status: u8,
+        arg: u64,
+        stripe: usize,
+    ) {
+        let (Some(t0), true) = (t0, ctx.sampled()) else {
+            return;
+        };
+        let Some(tr) = self.cfg.tracer.as_deref() else {
+            return;
+        };
+        tr.record(
+            stripe,
+            &Span {
+                trace_id: ctx.trace_id,
+                span_id: tr.alloc_span(),
+                parent: ctx.parent_span,
+                op,
+                tier,
+                codec,
+                status,
+                start_ns: tr.now_ns(t0),
+                queue_ns: 0,
+                service_ns: t0.elapsed().as_nanos() as u64,
+                arg,
+            },
+        );
+    }
+
+    /// Store or replace `key`'s page, recording a `store_put` span (and
+    /// children) when `ctx` is sampled.
+    fn put(&self, key: u64, page: &[u8], ctx: TraceCtx) -> Result<(), StoreError> {
+        match self.op_trace(ctx) {
+            None => self.put_inner(key, page, TraceCtx::NONE, &mut TraceOut::default()),
+            Some(ot) => {
+                let mut tout = TraceOut::default();
+                let res = self.put_inner(key, page, ctx.child(ot.span), &mut tout);
+                self.finish_op(ot, ctx, sop::STORE_PUT, &tout, res.is_err() as u8, key);
+                res
+            }
+        }
+    }
+
+    fn put_inner(
+        &self,
+        key: u64,
+        page: &[u8],
+        ctx: TraceCtx,
+        tout: &mut TraceOut,
+    ) -> Result<(), StoreError> {
         let t0 = self.sample_start();
         // Fix the page size (or reject a mismatch) before compressing.
         match self
@@ -1136,6 +1303,8 @@ impl StoreCore {
         // compressor, the budget, or the buffer pool — the pattern *is*
         // the stored form.
         if let Some(pattern) = same_filled_pattern(page) {
+            tout.tier = strier::SAME_FILLED;
+            tout.codec = CodecId::SameFilled.as_u8();
             let shard_idx = self.shard_index(key);
             let mut shard = self.shards[shard_idx].0.lock().expect("shard poisoned");
             self.remove_locked(&mut shard, key);
@@ -1152,7 +1321,7 @@ impl StoreCore {
             if self.tel.timing_enabled() {
                 self.tel.event(tevent::SAME_FILLED, key, pattern);
             }
-            self.sample_end(top::PUT, t0);
+            self.sample_end_traced(top::PUT, t0, ctx);
             return Ok(());
         }
 
@@ -1164,7 +1333,7 @@ impl StoreCore {
         let timing = self.tel.timing_enabled();
         let (sel, comp_ns) = SCRATCH.with(|c| {
             let s = &mut *c.borrow_mut();
-            let ct0 = timing.then(Instant::now);
+            let ct0 = (timing || ctx.sampled()).then(Instant::now);
             let sel = s.codecs.compress_with_policy(
                 self.cfg.codec_policy,
                 self.cfg.threshold,
@@ -1174,6 +1343,27 @@ impl StoreCore {
             (sel, ct0.map(|t| t.elapsed().as_nanos() as u64))
         });
         let len = sel.len;
+        tout.codec = sel.codec.as_u8();
+        if let (Some(ns), true) = (comp_ns, ctx.sampled()) {
+            if let Some(tr) = self.cfg.tracer.as_deref() {
+                tr.record(
+                    self.shard_index(key),
+                    &Span {
+                        trace_id: ctx.trace_id,
+                        span_id: tr.alloc_span(),
+                        parent: ctx.parent_span,
+                        op: sop::COMPRESS,
+                        tier: strier::NONE,
+                        codec: sel.codec.as_u8(),
+                        status: sel.fell_back as u8,
+                        start_ns: tr.elapsed_ns().saturating_sub(ns),
+                        queue_ns: 0,
+                        service_ns: ns,
+                        arg: key,
+                    },
+                );
+            }
+        }
 
         let shard_idx = self.shard_index(key);
         let mut shard = self.shard(key);
@@ -1189,7 +1379,7 @@ impl StoreCore {
                     .count(shard_idx, tstat::LZRW1_IN_BYTES, page.len() as u64);
                 self.tel
                     .count(shard_idx, tstat::LZRW1_OUT_BYTES, len as u64);
-                if let Some(ns) = comp_ns {
+                if let Some(ns) = comp_ns.filter(|_| timing) {
                     self.tel.record(top::COMPRESS_LZRW1, ns);
                 }
             }
@@ -1199,7 +1389,7 @@ impl StoreCore {
                 self.tel
                     .count(shard_idx, tstat::BDI_IN_BYTES, page.len() as u64);
                 self.tel.count(shard_idx, tstat::BDI_OUT_BYTES, len as u64);
-                if let Some(ns) = comp_ns {
+                if let Some(ns) = comp_ns.filter(|_| timing) {
                     self.tel.record(top::COMPRESS_BDI, ns);
                 }
             }
@@ -1264,6 +1454,11 @@ impl StoreCore {
                 return Err(StoreError::OutOfMemory);
             }
         }
+        tout.tier = if reserved {
+            strier::MEMORY
+        } else {
+            strier::SPILL
+        };
         let residence = SCRATCH.with(|c| -> Result<Residence, StoreError> {
             let s = &mut *c.borrow_mut();
             let compressed = &s.comp[..len];
@@ -1282,6 +1477,8 @@ impl StoreCore {
                         gen,
                         codec: sel.codec.as_u8(),
                         data: Arc::clone(&data),
+                        ctx,
+                        queued: ctx.sampled().then(Instant::now),
                     })
                     .is_err()
                 {
@@ -1311,11 +1508,31 @@ impl StoreCore {
             },
         );
         drop(shard);
-        self.sample_end(top::PUT, t0);
+        self.sample_end_traced(top::PUT, t0, ctx);
         Ok(())
     }
 
-    fn get(&self, key: u64, out: &mut [u8]) -> Result<Option<HitTier>, StoreError> {
+    /// Fetch `key`'s page, recording a `store_get` span (and a
+    /// `spill_read` child for disk hits) when `ctx` is sampled.
+    fn get(&self, key: u64, out: &mut [u8], ctx: TraceCtx) -> Result<Option<HitTier>, StoreError> {
+        match self.op_trace(ctx) {
+            None => self.get_inner(key, out, TraceCtx::NONE, &mut TraceOut::default()),
+            Some(ot) => {
+                let mut tout = TraceOut::default();
+                let res = self.get_inner(key, out, ctx.child(ot.span), &mut tout);
+                self.finish_op(ot, ctx, sop::STORE_GET, &tout, res.is_err() as u8, key);
+                res
+            }
+        }
+    }
+
+    fn get_inner(
+        &self,
+        key: u64,
+        out: &mut [u8],
+        ctx: TraceCtx,
+        tout: &mut TraceOut,
+    ) -> Result<Option<HitTier>, StoreError> {
         self.absorb_completed_spills();
         let t0 = self.sample_start();
         let shard_idx = self.shard_index(key);
@@ -1342,16 +1559,19 @@ impl StoreCore {
                     got: out.len(),
                 });
             }
+            tout.codec = codec;
             match &entry.residence {
                 Residence::SameFilled { pattern } => {
+                    tout.tier = strier::SAME_FILLED;
                     let pattern = *pattern;
                     drop(shard);
                     expand_same_filled(out, pattern);
                     self.tel.count(shard_idx, tstat::HITS_MEMORY, 1);
-                    self.sample_end(top::GET_SAME_FILLED, t0);
+                    self.sample_end_traced(top::GET_SAME_FILLED, t0, ctx);
                     return Ok(Some(HitTier::SameFilled));
                 }
                 Residence::Memory { data, handle } => {
+                    tout.tier = strier::MEMORY;
                     // Copy the (small) compressed bytes out under the lock
                     // so decompression runs without it.
                     let handle = *handle;
@@ -1364,20 +1584,23 @@ impl StoreCore {
                     drop(shard);
                     self.decompress_staged(codec, orig_len, out);
                     self.tel.count(shard_idx, tstat::HITS_MEMORY, 1);
-                    self.sample_end(top::GET_MEMORY, t0);
+                    self.sample_end_traced(top::GET_MEMORY, t0, ctx);
                     return Ok(Some(HitTier::Memory));
                 }
                 Residence::Spilling { data, .. } => {
+                    tout.tier = strier::MEMORY;
                     let data = Arc::clone(data);
                     drop(shard);
                     self.decompress_into(codec, &data, orig_len, out);
                     self.tel.count(shard_idx, tstat::HITS_MEMORY, 1);
-                    self.sample_end(top::GET_MEMORY, t0);
+                    self.sample_end_traced(top::GET_MEMORY, t0, ctx);
                     return Ok(Some(HitTier::Memory));
                 }
                 Residence::Spilled { offset, len, gen } => {
+                    tout.tier = strier::SPILL;
                     let (offset, len, gen) = (*offset, *len, *gen);
                     drop(shard);
+                    let rspan_t0 = ctx.sampled().then(Instant::now);
                     let rt0 = self.sample_start();
                     let io = self.read_spill(offset, len);
                     self.sample_end(top::SPILL_READ, rt0);
@@ -1400,6 +1623,16 @@ impl StoreCore {
                     }
                     // Transient I/O failure: bounded retry with backoff.
                     if let Err(e) = io {
+                        self.child_span(
+                            ctx,
+                            rspan_t0,
+                            sop::SPILL_READ,
+                            strier::SPILL,
+                            codec,
+                            1,
+                            offset,
+                            shard_idx,
+                        );
                         io_attempts += 1;
                         if io_attempts >= self.cfg.spill_retry_attempts.max(1) {
                             return Err(e);
@@ -1416,6 +1649,19 @@ impl StoreCore {
                         self.tel.count(shard_idx, tstat::CORRUPT_DETECTED, 1);
                         if self.tel.timing_enabled() {
                             self.tel.event(tevent::CORRUPT, key, offset);
+                        }
+                        self.child_span(
+                            ctx,
+                            rspan_t0,
+                            sop::SPILL_READ,
+                            strier::SPILL,
+                            codec,
+                            2,
+                            offset,
+                            shard_idx,
+                        );
+                        if let Some(tr) = self.cfg.tracer.as_deref() {
+                            tr.anomaly(AnomalyKind::Corrupt, ctx.trace_id, key, offset);
                         }
                         io_attempts += 1;
                         if io_attempts >= self.cfg.spill_retry_attempts.max(1) {
@@ -1442,9 +1688,19 @@ impl StoreCore {
                         std::thread::sleep(backoff(self.cfg.spill_retry_base, io_attempts));
                         continue;
                     }
+                    self.child_span(
+                        ctx,
+                        rspan_t0,
+                        sop::SPILL_READ,
+                        strier::SPILL,
+                        codec,
+                        0,
+                        offset,
+                        shard_idx,
+                    );
                     self.tel.count(shard_idx, tstat::HITS_SPILL, 1);
                     self.decompress_staged(codec, orig_len, out);
-                    self.sample_end(top::GET_SPILL, t0);
+                    self.sample_end_traced(top::GET_SPILL, t0, ctx);
                     return Ok(Some(HitTier::Spill));
                 }
             }
@@ -1662,6 +1918,8 @@ impl StoreCore {
                 gen,
                 codec,
                 data,
+                ctx: TraceCtx::NONE,
+                queued: None,
             })
             .is_err()
         {
@@ -1912,6 +2170,11 @@ struct StagedJob {
     gen: u64,
     rel: usize,
     len: usize,
+    codec: u8,
+    /// Trace context carried over from the [`SpillJob`] (sampled
+    /// straight-to-spill puts only).
+    ctx: TraceCtx,
+    queued: Option<Instant>,
 }
 
 impl SpillWriter {
@@ -1983,6 +2246,9 @@ impl SpillWriter {
             gen: job.gen,
             rel,
             len: buf.len() - rel,
+            codec: job.codec,
+            ctx: job.ctx,
+            queued: job.queued,
         });
     }
 
@@ -2060,6 +2326,32 @@ impl SpillWriter {
             self.consecutive_failures += 1;
             if self.consecutive_failures >= self.core.cfg.degrade_after.max(1) {
                 self.core.enter_degraded(self.consecutive_failures as u64);
+            }
+        }
+        // Spans for sampled members: queue wait (enqueue to batch start)
+        // split from service time (the shared batch write).
+        if let Some(tr) = self.core.cfg.tracer.as_deref() {
+            let write_ns = t0.elapsed().as_nanos() as u64;
+            for j in staged.iter().filter(|j| j.ctx.sampled()) {
+                let queue_ns = j
+                    .queued
+                    .map_or(0, |q| t0.saturating_duration_since(q).as_nanos() as u64);
+                tr.record(
+                    0,
+                    &Span {
+                        trace_id: j.ctx.trace_id,
+                        span_id: tr.alloc_span(),
+                        parent: j.ctx.parent_span,
+                        op: sop::SPILL_WRITE,
+                        tier: strier::SPILL,
+                        codec: j.codec,
+                        status: !ok as u8,
+                        start_ns: tr.now_ns(t0),
+                        queue_ns,
+                        service_ns: write_ns,
+                        arg: if ok { base + j.rel as u64 } else { j.key },
+                    },
+                );
             }
         }
         let mut done = self.core.done.lock().expect("done list poisoned");
@@ -2180,6 +2472,28 @@ impl SpillWriter {
         self.core.tel.count(0, tstat::GC_RUNS, 1);
         self.core.tel.count(0, tstat::GC_BYTES_RELOCATED, moved);
         self.core.tel.event(tevent::GC_RUN, moved, pause);
+        if let Some(tr) = self.core.cfg.tracer.as_deref() {
+            // Background span: no request trace owns a GC run.
+            tr.record(
+                0,
+                &Span {
+                    trace_id: 0,
+                    span_id: tr.alloc_span(),
+                    parent: 0,
+                    op: sop::GC,
+                    tier: strier::SPILL,
+                    codec: 0,
+                    status: 0,
+                    start_ns: tr.now_ns(t0),
+                    queue_ns: 0,
+                    service_ns: pause,
+                    arg: moved,
+                },
+            );
+            if pause > tr.gc_pause_threshold().as_nanos() as u64 {
+                tr.anomaly(AnomalyKind::GcPause, 0, moved, pause);
+            }
+        }
     }
 }
 

@@ -410,6 +410,19 @@ impl Client {
             ))),
         }
     }
+
+    /// An on-demand flight-recorder dump: recent spans and anomaly
+    /// events as a JSON document. An untraced server answers `{}`.
+    pub fn dump(&mut self) -> Result<String, ClientError> {
+        let status = self.call(&Request::Dump)?;
+        match self.expect_plain(status)? {
+            Status::Ok => String::from_utf8(self.payload()?.to_vec())
+                .map_err(|_| ClientError::Protocol("DUMP payload is not UTF-8".into())),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected DUMP status {other:?}"
+            ))),
+        }
+    }
 }
 
 /// Window bookkeeping for pipelined calls on one [`Client`]: tracks the

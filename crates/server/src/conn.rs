@@ -36,6 +36,7 @@ use crate::frame::{HEADER_LEN, SEQ_UNSOLICITED};
 use crate::proto::{Request, Response, Status};
 use crate::service::Service;
 use crate::ServerConfig;
+use cc_telemetry::trace::{sop, tier as trace_tier, Span};
 use std::io::{ErrorKind, Read};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -224,17 +225,38 @@ pub(crate) fn serve(
         };
         let op = req.opcode();
         let t0 = Instant::now();
-        let status = service.handle(stripe, &req, &mut payload);
+        let (status, tctx) = service.handle(stripe, conn_id, &req, &mut payload);
         wire.clear();
         Response {
             status,
             payload: &payload,
         }
         .encode(&mut wire);
+        let f0 = tctx.sampled().then(Instant::now);
         if crate::frame::write_frame(&mut stream, seq, &wire).is_err() {
             break CloseReason::Error;
         }
-        service.record_latency(op, t0.elapsed().as_nanos() as u64);
+        if let (Some(tr), Some(f0)) = (service.tracer(), f0) {
+            // Reply flush as its own child span: on this blocking
+            // backend it is the socket write itself.
+            tr.record(
+                stripe,
+                &Span {
+                    trace_id: tctx.trace_id,
+                    span_id: tr.alloc_span(),
+                    parent: tctx.parent_span,
+                    op: sop::REPLY_FLUSH,
+                    tier: trace_tier::NONE,
+                    codec: op as u8,
+                    status: status as u8,
+                    start_ns: tr.now_ns(f0),
+                    queue_ns: 0,
+                    service_ns: f0.elapsed().as_nanos() as u64,
+                    arg: wire.len() as u64,
+                },
+            );
+        }
+        service.record_latency(op, t0.elapsed().as_nanos() as u64, tctx.trace_id);
         guard.requests += 1;
 
         // A max-size frame must not pin its worst-case allocation for

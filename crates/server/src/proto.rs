@@ -18,6 +18,7 @@
 //! | `FLUSH` (4) | empty | empty |
 //! | `STATS` (5) | empty | Prometheus text (UTF-8) |
 //! | `PING` (6) | empty | empty |
+//! | `DUMP` (7) | empty | flight-recorder JSON (UTF-8) |
 //!
 //! Statuses: `OK` (0), `NOT_FOUND` (1, GET/DEL of an absent key),
 //! `BUSY` (2, the worker pool is saturated — retry later), `ERR` (3,
@@ -44,17 +45,21 @@ pub enum Opcode {
     Stats = 5,
     /// Liveness / round-trip probe.
     Ping = 6,
+    /// Fetch an on-demand flight-recorder dump (JSON). Empty `{}` when
+    /// the server runs untraced.
+    Dump = 7,
 }
 
 impl Opcode {
     /// All opcodes, in wire order (indexable by `op as usize - 1`).
-    pub const ALL: [Opcode; 6] = [
+    pub const ALL: [Opcode; 7] = [
         Opcode::Put,
         Opcode::Get,
         Opcode::Del,
         Opcode::Flush,
         Opcode::Stats,
         Opcode::Ping,
+        Opcode::Dump,
     ];
 
     /// Decode an opcode byte.
@@ -66,6 +71,7 @@ impl Opcode {
             4 => Some(Opcode::Flush),
             5 => Some(Opcode::Stats),
             6 => Some(Opcode::Ping),
+            7 => Some(Opcode::Dump),
             _ => None,
         }
     }
@@ -79,6 +85,7 @@ impl Opcode {
             Opcode::Flush => "flush",
             Opcode::Stats => "stats",
             Opcode::Ping => "ping",
+            Opcode::Dump => "dump",
         }
     }
 }
@@ -138,6 +145,8 @@ pub enum Request<'a> {
     Stats,
     /// Round-trip probe.
     Ping,
+    /// On-demand flight-recorder dump (JSON).
+    Dump,
 }
 
 impl Request<'_> {
@@ -150,6 +159,7 @@ impl Request<'_> {
             Request::Flush => Opcode::Flush,
             Request::Stats => Opcode::Stats,
             Request::Ping => Opcode::Ping,
+            Request::Dump => Opcode::Dump,
         }
     }
 
@@ -166,7 +176,7 @@ impl Request<'_> {
             Request::Get { key } | Request::Del { key } => {
                 buf.extend_from_slice(&key.to_le_bytes());
             }
-            Request::Flush | Request::Stats | Request::Ping => {}
+            Request::Flush | Request::Stats | Request::Ping | Request::Dump => {}
         }
     }
 }
@@ -212,7 +222,7 @@ impl<'a> Request<'a> {
                     _ => Request::Del { key },
                 })
             }
-            Opcode::Flush | Opcode::Stats | Opcode::Ping => {
+            Opcode::Flush | Opcode::Stats | Opcode::Ping | Opcode::Dump => {
                 if !rest.is_empty() {
                     return Err(ProtoError::TrailingBytes {
                         op: op.name(),
@@ -222,7 +232,8 @@ impl<'a> Request<'a> {
                 Ok(match op {
                     Opcode::Flush => Request::Flush,
                     Opcode::Stats => Request::Stats,
-                    _ => Request::Ping,
+                    Opcode::Ping => Request::Ping,
+                    _ => Request::Dump,
                 })
             }
         }
@@ -331,6 +342,7 @@ mod tests {
             Request::Flush,
             Request::Stats,
             Request::Ping,
+            Request::Dump,
         ];
         let mut buf = Vec::new();
         for req in reqs {

@@ -54,6 +54,7 @@ use crate::frame::{self, FrameError, HEADER_LEN, SEQ_UNSOLICITED};
 use crate::proto::{Request, Status};
 use crate::service::Service;
 use crate::ServerConfig;
+use cc_telemetry::trace::{sop, tier as trace_tier, AnomalyKind, Span};
 use cc_util::Slab;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -225,12 +226,34 @@ impl Wire {
                 Ok(req) => {
                     let op = req.opcode();
                     let t0 = Instant::now();
-                    let status = service.handle(STRIPE, &req, scratch);
+                    let (status, tctx) = service.handle(STRIPE, conn_id, &req, scratch);
+                    let f0 = tctx.sampled().then(Instant::now);
                     frame::append_frame(&mut self.wbuf, parsed.seq, 1 + scratch.len(), |b| {
                         b.push(status as u8);
                         b.extend_from_slice(scratch);
                     });
-                    service.record_latency(op, t0.elapsed().as_nanos() as u64);
+                    if let (Some(tr), Some(f0)) = (service.tracer(), f0) {
+                        // Reply flush on this backend is the staging of
+                        // the tagged frame; the socket write happens
+                        // asynchronously when the peer is writable.
+                        tr.record(
+                            STRIPE,
+                            &Span {
+                                trace_id: tctx.trace_id,
+                                span_id: tr.alloc_span(),
+                                parent: tctx.parent_span,
+                                op: sop::REPLY_FLUSH,
+                                tier: trace_tier::NONE,
+                                codec: op as u8,
+                                status: status as u8,
+                                start_ns: tr.now_ns(f0),
+                                queue_ns: 0,
+                                service_ns: f0.elapsed().as_nanos() as u64,
+                                arg: (1 + scratch.len()) as u64,
+                            },
+                        );
+                    }
+                    service.record_latency(op, t0.elapsed().as_nanos() as u64, tctx.trace_id);
                     self.requests += 1;
                     self.rpos += parsed.consumed;
                 }
@@ -326,6 +349,14 @@ struct Conn {
     /// Set when the connection must close as soon as its staged output
     /// flushes.
     close_after_flush: Option<CloseReason>,
+    /// When this connection was parked behind write backpressure
+    /// (parsing paused); reset on any flush progress. Tracing only.
+    parked_since: Option<Instant>,
+    /// Pending output observed when the park episode started (or last
+    /// made progress) — the stall sweep compares against it.
+    parked_pending: usize,
+    /// A backpressure-stall anomaly already fired for this episode.
+    stall_reported: bool,
 }
 
 /// The readiness loop. Owns the listener, the registered connections,
@@ -416,6 +447,7 @@ impl Reactor {
                 self.begin_drain(now);
             }
             self.tick_timers(now, &mut expired);
+            self.sweep_stalled_parks(now);
             if self.draining {
                 if self.conns.is_empty() {
                     break;
@@ -478,6 +510,9 @@ impl Reactor {
             interest: Interest::READ,
             last_active: now,
             close_after_flush: None,
+            parked_since: None,
+            parked_pending: 0,
+            stall_reported: false,
         });
         let fd = self.conns[token].stream.as_raw_fd();
         if self.backend.register(fd, token, Interest::READ).is_err() {
@@ -608,6 +643,43 @@ impl Reactor {
             }
         }
 
+        // Park/unpark bookkeeping (tracing only): a connection is parked
+        // while backpressure pauses its parsing. The park itself becomes
+        // a span when it ends; a park that stops making progress is the
+        // stall sweep's business (see `sweep_stalled_parks`).
+        if let Some(tr) = service.tracer() {
+            let parked =
+                conn.close_after_flush.is_none() && conn.wire.pending_out() > WRITE_BACKPRESSURE;
+            match (parked, conn.parked_since) {
+                (true, None) => {
+                    conn.parked_since = Some(Instant::now());
+                    conn.parked_pending = conn.wire.pending_out();
+                    conn.stall_reported = false;
+                }
+                (false, Some(since)) => {
+                    tr.record(
+                        STRIPE,
+                        &Span {
+                            trace_id: 0,
+                            span_id: tr.alloc_span(),
+                            parent: 0,
+                            op: sop::PARK,
+                            tier: trace_tier::NONE,
+                            codec: 0,
+                            status: 0,
+                            start_ns: tr.now_ns(since),
+                            queue_ns: 0,
+                            service_ns: since.elapsed().as_nanos() as u64,
+                            arg: conn.conn_id,
+                        },
+                    );
+                    conn.parked_since = None;
+                    conn.stall_reported = false;
+                }
+                _ => {}
+            }
+        }
+
         // Interest: writable while output is pending; readable unless
         // the peer is parked behind backpressure or being closed.
         let want = Interest {
@@ -634,6 +706,38 @@ impl Reactor {
             conn.wire.requests(),
             reason == CloseReason::Idle,
         );
+    }
+
+    /// Fire a backpressure-stall anomaly for any parked connection whose
+    /// staged output has made no flush progress for the tracer's stall
+    /// window — a peer that pipelines requests but stopped reading
+    /// responses. Reported once per park episode; the poll timeout
+    /// bounds detection latency to ~100 ms past the window.
+    fn sweep_stalled_parks(&mut self, now: Instant) {
+        let Some(tr) = self.service.tracer().cloned() else {
+            return;
+        };
+        let stall = tr.stall_after();
+        for (_, conn) in self.conns.iter_mut() {
+            let Some(since) = conn.parked_since else {
+                continue;
+            };
+            let pending = conn.wire.pending_out();
+            if pending < conn.parked_pending {
+                // The peer drained something: restart the window.
+                conn.parked_since = Some(now);
+                conn.parked_pending = pending;
+                conn.stall_reported = false;
+            } else if !conn.stall_reported && now.saturating_duration_since(since) >= stall {
+                tr.anomaly(
+                    AnomalyKind::BackpressureStall,
+                    0,
+                    conn.conn_id,
+                    pending as u64,
+                );
+                conn.stall_reported = true;
+            }
+        }
     }
 
     /// Stop accepting and put every quiescent connection on the way

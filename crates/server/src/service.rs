@@ -12,9 +12,11 @@
 
 use crate::proto::{Opcode, Request, Status};
 use cc_core::store::{CompressedStore, StoreError};
+use cc_telemetry::trace::{sop, tier, Span, TraceCtx, Tracer};
 use cc_telemetry::{Snapshot, Telemetry, TelemetrySpec};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Wire-level counter indices (striped per worker).
 pub mod wstat {
@@ -40,6 +42,8 @@ pub mod wstat {
     pub const CONNS_CLOSED: usize = 9;
     /// Connections closed by the idle timeout.
     pub const IDLE_TIMEOUTS: usize = 10;
+    /// DUMP requests executed.
+    pub const REQ_DUMP: usize = 11;
     /// Counter name table, index-aligned with the constants above.
     pub const NAMES: &[&str] = &[
         "req_put",
@@ -53,13 +57,14 @@ pub mod wstat {
         "conns_opened",
         "conns_closed",
         "idle_timeouts",
+        "req_dump",
     ];
 }
 
 /// Per-opcode latency histogram indices: `Opcode as usize - 1`.
 pub mod wop {
     /// Operation name table, index-aligned with [`crate::proto::Opcode`].
-    pub const NAMES: &[&str] = &["put", "get", "del", "flush", "stats", "ping"];
+    pub const NAMES: &[&str] = &["put", "get", "del", "flush", "stats", "ping", "dump"];
 }
 
 /// Wire event kinds pushed into the server's event ring.
@@ -88,6 +93,10 @@ const SERVER_TELEMETRY: TelemetrySpec = TelemetrySpec {
 pub struct Service {
     store: Arc<CompressedStore>,
     tel: Telemetry,
+    /// Shared with the store (see [`cc_core::store::StoreConfig::with_tracer`]):
+    /// wire-level spans and store spans land in the same rings, so a
+    /// sampled request yields one tree from accept to spill.
+    tracer: Option<Arc<Tracer>>,
     open_conns: AtomicU64,
     next_conn_id: AtomicU64,
 }
@@ -96,9 +105,11 @@ impl Service {
     /// Build a service over `store` with `workers + 1` counter stripes
     /// (one per worker, one for the accept loop).
     pub fn new(store: Arc<CompressedStore>, workers: usize) -> Service {
+        let tracer = store.tracer().cloned();
         Service {
             store,
             tel: Telemetry::new(SERVER_TELEMETRY, workers + 1),
+            tracer,
             open_conns: AtomicU64::new(0),
             next_conn_id: AtomicU64::new(0),
         }
@@ -107,6 +118,11 @@ impl Service {
     /// The underlying store.
     pub fn store(&self) -> &Arc<CompressedStore> {
         &self.store
+    }
+
+    /// The request tracer inherited from the store, if tracing is on.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The server's wire telemetry (request counters, per-opcode latency
@@ -166,19 +182,36 @@ impl Service {
         self.tel.event(wevent::MALFORMED, conn_id, class);
     }
 
-    pub(crate) fn record_latency(&self, op: Opcode, ns: u64) {
-        self.tel.record(op as usize - 1, ns);
+    pub(crate) fn record_latency(&self, op: Opcode, ns: u64, trace: u64) {
+        self.tel.record_traced(op as usize - 1, ns, trace);
     }
 
     /// Execute one request. The response payload is written into `out`
     /// (cleared first); the returned status plus `out` form the response
     /// body. Never panics on store errors — they become [`Status::Err`]
     /// with the error text as payload.
-    pub(crate) fn handle(&self, stripe: usize, req: &Request<'_>, out: &mut Vec<u8>) -> Status {
+    ///
+    /// Sampling happens here, at the wire: a sampled request gets a root
+    /// `request` span (with the opcode and connection id) and its store
+    /// work records child spans under it. The returned [`TraceCtx`] is
+    /// that root's child context ([`TraceCtx::NONE`] when unsampled) —
+    /// callers tag reply-flush spans and latency exemplars with it.
+    pub(crate) fn handle(
+        &self,
+        stripe: usize,
+        conn_id: u64,
+        req: &Request<'_>,
+        out: &mut Vec<u8>,
+    ) -> (Status, TraceCtx) {
         out.clear();
+        let tr = self.tracer.as_deref();
+        let rctx = tr.map_or(TraceCtx::NONE, |t| t.sample());
+        let t0 = rctx.sampled().then(Instant::now);
+        let root = tr.map_or(0, |t| t.new_span(rctx));
+        let ctx = rctx.child(root);
         let (counter, status) = match req {
             Request::Put { key, page } => {
-                let status = match self.store.put(*key, page) {
+                let status = match self.store.put_traced(*key, page, ctx) {
                     Ok(()) => Status::Ok,
                     Err(e) => err_status(e, out),
                 };
@@ -190,7 +223,7 @@ impl Service {
                     None => Status::NotFound,
                     Some(ps) => {
                         out.resize(ps, 0);
-                        match self.store.get(*key, out) {
+                        match self.store.get_traced(*key, out, ctx) {
                             Ok(true) => Status::Ok,
                             Ok(false) => {
                                 out.clear();
@@ -222,9 +255,36 @@ impl Service {
                 (wstat::REQ_STATS, Status::Ok)
             }
             Request::Ping => (wstat::REQ_PING, Status::Ok),
+            Request::Dump => {
+                match tr {
+                    Some(t) => out.extend_from_slice(t.dump_json("on-demand").as_bytes()),
+                    // Untraced server: an empty-but-valid document, so
+                    // clients need not special-case the response.
+                    None => out.extend_from_slice(b"{}"),
+                }
+                (wstat::REQ_DUMP, Status::Ok)
+            }
         };
         self.tel.count(stripe, counter, 1);
-        status
+        if let (Some(t), Some(t0)) = (tr, t0) {
+            t.record(
+                stripe,
+                &Span {
+                    trace_id: rctx.trace_id,
+                    span_id: root,
+                    parent: 0,
+                    op: sop::REQUEST,
+                    tier: tier::NONE,
+                    codec: req.opcode() as u8,
+                    status: status as u8,
+                    start_ns: t.now_ns(t0),
+                    queue_ns: 0,
+                    service_ns: t0.elapsed().as_nanos() as u64,
+                    arg: conn_id,
+                },
+            );
+        }
+        (status, ctx)
     }
 }
 

@@ -23,6 +23,24 @@ pub struct AtomicHistogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Trace id of the sample that set (or last matched) `max`.
+    max_trace: AtomicU64,
+    /// Reservoir of recent traced observations at or above the tail
+    /// floor: `(value, trace_id)` pairs.
+    tail: [TailSlot; TAIL_SLOTS],
+    /// Values below this skip the reservoir; lazily refreshed to the
+    /// current p99 on each `summary` call so the reservoir converges on
+    /// genuine tail samples.
+    tail_floor: AtomicU64,
+}
+
+/// Slots in the p99+ exemplar reservoir.
+pub const TAIL_SLOTS: usize = 8;
+
+#[derive(Default)]
+struct TailSlot {
+    value: AtomicU64,
+    trace: AtomicU64,
 }
 
 impl Default for AtomicHistogram {
@@ -40,17 +58,42 @@ impl AtomicHistogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            max_trace: AtomicU64::new(0),
+            tail: Default::default(),
+            tail_floor: AtomicU64::new(0),
         }
     }
 
     /// Record one sample. Wait-free: four relaxed RMWs, no allocation.
     #[inline]
     pub fn record(&self, v: u64) {
+        self.record_traced(v, 0);
+    }
+
+    /// Record one sample carrying a trace id (0 = untraced; identical
+    /// cost to [`AtomicHistogram::record`]). Traced samples additionally
+    /// maintain the max exemplar and, when at or above the tail floor,
+    /// claim a reservoir slot. Exemplar pairs are written with two
+    /// relaxed stores — a concurrent reader can observe a value with a
+    /// neighbouring sample's trace id, which is acceptable for
+    /// diagnostics and keeps the hot path lock-free.
+    #[inline]
+    pub fn record_traced(&self, v: u64, trace: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        let n = self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        let prev_max = self.max.fetch_max(v, Ordering::Relaxed);
+        if trace != 0 {
+            if v >= prev_max {
+                self.max_trace.store(trace, Ordering::Relaxed);
+            }
+            if v >= self.tail_floor.load(Ordering::Relaxed) {
+                let slot = &self.tail[n as usize % TAIL_SLOTS];
+                slot.value.store(v, Ordering::Relaxed);
+                slot.trace.store(trace, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of samples recorded so far.
@@ -84,9 +127,22 @@ impl AtomicHistogram {
         )
     }
 
-    /// The percentile summary exported in snapshots.
+    /// The percentile summary exported in snapshots. Also refreshes the
+    /// tail-exemplar floor to the current p99 so future reservoir
+    /// entries stay in the tail.
     pub fn summary(&self) -> HistSummary {
-        HistSummary::from_histogram(&self.to_histogram())
+        let mut s = HistSummary::from_histogram(&self.to_histogram());
+        if s.count > 0 {
+            self.tail_floor.store(s.p99, Ordering::Relaxed);
+        }
+        s.max_trace = self.max_trace.load(Ordering::Relaxed);
+        for (dst, slot) in s.tail.iter_mut().zip(self.tail.iter()) {
+            *dst = (
+                slot.value.load(Ordering::Relaxed),
+                slot.trace.load(Ordering::Relaxed),
+            );
+        }
+        s
     }
 }
 
@@ -106,10 +162,18 @@ pub struct HistSummary {
     pub max: u64,
     /// Arithmetic mean.
     pub mean: f64,
+    /// Sum of all samples (saturating at `u64::MAX`).
+    pub sum: u64,
+    /// Trace id of the sample that set the max (0 = untraced).
+    pub max_trace: u64,
+    /// Tail-exemplar reservoir: `(value, trace_id)` pairs of recent
+    /// traced p99+ observations; unused slots are `(0, 0)`.
+    pub tail: [(u64, u64); TAIL_SLOTS],
 }
 
 impl HistSummary {
-    /// Summarize a plain histogram.
+    /// Summarize a plain histogram (no exemplars — those live on the
+    /// atomic side; see [`AtomicHistogram::summary`]).
     pub fn from_histogram(h: &Histogram) -> Self {
         HistSummary {
             count: h.count(),
@@ -118,6 +182,9 @@ impl HistSummary {
             p99: h.quantile(0.99),
             max: if h.count() == 0 { 0 } else { h.max() },
             mean: h.mean(),
+            sum: u64::try_from(h.sum()).unwrap_or(u64::MAX),
+            max_trace: 0,
+            tail: [(0, 0); TAIL_SLOTS],
         }
     }
 }
@@ -153,6 +220,29 @@ mod tests {
     fn empty_summary_is_zero() {
         let s = AtomicHistogram::new().summary();
         assert_eq!(s, HistSummary::default());
+    }
+
+    #[test]
+    fn exemplars_track_max_and_tail() {
+        let h = AtomicHistogram::new();
+        for i in 0..100u64 {
+            h.record(i); // untraced: never touches exemplars
+        }
+        h.record_traced(1_000, 7);
+        let s = h.summary();
+        assert_eq!(s.max, 1_000);
+        assert_eq!(s.max_trace, 7);
+        assert!(s.tail.iter().any(|&(v, t)| v >= 1_000 && t == 7));
+        // summary() raised the floor to p99: a small traced sample now
+        // stays out of the reservoir and off the max exemplar.
+        let tail_before = s.tail;
+        h.record_traced(1, 9);
+        let s2 = h.summary();
+        assert_eq!(s2.tail, tail_before);
+        assert_eq!(s2.max_trace, 7);
+        // A new traced max replaces the exemplar.
+        h.record_traced(2_000, 11);
+        assert_eq!(h.summary().max_trace, 11);
     }
 
     #[test]

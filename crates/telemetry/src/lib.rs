@@ -32,13 +32,16 @@ pub mod counters;
 pub mod hist;
 pub mod ring;
 pub mod snapshot;
+pub mod trace;
 
 pub use counters::CounterBank;
 pub use hist::{AtomicHistogram, HistSummary};
 pub use ring::{Event, EventRing};
 pub use snapshot::{ExportFormat, ExportTarget, Exporter, Snapshot};
+pub use trace::{AnomalyKind, DumpSink, Span, SpanRing, TraceCtx, Tracer, TracerBuilder};
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Instant, SystemTime};
 
 /// Static description of what a [`Telemetry`] instance tracks: the
 /// counter, operation (latency histogram), and event-kind name tables.
@@ -71,6 +74,7 @@ pub struct Telemetry {
     ops: Box<[AtomicHistogram]>,
     event_counts: Box<[AtomicU64]>,
     ring: EventRing,
+    started: Instant,
 }
 
 impl Telemetry {
@@ -97,6 +101,7 @@ impl Telemetry {
                 .collect(),
             event_counts: (0..spec.events.len()).map(|_| AtomicU64::new(0)).collect(),
             ring: EventRing::new(ring_capacity),
+            started: Instant::now(),
         }
     }
 
@@ -130,6 +135,19 @@ impl Telemetry {
         self.ops[op].record(ns);
     }
 
+    /// Record a latency sample for `op` carrying a trace id (0 =
+    /// untraced) so the histogram can retain tail exemplars; see
+    /// [`AtomicHistogram::record_traced`].
+    #[inline]
+    pub fn record_traced(&self, op: usize, ns: u64, trace: u64) {
+        self.ops[op].record_traced(ns, trace);
+    }
+
+    /// Seconds since this instance was created.
+    pub fn uptime_seconds(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
     /// Percentile summary of `op`'s histogram.
     pub fn op_summary(&self, op: usize) -> HistSummary {
         self.ops[op].summary()
@@ -151,13 +169,15 @@ impl Telemetry {
 
     /// Take a snapshot: counter sums, op summaries, cumulative event
     /// counts, and the drained ring window since the last snapshot.
-    /// Gauges are appended by the caller via [`Snapshot::gauge`].
+    /// Starts with an `uptime_seconds` gauge and the wall-clock
+    /// timestamp; further gauges are appended by the caller via
+    /// [`Snapshot::gauge`].
     pub fn snapshot(&self) -> Snapshot {
         let mut recent = Vec::new();
         self.ring.drain(&mut recent);
         Snapshot {
             counters: self.counters.sums(),
-            gauges: Vec::new(),
+            gauges: vec![("uptime_seconds", self.uptime_seconds())],
             ops: self
                 .spec
                 .ops
@@ -175,6 +195,9 @@ impl Telemetry {
             recent,
             events_dropped: self.ring.dropped(),
             events_recorded: self.ring.recorded(),
+            taken_unix_s: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
         }
     }
 }
@@ -209,7 +232,9 @@ mod tests {
         assert_eq!(snap.event_count("evict"), Some(1));
         assert_eq!(snap.recent.len(), 2);
         assert_eq!(snap.recent[0].kind, 1);
-        assert_eq!(snap.gauges, vec![("resident_bytes", 999)]);
+        assert_eq!(snap.gauges[0].0, "uptime_seconds");
+        assert_eq!(snap.gauges.last(), Some(&("resident_bytes", 999)));
+        assert!(snap.taken_unix_s > 0);
         // The window drains: a second snapshot sees no new events but
         // keeps the cumulative counts.
         let snap2 = tel.snapshot();

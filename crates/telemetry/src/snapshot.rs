@@ -36,6 +36,9 @@ pub struct Snapshot {
     pub events_dropped: u64,
     /// Ring pushes accepted, cumulative.
     pub events_recorded: u64,
+    /// Wall-clock time the snapshot was taken, seconds since the Unix
+    /// epoch — lets consecutive scrapes be rate-converted.
+    pub taken_unix_s: u64,
 }
 
 impl Snapshot {
@@ -91,9 +94,16 @@ impl Snapshot {
             .ops
             .iter()
             .map(|(n, s)| {
+                let tail: Vec<String> = s
+                    .tail
+                    .iter()
+                    .filter(|&&(_, t)| t != 0)
+                    .map(|&(v, t)| format!("[{v}, {t}]"))
+                    .collect();
                 format!(
-                    "{pad}    \"{n}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.0}}}",
-                    s.count, s.p50, s.p90, s.p99, s.max, s.mean
+                    "{pad}    \"{n}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.0}, \"sum_ns\": {}, \"max_trace\": {}, \"tail\": [{}]}}",
+                    s.count, s.p50, s.p90, s.p99, s.max, s.mean, s.sum, s.max_trace,
+                    tail.join(", ")
                 )
             })
             .collect();
@@ -110,9 +120,10 @@ impl Snapshot {
             self.events_recorded
         ));
         out.push_str(&format!(
-            "{pad}  \"events_dropped\": {}\n",
+            "{pad}  \"events_dropped\": {},\n",
             self.events_dropped
         ));
+        out.push_str(&format!("{pad}  \"taken_unix_s\": {}\n", self.taken_unix_s));
         out.push_str(&format!("{pad}}}"));
         out
     }
@@ -120,35 +131,63 @@ impl Snapshot {
     /// Render in the Prometheus text exposition format. Counter and
     /// event names become `<prefix>_<name>_total`, gauges
     /// `<prefix>_<name>`, and each op a `summary` with p50/p90/p99
-    /// quantiles plus `_count` and `_max_ns`.
+    /// quantiles plus the `_sum`/`_count` pair (so `rate()` and
+    /// average queries work) and `_max`. Every family carries a
+    /// `# HELP` line ahead of its `# TYPE`.
     pub fn to_prometheus(&self, prefix: &str) -> String {
         let mut out = String::new();
         for (n, v) in &self.counters {
+            out.push_str(&format!(
+                "# HELP {prefix}_{n}_total Monotonic count of {n} events.\n"
+            ));
             out.push_str(&format!("# TYPE {prefix}_{n}_total counter\n"));
             out.push_str(&format!("{prefix}_{n}_total {v}\n"));
         }
         for (n, v) in &self.gauges {
+            out.push_str(&format!(
+                "# HELP {prefix}_{n} Point-in-time value of {n}.\n"
+            ));
             out.push_str(&format!("# TYPE {prefix}_{n} gauge\n"));
             out.push_str(&format!("{prefix}_{n} {v}\n"));
         }
         for (n, s) in &self.ops {
+            out.push_str(&format!(
+                "# HELP {prefix}_{n}_latency_ns Latency of {n} operations in nanoseconds.\n"
+            ));
             out.push_str(&format!("# TYPE {prefix}_{n}_latency_ns summary\n"));
             for (q, v) in [("0.5", s.p50), ("0.9", s.p90), ("0.99", s.p99)] {
                 out.push_str(&format!(
                     "{prefix}_{n}_latency_ns{{quantile=\"{q}\"}} {v}\n"
                 ));
             }
+            out.push_str(&format!("{prefix}_{n}_latency_ns_sum {}\n", s.sum));
             out.push_str(&format!("{prefix}_{n}_latency_ns_count {}\n", s.count));
             out.push_str(&format!("{prefix}_{n}_latency_ns_max {}\n", s.max));
         }
         for (n, v) in &self.events {
+            out.push_str(&format!(
+                "# HELP {prefix}_event_{n}_total Monotonic count of {n} events.\n"
+            ));
             out.push_str(&format!("# TYPE {prefix}_event_{n}_total counter\n"));
             out.push_str(&format!("{prefix}_event_{n}_total {v}\n"));
         }
+        out.push_str(&format!(
+            "# HELP {prefix}_events_dropped_total Ring pushes dropped because the ring was full.\n"
+        ));
         out.push_str(&format!("# TYPE {prefix}_events_dropped_total counter\n"));
         out.push_str(&format!(
             "{prefix}_events_dropped_total {}\n",
             self.events_dropped
+        ));
+        out.push_str(&format!(
+            "# HELP {prefix}_snapshot_timestamp_seconds Unix time this snapshot was taken.\n"
+        ));
+        out.push_str(&format!(
+            "# TYPE {prefix}_snapshot_timestamp_seconds gauge\n"
+        ));
+        out.push_str(&format!(
+            "{prefix}_snapshot_timestamp_seconds {}\n",
+            self.taken_unix_s
         ));
         out
     }
@@ -344,6 +383,8 @@ mod tests {
     use super::*;
 
     fn sample() -> Snapshot {
+        let mut tail = [(0, 0); crate::hist::TAIL_SLOTS];
+        tail[0] = (400, 77);
         Snapshot {
             counters: vec![("puts", 10), ("gets", 20)],
             gauges: vec![("resident_bytes", 4096)],
@@ -356,6 +397,9 @@ mod tests {
                     p99: 300,
                     max: 400,
                     mean: 150.0,
+                    sum: 1500,
+                    max_trace: 77,
+                    tail,
                 },
             )],
             events: vec![("gc_run", 2)],
@@ -367,6 +411,7 @@ mod tests {
             }],
             events_dropped: 1,
             events_recorded: 3,
+            taken_unix_s: 1_700_000_000,
         }
     }
 
@@ -376,7 +421,11 @@ mod tests {
         assert!(j.contains("\"puts\": 10"), "{j}");
         assert!(j.contains("\"p99_ns\": 300"), "{j}");
         assert!(j.contains("\"resident_bytes\": 4096"), "{j}");
-        assert!(j.contains("\"events_dropped\": 1"), "{j}");
+        assert!(j.contains("\"events_dropped\": 1,"), "{j}");
+        assert!(j.contains("\"sum_ns\": 1500"), "{j}");
+        assert!(j.contains("\"max_trace\": 77"), "{j}");
+        assert!(j.contains("\"tail\": [[400, 77]]"), "{j}");
+        assert!(j.contains("\"taken_unix_s\": 1700000000"), "{j}");
         // Starts as an object and every line of the body is indented.
         assert!(j.starts_with("{\n"));
         assert!(j.ends_with("  }"));
@@ -393,9 +442,59 @@ mod tests {
         );
         assert!(p.contains("cc_store_event_gc_run_total 2"), "{p}");
         assert!(p.contains("cc_store_events_dropped_total 1"), "{p}");
+        assert!(p.contains("cc_store_put_latency_ns_sum 1500"), "{p}");
+        assert!(
+            p.contains("cc_store_snapshot_timestamp_seconds 1700000000"),
+            "{p}"
+        );
         // Every non-comment line is `name[{labels}] value`.
         for line in p.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
+    }
+
+    /// Exposition-format conformance: every `# TYPE` is introduced by a
+    /// `# HELP` for the same family, every summary family carries the
+    /// `_sum`/`_count` pair real Prometheus needs for rate/avg queries,
+    /// and every sample line parses as `name value`.
+    #[test]
+    fn prometheus_exposition_conformance() {
+        let p = sample().to_prometheus("cc_x");
+        let lines: Vec<&str> = p.lines().collect();
+        let mut summaries = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let family = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                let help = lines[i.checked_sub(1).expect("TYPE with no HELP above")];
+                assert!(
+                    help.starts_with(&format!("# HELP {family} ")),
+                    "family {family} lacks an adjacent HELP line: {help}"
+                );
+                if kind == "summary" {
+                    summaries.push(family.to_string());
+                }
+            }
+        }
+        assert!(!summaries.is_empty());
+        for family in &summaries {
+            for suffix in ["_sum", "_count"] {
+                assert!(
+                    lines
+                        .iter()
+                        .any(|l| l.starts_with(&format!("{family}{suffix} "))),
+                    "summary {family} lacks {suffix}"
+                );
+            }
+        }
+        for line in lines.iter().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().expect("metric name");
+            let value = parts.next().expect("metric value");
+            assert!(parts.next().is_none(), "extra tokens: {line}");
+            assert!(name.starts_with("cc_x_"), "foreign metric: {line}");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
         }
     }
 
