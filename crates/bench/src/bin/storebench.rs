@@ -26,6 +26,16 @@
 //!    put/get percentiles, per-codec routing counts and achieved
 //!    ratios, compress/decompress p50s from the per-codec histograms,
 //!    and each policy's compression on the ordinary zipfian mix.
+//! 6. **Tier sweep** — the mixed workload under a budget that forces
+//!    placement decisions, for each `TierPolicy` (`compress-all` /
+//!    `paper-threshold` / `recency`) at two zipf skews, with the
+//!    background demoter live. Reports per-arm latency percentiles,
+//!    hit counts split hot/warm/cold, promotion/demotion traffic, and
+//!    final tier gauges — the "does adaptive placement beat
+//!    compress-everything?" experiment.
+//!
+//! The non-tier trials (1–5) pin the `compress-all` policy so their
+//! numbers keep measuring the codec and spill paths, not placement.
 //!
 //! Results land in `BENCH_store.json`.
 //!
@@ -36,14 +46,17 @@
 //! cargo run --release -p cc-bench --bin storebench -- --smoke
 //! ```
 //!
-//! `--smoke` runs a reduced-ops spill + same-filled + codec-sweep pass
-//! and exits nonzero if the resident-bytes budget is ever exceeded, the
-//! spill pipeline goes unexercised, the latency histograms fail basic
-//! sanity (empty, or p50/p99/max out of order), telemetry costs more
-//! than 5% of throughput, adaptive codec selection is slower at put p50
-//! than the lzrw1-only baseline on the pattern mix (or loses
-//! compression on the zipfian mix), or any per-codec histogram goes
-//! unexercised — CI runs it on every push.
+//! `--smoke` runs a reduced-ops spill + same-filled + codec-sweep +
+//! tier-sweep pass and exits nonzero if the resident-bytes budget is
+//! ever exceeded, the spill pipeline goes unexercised, the latency
+//! histograms fail basic sanity (empty, or p50/p99/max out of order),
+//! telemetry costs more than 5% of throughput, adaptive codec selection
+//! is slower at put p50 than the lzrw1-only baseline on the pattern mix
+//! (or loses compression on the zipfian mix), any per-codec histogram
+//! goes unexercised, the recency tier policy loses to compress-all at
+//! get p50 on the hot-skewed mix, any tier or the demoter goes
+//! unexercised in the recency arm, or any tier arm overshoots its
+//! budget — CI runs it on every push.
 //!
 //! `--chaos` (optionally with `--seed N`; `--chaos --smoke` is the
 //! reduced CI variant) runs the mixed workload against a seeded
@@ -57,6 +70,7 @@ use cc_bench::smoke;
 use cc_compress::CodecPolicy;
 use cc_core::medium::{FaultInjector, FaultPlan, FileMedium, SpillMedium};
 use cc_core::store::{CompressedStore, HitTier, StoreConfig};
+use cc_core::tier::{CompressAll, PaperThreshold, RecencyCompressibility, TierPolicy};
 use cc_telemetry::Snapshot;
 use cc_util::SplitMix64;
 use std::io::Write as _;
@@ -75,6 +89,20 @@ const BUDGET: usize = 64 << 20;
 /// the disk tier carries most of the key space.
 const SPILL_BUDGET: usize = 1 << 20;
 const SPILL_THREADS: usize = 4;
+/// Tier-sweep key space and budget: ~2048 keys compress to roughly
+/// 4 MB, so a 3 MB budget forces real placement decisions — the zipf
+/// head can stay resident but the tail cannot.
+const TIER_KEYS: u64 = 2048;
+const TIER_BUDGET: usize = 3 << 20;
+const TIER_THREADS: usize = 4;
+/// Skews for the tier sweep: hot-concentrated and flatter-than-hot.
+const TIER_SKEWS: [f64; 2] = [0.99, 0.6];
+
+/// The flat-store tier policy pinned by every non-tier trial, so their
+/// numbers keep measuring the codec and spill paths, not placement.
+fn flat_tiering() -> Arc<dyn TierPolicy> {
+    Arc::new(CompressAll)
+}
 
 /// Zipfian sampler over `0..KEYS`: precomputed CDF + binary search, so a
 /// draw is one `SplitMix64` step and a `partition_point`.
@@ -194,7 +222,8 @@ fn run_trial(
         StoreConfig::in_memory(BUDGET)
             .with_shards(shards)
             .with_telemetry(telemetry)
-            .with_codec_policy(policy),
+            .with_codec_policy(policy)
+            .with_tier_policy(flat_tiering()),
     ));
     // Pre-populate the whole key space so gets mostly hit.
     let mut page = vec![0u8; PAGE];
@@ -283,10 +312,9 @@ struct SpillTrial {
 
 fn run_spill_trial(threads: usize, ops_per_thread: u64, zipf: &Arc<Zipf>) -> SpillTrial {
     let path = std::env::temp_dir().join(format!("storebench-spill-{}.bin", std::process::id()));
-    let store = Arc::new(CompressedStore::new(StoreConfig::with_spill(
-        SPILL_BUDGET,
-        &path,
-    )));
+    let store = Arc::new(CompressedStore::new(
+        StoreConfig::with_spill(SPILL_BUDGET, &path).with_tier_policy(flat_tiering()),
+    ));
     let mut page = vec![0u8; PAGE];
     for key in 0..KEYS {
         page_for(key, &mut page);
@@ -430,7 +458,8 @@ struct SameFilledTrial {
 }
 
 fn run_same_filled_trial(ops: u64) -> SameFilledTrial {
-    let store = CompressedStore::new(StoreConfig::in_memory(BUDGET));
+    let store =
+        CompressedStore::new(StoreConfig::in_memory(BUDGET).with_tier_policy(flat_tiering()));
     let mut rng = SplitMix64::new(0x5A5A);
     let mut page = vec![0u8; PAGE];
     let mut same_ns = Vec::new();
@@ -491,7 +520,11 @@ struct CodecTrial {
 }
 
 fn run_codec_trial(policy: CodecPolicy, ops: u64, zipf: &Arc<Zipf>, zipf_ops: u64) -> CodecTrial {
-    let store = CompressedStore::new(StoreConfig::in_memory(BUDGET).with_codec_policy(policy));
+    let store = CompressedStore::new(
+        StoreConfig::in_memory(BUDGET)
+            .with_codec_policy(policy)
+            .with_tier_policy(flat_tiering()),
+    );
     let mut rng = SplitMix64::new(0xC0DE ^ policy as u64);
     let mut page = vec![0u8; PAGE];
     let mut out = vec![0u8; PAGE];
@@ -575,6 +608,235 @@ fn run_codec_sweep(ops: u64, zipf: &Arc<Zipf>, zipf_ops: u64) -> Vec<CodecTrial>
             t
         })
         .collect()
+}
+
+/// The tier-sweep policy arms: the flat store, the paper's 4:3
+/// admission split, and recency+compressibility tuned for the sweep's
+/// op clock (idle windows sized in generation ticks, pressure floors
+/// low enough that the demoter keeps headroom for promotions even
+/// though the working set pins the budget).
+fn tier_policies() -> Vec<(&'static str, Arc<dyn TierPolicy>)> {
+    vec![
+        ("compress-all", Arc::new(CompressAll)),
+        ("paper-threshold", Arc::new(PaperThreshold)),
+        (
+            "recency",
+            Arc::new(RecencyCompressibility {
+                hot_idle: 2048,
+                warm_idle: 4096,
+                promote_window: 1024,
+                max_promote_pressure_pct: 100,
+                hot_demote_pressure_pct: 40,
+                warm_demote_pressure_pct: 60,
+            }),
+        ),
+    ]
+}
+
+/// One arm of the tier sweep: the mixed workload under one
+/// [`TierPolicy`] at one zipf skew, with the background demoter live.
+struct TierArm {
+    policy: &'static str,
+    zipf_s: f64,
+    ops_per_sec: f64,
+    put_p50_ns: u64,
+    put_p99_ns: u64,
+    get_p50_ns: u64,
+    get_p99_ns: u64,
+    puts_hot: u64,
+    hits_hot: u64,
+    hits_memory: u64,
+    hits_spill: u64,
+    misses: u64,
+    promotions: u64,
+    promotions_rejected: u64,
+    demoted_hot: u64,
+    demoted_warm: u64,
+    demoter_passes: u64,
+    hot_bytes: u64,
+    warm_bytes: u64,
+    max_resident_seen: u64,
+}
+
+fn run_tier_trial(
+    name: &'static str,
+    policy: Arc<dyn TierPolicy>,
+    zipf_s: f64,
+    ops_per_thread: u64,
+) -> TierArm {
+    let path = std::env::temp_dir().join(format!(
+        "storebench-tier-{name}-{}-{}.bin",
+        (zipf_s * 100.0) as u32,
+        std::process::id()
+    ));
+    let store = Arc::new(CompressedStore::new(
+        StoreConfig::with_spill(TIER_BUDGET, &path).with_tier_policy(policy),
+    ));
+    let zipf = Arc::new(Zipf::new(TIER_KEYS, zipf_s));
+    // Prefill hottest-last so the zipf head starts memory-resident and
+    // the tail is what eviction pushes to disk.
+    let mut page = vec![0u8; PAGE];
+    for key in (0..TIER_KEYS).rev() {
+        page_for(key, &mut page);
+        store.put(key, &page).expect("prefill");
+    }
+    store.flush().expect("flush");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut max_seen = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                max_seen = max_seen.max(store.stats().resident_bytes);
+            }
+            max_seen
+        })
+    };
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..TIER_THREADS {
+        let store = Arc::clone(&store);
+        let zipf = Arc::clone(&zipf);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(0x71E2 + t as u64);
+            let mut page = vec![0u8; PAGE];
+            let mut out = vec![0u8; PAGE];
+            let mut put_ns = Vec::new();
+            let mut get_ns = Vec::new();
+            for _ in 0..ops_per_thread {
+                let key = zipf.sample(&mut rng);
+                // 30/70 put/get: read-mostly, the regime where hot
+                // placement pays (gets dodge the decompress).
+                if rng.next_u64() % 10 < 3 {
+                    page_for(key, &mut page);
+                    let t0 = Instant::now();
+                    store.put(key, &page).expect("put");
+                    put_ns.push(t0.elapsed().as_nanos() as u64);
+                } else {
+                    let t0 = Instant::now();
+                    let _ = store.get(key, &mut out).expect("get");
+                    get_ns.push(t0.elapsed().as_nanos() as u64);
+                }
+            }
+            (put_ns, get_ns)
+        }));
+    }
+    let (mut put_ns, mut get_ns) = (Vec::new(), Vec::new());
+    for h in handles {
+        let (p, g) = h.join().expect("worker panicked");
+        put_ns.extend(p);
+        get_ns.extend(g);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    store.flush().expect("flush");
+    stop.store(true, Ordering::Relaxed);
+    let max_resident_seen = watcher.join().expect("watcher panicked");
+    put_ns.sort_unstable();
+    get_ns.sort_unstable();
+
+    let s = store.stats();
+    drop(store);
+    let _ = std::fs::remove_file(&path);
+    TierArm {
+        policy: name,
+        zipf_s,
+        ops_per_sec: (put_ns.len() + get_ns.len()) as f64 / elapsed,
+        put_p50_ns: pct(&put_ns, 0.50),
+        put_p99_ns: pct(&put_ns, 0.99),
+        get_p50_ns: pct(&get_ns, 0.50),
+        get_p99_ns: pct(&get_ns, 0.99),
+        puts_hot: s.puts_hot,
+        hits_hot: s.hits_hot,
+        hits_memory: s.hits_memory,
+        hits_spill: s.hits_spill,
+        misses: s.misses,
+        promotions: s.promotions,
+        promotions_rejected: s.promotions_rejected,
+        demoted_hot: s.demoted_hot,
+        demoted_warm: s.demoted_warm,
+        demoter_passes: s.demoter_passes,
+        hot_bytes: s.hot_bytes,
+        warm_bytes: s.warm_bytes,
+        max_resident_seen,
+    }
+}
+
+fn run_tier_sweep(ops_per_thread: u64) -> Vec<TierArm> {
+    let mut arms = Vec::new();
+    for &zipf_s in &TIER_SKEWS {
+        for (name, policy) in tier_policies() {
+            let a = run_tier_trial(name, policy, zipf_s, ops_per_thread);
+            eprintln!(
+                "  [tier {:<15}] s={:<4} {:>9.0} ops/s  get p50={:>6} p99={:>7} ns  hot/warm/cold hits={}/{}/{}  promo={} (rej {})  demo hot/warm={}/{}  passes={}",
+                a.policy,
+                a.zipf_s,
+                a.ops_per_sec,
+                a.get_p50_ns,
+                a.get_p99_ns,
+                a.hits_hot,
+                a.hits_memory,
+                a.hits_spill,
+                a.promotions,
+                a.promotions_rejected,
+                a.demoted_hot,
+                a.demoted_warm,
+                a.demoter_passes,
+            );
+            arms.push(a);
+        }
+    }
+    arms
+}
+
+fn tier_arm<'a>(arms: &'a [TierArm], policy: &str, zipf_s: f64) -> &'a TierArm {
+    arms.iter()
+        .find(|a| a.policy == policy && a.zipf_s == zipf_s)
+        .expect("tier sweep ran this arm")
+}
+
+fn json_tier_sweep(arms: &[TierArm]) -> String {
+    let rows: Vec<String> = arms
+        .iter()
+        .map(|a| {
+            format!(
+                "      {{\"policy\": \"{}\", \"zipf_s\": {}, \"ops_per_sec\": {:.0}, \"put_p50_ns\": {}, \"put_p99_ns\": {}, \"get_p50_ns\": {}, \"get_p99_ns\": {}, \"puts_hot\": {}, \"hits_hot\": {}, \"hits_memory\": {}, \"hits_spill\": {}, \"misses\": {}, \"promotions\": {}, \"promotions_rejected\": {}, \"demoted_hot\": {}, \"demoted_warm\": {}, \"demoter_passes\": {}, \"hot_bytes\": {}, \"warm_bytes\": {}, \"max_resident_seen\": {}}}",
+                a.policy,
+                a.zipf_s,
+                a.ops_per_sec,
+                a.put_p50_ns,
+                a.put_p99_ns,
+                a.get_p50_ns,
+                a.get_p99_ns,
+                a.puts_hot,
+                a.hits_hot,
+                a.hits_memory,
+                a.hits_spill,
+                a.misses,
+                a.promotions,
+                a.promotions_rejected,
+                a.demoted_hot,
+                a.demoted_warm,
+                a.demoter_passes,
+                a.hot_bytes,
+                a.warm_bytes,
+                a.max_resident_seen,
+            )
+        })
+        .collect();
+    let flat = tier_arm(arms, "compress-all", 0.99);
+    let rec = tier_arm(arms, "recency", 0.99);
+    let win_pct = if flat.get_p50_ns > 0 {
+        (1.0 - rec.get_p50_ns as f64 / flat.get_p50_ns as f64) * 100.0
+    } else {
+        0.0
+    };
+    format!(
+        "{{\n    \"keys\": {TIER_KEYS},\n    \"budget_bytes\": {TIER_BUDGET},\n    \"threads\": {TIER_THREADS},\n    \"mix\": \"30/70 put/get, prefilled hottest-last\",\n    \"recency_get_p50_win_pct\": {win_pct:.1},\n    \"arms\": [\n{}\n    ]\n  }}",
+        rows.join(",\n")
+    )
 }
 
 fn op_p50(snap: &Snapshot, op: &str) -> u64 {
@@ -858,11 +1120,14 @@ fn chaos_page(key: u64, version: u64, buf: &mut [u8]) {
 /// and telemetry plane for real, and fail loudly if an invariant breaks.
 fn run_smoke() -> i32 {
     let zipf = Arc::new(Zipf::new(KEYS, ZIPF_S));
-    eprintln!("storebench --smoke: spill pipeline + same-filled + telemetry + codec-sweep gate");
+    eprintln!(
+        "storebench --smoke: spill pipeline + same-filled + telemetry + codec-sweep + tier-sweep gate"
+    );
     let spill = run_spill_trial(SPILL_THREADS, 10_000, &zipf);
     let same = run_same_filled_trial(20_000);
     let ovh = run_overhead_probe(20_000, &zipf);
     let sweep = run_codec_sweep(20_000, &zipf, 10_000);
+    let tiers = run_tier_sweep(8_000);
     eprintln!(
         "  spill: {:.0} ops/s, {} spilled in {} batches ({:.1}/batch), gc_runs={}, file={} B, max_resident={} B (budget {SPILL_BUDGET})",
         spill.ops_per_sec,
@@ -978,6 +1243,45 @@ fn run_smoke() -> i32 {
             "adaptive zipfian ratio {:.3} worse than lzrw1-only {:.3}",
             ad.zipf_ratio, lz.zipf_ratio
         ));
+    }
+    // Tier-sweep gates: at equal budget on the hot-skewed mix, adaptive
+    // placement must beat compress-everything at get p50 (hot hits are
+    // memcpys, not decompresses), the recency arm must exercise all
+    // three tiers plus both demotion directions and the background
+    // demoter, and no arm may ever overshoot its budget.
+    let flat_hot = tier_arm(&tiers, "compress-all", 0.99);
+    let rec_hot = tier_arm(&tiers, "recency", 0.99);
+    if rec_hot.get_p50_ns >= flat_hot.get_p50_ns {
+        failures.push(format!(
+            "recency get p50 ({} ns) not better than compress-all ({} ns) on the s=0.99 mix",
+            rec_hot.get_p50_ns, flat_hot.get_p50_ns
+        ));
+    }
+    if rec_hot.hits_hot == 0 || rec_hot.hits_memory == 0 || rec_hot.hits_spill == 0 {
+        failures.push(format!(
+            "recency arm left a tier unexercised: {} hot, {} warm, {} cold hits",
+            rec_hot.hits_hot, rec_hot.hits_memory, rec_hot.hits_spill
+        ));
+    }
+    if rec_hot.promotions == 0 {
+        failures.push("recency arm promoted nothing back to hot".into());
+    }
+    if rec_hot.demoted_hot == 0 || rec_hot.demoted_warm == 0 {
+        failures.push(format!(
+            "demotion unexercised in the recency arm: {} hot->warm/cold, {} warm->cold",
+            rec_hot.demoted_hot, rec_hot.demoted_warm
+        ));
+    }
+    if rec_hot.demoter_passes == 0 {
+        failures.push("background demoter never completed a pass".into());
+    }
+    for a in &tiers {
+        if a.max_resident_seen > TIER_BUDGET as u64 {
+            failures.push(format!(
+                "tier arm {} s={} exceeded budget: saw {} resident bytes with budget {TIER_BUDGET}",
+                a.policy, a.zipf_s, a.max_resident_seen
+            ));
+        }
     }
     smoke::report("storebench", &failures)
 }
@@ -1102,14 +1406,16 @@ fn main() {
     );
 
     let sweep = run_codec_sweep(ops_per_thread, &zipf, ops_per_thread / 2);
+    let tiers = run_tier_sweep(ops_per_thread / 8);
 
     let json = format!(
-        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"spill\": {},\n  \"same_filled\": {},\n  \"codec_sweep\": {},\n  \"telemetry\": {},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal. spill.entries_per_batch is the write-coalescing factor (1.0 = one syscall per entry, the pre-pipeline behaviour); gc_runs > 0 with a bounded file_bytes_on_disk shows dead-extent compaction under churn. telemetry.spill_trial is the spill trial's own snapshot: ops are nanosecond latency histograms split by serving tier, events are ring counts; telemetry.overhead is the throughput cost of the telemetry plane vs with_telemetry(false), gated at 5% by --smoke. codec_sweep compares codec policies on a pattern-heavy page mix: adaptive_put_p50_win_pct is the put-latency win of sampled-probe codec selection over the lzrw1-only baseline, and each policy row carries per-codec routing counts, achieved ratios, and compress/decompress p50s from the per-codec telemetry histograms; zipf_ratio is the same policy's compression on the ordinary zipfian text/noise mix (adaptive must hold it), gated by --smoke.\"\n}}\n",
+        "{{\n  \"benchmark\": \"storebench\",\n  \"host_cpus\": {host_cpus},\n  \"page_size\": {PAGE},\n  \"keys\": {KEYS},\n  \"zipf_s\": {ZIPF_S},\n  \"ops_per_thread\": {ops_per_thread},\n  \"mix\": \"50% put / 40% get / 10% remove\",\n  \"baseline_shards_1\": {},\n  \"sharded\": {{\"shards\": {sharded_shards}, \"trials\": {}}},\n  \"scaling_8t_over_1t\": {scaling:.2},\n  \"spill\": {},\n  \"same_filled\": {},\n  \"codec_sweep\": {},\n  \"tier_sweep\": {},\n  \"telemetry\": {},\n  \"note\": \"parallel speedup is bounded by min(threads, host_cpus); on a single-cpu host the expected scaling is ~1.0x and the p99 gap between baseline_shards_1 and sharded is the contention signal. spill.entries_per_batch is the write-coalescing factor (1.0 = one syscall per entry, the pre-pipeline behaviour); gc_runs > 0 with a bounded file_bytes_on_disk shows dead-extent compaction under churn. telemetry.spill_trial is the spill trial's own snapshot: ops are nanosecond latency histograms split by serving tier, events are ring counts; telemetry.overhead is the throughput cost of the telemetry plane vs with_telemetry(false), gated at 5% by --smoke. codec_sweep compares codec policies on a pattern-heavy page mix: adaptive_put_p50_win_pct is the put-latency win of sampled-probe codec selection over the lzrw1-only baseline, and each policy row carries per-codec routing counts, achieved ratios, and compress/decompress p50s from the per-codec telemetry histograms; zipf_ratio is the same policy's compression on the ordinary zipfian text/noise mix (adaptive must hold it), gated by --smoke. tier_sweep compares tier policies at equal budget with the background demoter live: recency_get_p50_win_pct is the read-latency win of adaptive hot/warm/cold placement over compress-all on the hot-skewed mix (hot hits are memcpys, not decompresses), and each arm reports hits split by serving tier, promotion/demotion traffic, and final tier gauges; the non-tier trials above pin compress-all so their numbers isolate the codec and spill paths.\"\n}}\n",
         json_trials(&baseline),
         json_trials(&sharded),
         json_spill(&spill),
         json_same_filled(&same),
         json_codec_sweep(&sweep),
+        json_tier_sweep(&tiers),
         json_telemetry(&spill.telemetry, &ovh),
     );
     let mut f = std::fs::File::create(&out_path).expect("create output");

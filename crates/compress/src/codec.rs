@@ -268,6 +268,28 @@ impl CodecSet {
         page: &[u8],
         dst: &mut Vec<u8>,
     ) -> Selection {
+        self.compress_with_hint(policy, threshold, page, dst, None)
+    }
+
+    /// Like [`CodecSet::compress_with_policy`], but accepting a cached
+    /// [`probe_bdi`] verdict for this exact page content.
+    ///
+    /// A caller that already probed the page — e.g. a tiering layer that
+    /// used the probe as its placement hint and recorded it per entry —
+    /// passes `Some(verdict)` so adaptive selection skips the second
+    /// probe; `None` probes here as usual. The hint must come from
+    /// `probe_bdi(page, threshold.max_compressed_len(page.len()))` on
+    /// unchanged bytes: a stale hint only costs the fallback pass the
+    /// probe exists to avoid, never correctness, because the real
+    /// compressed size is re-checked either way.
+    pub fn compress_with_hint(
+        &mut self,
+        policy: CodecPolicy,
+        threshold: ThresholdPolicy,
+        page: &[u8],
+        dst: &mut Vec<u8>,
+        probe_hint: Option<bool>,
+    ) -> Selection {
         let n = page.len();
         // Per-codec scratch sizing: reserve the worst case for *this*
         // policy's codec set up front so no codec ever reallocates
@@ -287,7 +309,7 @@ impl CodecSet {
                 (CodecId::Bdi, false)
             }
             CodecPolicy::Adaptive => {
-                if probe_bdi(page, admit) {
+                if probe_hint.unwrap_or_else(|| probe_bdi(page, admit)) {
                     let len = self.bdi.compress(page, dst);
                     if len <= admit {
                         (CodecId::Bdi, false)
@@ -440,6 +462,37 @@ mod tests {
         assert_eq!(sel.codec, CodecId::Raw);
         assert!(!sel.admitted);
         assert_eq!(sel.len, 4097);
+    }
+
+    #[test]
+    fn cached_probe_hint_matches_inline_probe() {
+        let mut set = CodecSet::new();
+        let t = ThresholdPolicy::default();
+        for page in [
+            vec![0u8; 4096],
+            narrow_page(4096),
+            text_page(4096),
+            noise_page(4096, 23),
+        ] {
+            let hint = probe_bdi(&page, t.max_compressed_len(page.len()));
+            let mut inline = Vec::new();
+            let baseline = set.compress_with_policy(CodecPolicy::Adaptive, t, &page, &mut inline);
+            let mut hinted = Vec::new();
+            let sel =
+                set.compress_with_hint(CodecPolicy::Adaptive, t, &page, &mut hinted, Some(hint));
+            assert_eq!(sel, baseline);
+            assert_eq!(hinted, inline);
+        }
+        // A stale "not BDI" hint must still seal correctly — it only
+        // forfeits the BDI attempt, never integrity.
+        let page = narrow_page(4096);
+        let mut dst = Vec::new();
+        let sel = set.compress_with_hint(CodecPolicy::Adaptive, t, &page, &mut dst, Some(false));
+        assert_ne!(sel.codec, CodecId::Bdi);
+        let mut out = Vec::new();
+        set.decompress(sel.codec, &dst, &mut out, page.len())
+            .unwrap();
+        assert_eq!(out, page);
     }
 
     #[test]

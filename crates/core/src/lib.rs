@@ -56,6 +56,7 @@ pub mod medium;
 pub mod overhead;
 pub mod store;
 pub mod swap;
+pub mod tier;
 
 pub use backing::{BackingStore, MemBacking};
 pub use cache::{CleanEvictOutcome, CompressionCache, CoreStats, FaultOutcome, InsertOutcome};
@@ -64,6 +65,9 @@ pub use medium::{Fault, FaultInjector, FaultPlan, FileMedium, InjectedFaults, Sp
 pub use overhead::OverheadReport;
 pub use store::{CompressedStore, StoreConfig, StoreError, StoreStats};
 pub use swap::{SwapInfo, SwapLoc, SwapSpace};
+pub use tier::{
+    CompressAll, PaperThreshold, PlacementQuery, RecencyCompressibility, TierDecision, TierPolicy,
+};
 
 /// Identity of a virtual page, as the cache sees it.
 ///

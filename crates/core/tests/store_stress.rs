@@ -11,9 +11,11 @@
 //!    memory budget, at any sampled instant, under full contention.
 
 use cc_core::store::{CompressedStore, StoreConfig, StoreError};
+use cc_core::tier::RecencyCompressibility;
 use cc_util::SplitMix64;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 const PAGE: usize = 4096;
 const THREADS: u64 = 8;
@@ -311,6 +313,110 @@ fn stress_gc_churn_with_same_filled() {
                 assert_eq!(out, vec![(sf % 251) as u8; PAGE], "final same-filled {sf}");
             }
         }
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+/// Budget + integrity with the *background demoter* running flat out: a
+/// 1 ms pass interval, one-op idle windows, and zero pressure floors
+/// make it constantly compress hot pages down and push aged warm pages
+/// to the spill file while eight threads put, get, remove, and flush,
+/// and aggressive GC settings keep the writer compacting underneath.
+/// The budget gauge must never exceed the budget at any sampled instant
+/// — the demoter only ever *frees* memory — and every get must return
+/// exact bytes whatever tier it caught the page in.
+#[test]
+fn stress_tiering_with_background_demoter() {
+    let dir = std::env::temp_dir().join(format!("ccstore-tierstress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("spill.bin");
+    const BUDGET: usize = 256 * 1024;
+    {
+        let policy = RecencyCompressibility {
+            hot_idle: 1,
+            warm_idle: 2,
+            promote_window: u64::MAX,
+            max_promote_pressure_pct: 100,
+            hot_demote_pressure_pct: 0,
+            warm_demote_pressure_pct: 0,
+        };
+        let store = Arc::new(CompressedStore::new(
+            StoreConfig::with_spill(BUDGET, &path)
+                .with_tier_policy(Arc::new(policy))
+                .with_demote_interval(Duration::from_millis(1))
+                .with_spill_batch_bytes(8 * 1024)
+                .with_gc_dead_ratio(0.25),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let watcher = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut max_seen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    max_seen = max_seen.max(store.stats().resident_bytes);
+                }
+                max_seen
+            })
+        };
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0x7E1E_D0AA + t);
+                let mut out = vec![0u8; PAGE];
+                for i in 0..1500u64 {
+                    let key = rng.next_u64() % KEYS;
+                    match rng.next_u64() % 10 {
+                        0..=4 => store.put(key, &page_for(key)).unwrap(),
+                        // Get bursts so re-accessed pages cross the
+                        // promotion bar while the demoter pulls the
+                        // other way.
+                        5..=7 => {
+                            for _ in 0..2 {
+                                if store.get(key, &mut out).unwrap() {
+                                    assert_eq!(out, page_for(key), "key {key} corrupted");
+                                }
+                            }
+                        }
+                        8 => {
+                            store.remove(key);
+                        }
+                        _ => {
+                            if i % 100 == 0 {
+                                store.flush().unwrap();
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let max_seen = watcher.join().unwrap();
+        assert!(
+            max_seen <= BUDGET as u64,
+            "budget exceeded under demoter churn: saw {max_seen} with budget {BUDGET}"
+        );
+        store.flush().unwrap();
+        let s = store.stats();
+        // Every tier mechanism must actually have fired under this load.
+        assert!(s.puts_hot > 0, "no hot placements: {s:?}");
+        assert!(s.promotions > 0, "no promotions: {s:?}");
+        assert!(s.demoted_hot > 0, "demoter never demoted hot: {s:?}");
+        assert!(s.demoted_warm > 0, "demoter never spilled warm: {s:?}");
+        assert!(s.demoter_passes > 0, "demoter never ran: {s:?}");
+        assert!(s.spilled > 0, "pressure never spilled: {s:?}");
+        let mut out = vec![0u8; PAGE];
+        for key in 0..KEYS {
+            if store.get(key, &mut out).unwrap() {
+                assert_eq!(out, page_for(key), "final key {key}");
+            }
+        }
+        store.shutdown();
     }
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_dir(&dir);

@@ -60,6 +60,11 @@ pub mod sop {
     /// A backpressure park interval on a connection (background;
     /// `arg` = connection id, `service_ns` = parked duration).
     pub const PARK: u8 = 9;
+    /// Tier promotion: a warm or cold page decompressed back into the
+    /// hot tier on re-access (`arg` = key, `tier` = source tier).
+    pub const PROMOTE: u8 = 10;
+    /// Background demoter sweep (background; `arg` = pages demoted).
+    pub const DEMOTE: u8 = 11;
     /// Name table, index-aligned with the codes above.
     pub const NAMES: &[&str] = &[
         "?",
@@ -72,6 +77,8 @@ pub mod sop {
         "gc",
         "reply_flush",
         "park",
+        "promote",
+        "demote",
     ];
 
     /// The printable name of an op code.
@@ -90,8 +97,10 @@ pub mod tier {
     pub const SAME_FILLED: u8 = 2;
     /// Spill-file tier.
     pub const SPILL: u8 = 3;
+    /// Uncompressed-resident hot tier.
+    pub const HOT: u8 = 4;
     /// Name table, index-aligned with the codes above.
-    pub const NAMES: &[&str] = &["none", "memory", "same_filled", "spill"];
+    pub const NAMES: &[&str] = &["none", "memory", "same_filled", "spill", "hot"];
 
     /// The printable name of a tier code.
     pub fn name(t: u8) -> &'static str {
