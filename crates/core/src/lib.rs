@@ -54,6 +54,7 @@ pub mod circ;
 pub mod config;
 pub mod medium;
 pub mod overhead;
+pub mod persist;
 pub mod store;
 pub mod swap;
 pub mod tier;
@@ -61,8 +62,12 @@ pub mod tier;
 pub use backing::{BackingStore, MemBacking};
 pub use cache::{CleanEvictOutcome, CompressionCache, CoreStats, FaultOutcome, InsertOutcome};
 pub use config::CacheConfig;
-pub use medium::{Fault, FaultInjector, FaultPlan, FileMedium, InjectedFaults, SpillMedium};
+pub use medium::{
+    CrashSwitch, Fault, FaultInjector, FaultPlan, FileMedium, InjectedFaults, MemMedium,
+    SpillMedium,
+};
 pub use overhead::OverheadReport;
+pub use persist::{RecoverError, RecoveryCounts};
 pub use store::{CompressedStore, StoreConfig, StoreError, StoreStats};
 pub use swap::{SwapInfo, SwapLoc, SwapSpace};
 pub use tier::{

@@ -15,12 +15,22 @@
 //! operation's global index, so a failing chaos run replays exactly by
 //! seed. Explicit per-operation scripts override the probabilistic plan
 //! for tests that need a fault at a precise moment.
+//!
+//! Power loss is the one fault that isn't per-operation: a crash cuts the
+//! *byte stream* — everything written before byte N is on the platter,
+//! nothing after is, and the victim process never sees an error.
+//! [`CrashSwitch`] models exactly that: a cumulative byte counter shared
+//! by every injector attached to it (so the data file and its journal die
+//! at the same wall-clock instant), silently swallowing all bytes past
+//! the cut, optionally scribbling over the torn sector. Arm it at a byte
+//! offset recorded from a previous run and the crash replays exactly.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Positioned I/O over the spill medium. All methods take `&self`: one
@@ -58,9 +68,174 @@ impl FileMedium {
         Ok(FileMedium { file })
     }
 
+    /// Open an existing spill file at `path` without truncating it —
+    /// the warm-restart entry point (creates an empty file if absent).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FileMedium> {
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        Ok(FileMedium { file })
+    }
+
     /// Wrap an already-open file (must be readable and writable).
     pub fn from_file(file: File) -> FileMedium {
         FileMedium { file }
+    }
+}
+
+/// A shared in-memory medium: a growable byte buffer behind a mutex.
+/// Clones share the same bytes, which is what crash/recovery tests need —
+/// "reopen the same disk" is just another clone of the handle.
+#[derive(Clone, Default)]
+pub struct MemMedium {
+    data: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemMedium {
+    /// An empty in-memory medium.
+    pub fn new() -> MemMedium {
+        MemMedium::default()
+    }
+
+    /// Another handle on the same bytes.
+    pub fn share(&self) -> MemMedium {
+        self.clone()
+    }
+
+    /// Current size of the medium in bytes.
+    pub fn len(&self) -> usize {
+        self.data.lock().expect("mem medium poisoned").len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SpillMedium for MemMedium {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        let data = self.data.lock().expect("mem medium poisoned");
+        let start = offset as usize;
+        let end = start + buf.len();
+        if end > data.len() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "past end"));
+        }
+        buf.copy_from_slice(&data[start..end]);
+        Ok(())
+    }
+
+    fn write_at(&self, src: &[u8], offset: u64) -> io::Result<()> {
+        let mut data = self.data.lock().expect("mem medium poisoned");
+        let end = offset as usize + src.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(src);
+        Ok(())
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn set_len(&self, len: u64) -> io::Result<()> {
+        self.data
+            .lock()
+            .expect("mem medium poisoned")
+            .resize(len as usize, 0);
+        Ok(())
+    }
+}
+
+/// The power-loss model: a cumulative byte-stream cut shared by every
+/// medium attached to it.
+///
+/// Each write claims its range of the shared stream; bytes at or past
+/// the cut position are silently dropped (the caller sees success — a
+/// dying machine reports nothing), a write straddling the cut lands only
+/// its prefix, and `flush`/`set_len` after the cut are swallowed. With
+/// `tear`, the sector the cut lands in gets scribbled past the cut
+/// point, modelling a drive that corrupts the in-flight sector instead
+/// of cutting cleanly — the case checksums exist for.
+///
+/// Share one switch between the data-file injector and the journal
+/// injector so both "lose power" at the same instant, in wall-clock
+/// write order.
+pub struct CrashSwitch {
+    written: AtomicU64,
+    /// Cut position in the cumulative stream; `u64::MAX` = not armed.
+    cut: AtomicU64,
+    tear: AtomicBool,
+}
+
+/// Sector size used by [`CrashSwitch`] tear scribbling.
+const TEAR_SECTOR: u64 = 512;
+
+impl CrashSwitch {
+    /// A switch that is not armed: writes pass through but are counted,
+    /// so a later run can replay a cut at any observed position.
+    pub fn new() -> Arc<CrashSwitch> {
+        Arc::new(CrashSwitch {
+            written: AtomicU64::new(0),
+            cut: AtomicU64::new(u64::MAX),
+            tear: AtomicBool::new(false),
+        })
+    }
+
+    /// A switch armed to cut the stream at byte `at`.
+    pub fn armed(at: u64, tear: bool) -> Arc<CrashSwitch> {
+        let s = CrashSwitch::new();
+        s.cut.store(at, Ordering::SeqCst);
+        s.tear.store(tear, Ordering::SeqCst);
+        s
+    }
+
+    /// Arm (or re-arm) the cut at byte `at` of the cumulative stream.
+    pub fn arm(&self, at: u64, tear: bool) {
+        self.tear.store(tear, Ordering::SeqCst);
+        self.cut.store(at, Ordering::SeqCst);
+    }
+
+    /// Cut immediately: nothing written from this instant persists.
+    pub fn cut_now(&self) {
+        self.cut
+            .store(self.written.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
+
+    /// Total bytes offered to the stream so far (including dropped
+    /// ones) — the coordinate space `arm` positions are in.
+    pub fn bytes_written(&self) -> u64 {
+        self.written.load(Ordering::SeqCst)
+    }
+
+    /// Whether the stream has reached (or passed) the cut.
+    pub fn is_cut(&self) -> bool {
+        self.written.load(Ordering::SeqCst) >= self.cut.load(Ordering::SeqCst)
+    }
+
+    /// Claim `len` bytes of the stream. Returns how many of them land
+    /// on the medium (the rest vanish).
+    fn claim(&self, len: u64) -> u64 {
+        let start = self.written.fetch_add(len, Ordering::SeqCst);
+        let cut = self.cut.load(Ordering::SeqCst);
+        if start >= cut {
+            0
+        } else {
+            len.min(cut - start)
+        }
+    }
+}
+
+impl std::fmt::Debug for CrashSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashSwitch")
+            .field("written", &self.bytes_written())
+            .field("cut", &self.cut.load(Ordering::SeqCst))
+            .finish()
     }
 }
 
@@ -154,6 +329,14 @@ pub struct FaultPlan {
     pub write_outage: Option<std::ops::Range<u64>>,
     /// Explicit `(global operation index, fault)` overrides.
     pub script: Vec<(u64, Fault)>,
+    /// Power loss: silently persist nothing past byte N of the
+    /// cumulative write stream (the caller still sees success). To cut
+    /// several media at one shared instant, build the injectors with
+    /// [`FaultInjector::with_switch`] instead.
+    pub crash_after_bytes: Option<u64>,
+    /// When the crash cut lands mid-write, scribble over the rest of
+    /// the torn sector instead of cutting cleanly.
+    pub crash_tear: bool,
 }
 
 impl FaultPlan {
@@ -176,6 +359,8 @@ pub struct InjectedFaults {
     pub short_writes: u64,
     /// Latency spikes imposed.
     pub delays: u64,
+    /// Writes fully or partially swallowed by a crash cut.
+    pub crash_cut_writes: u64,
 }
 
 impl InjectedFaults {
@@ -190,6 +375,7 @@ pub struct FaultInjector<M> {
     inner: M,
     plan: FaultPlan,
     script: HashMap<u64, Fault>,
+    switch: Option<Arc<CrashSwitch>>,
     ops: AtomicU64,
     writes: AtomicU64,
     read_errors: AtomicU64,
@@ -197,6 +383,7 @@ pub struct FaultInjector<M> {
     write_errors: AtomicU64,
     short_writes: AtomicU64,
     delays: AtomicU64,
+    crash_cut_writes: AtomicU64,
 }
 
 /// splitmix64 finalizer: the per-operation decision hash.
@@ -212,13 +399,29 @@ fn one_in(h: u64, n: u64) -> bool {
 }
 
 impl<M: SpillMedium> FaultInjector<M> {
-    /// Wrap `inner` with `plan`.
+    /// Wrap `inner` with `plan`. If the plan arms a crash cut, the
+    /// injector gets its own private [`CrashSwitch`].
     pub fn new(inner: M, plan: FaultPlan) -> FaultInjector<M> {
+        let switch = plan
+            .crash_after_bytes
+            .map(|at| CrashSwitch::armed(at, plan.crash_tear));
+        Self::build(inner, plan, switch)
+    }
+
+    /// Wrap `inner` with `plan` and a shared [`CrashSwitch`], so several
+    /// media (a data file and its journal) lose power at the same
+    /// instant of the combined write stream.
+    pub fn with_switch(inner: M, plan: FaultPlan, switch: Arc<CrashSwitch>) -> FaultInjector<M> {
+        Self::build(inner, plan, Some(switch))
+    }
+
+    fn build(inner: M, plan: FaultPlan, switch: Option<Arc<CrashSwitch>>) -> FaultInjector<M> {
         let script = plan.script.iter().copied().collect();
         FaultInjector {
             inner,
             plan,
             script,
+            switch,
             ops: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             read_errors: AtomicU64::new(0),
@@ -226,7 +429,13 @@ impl<M: SpillMedium> FaultInjector<M> {
             write_errors: AtomicU64::new(0),
             short_writes: AtomicU64::new(0),
             delays: AtomicU64::new(0),
+            crash_cut_writes: AtomicU64::new(0),
         }
+    }
+
+    /// The crash switch governing this injector, if any.
+    pub fn switch(&self) -> Option<&Arc<CrashSwitch>> {
+        self.switch.as_ref()
     }
 
     /// Faults injected so far.
@@ -237,12 +446,44 @@ impl<M: SpillMedium> FaultInjector<M> {
             write_errors: self.write_errors.load(Ordering::Relaxed),
             short_writes: self.short_writes.load(Ordering::Relaxed),
             delays: self.delays.load(Ordering::Relaxed),
+            crash_cut_writes: self.crash_cut_writes.load(Ordering::Relaxed),
         }
     }
 
     /// Operations (reads + writes) observed so far.
     pub fn operations(&self) -> u64 {
         self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Route a write through the crash switch. `Some(n)` means the
+    /// switch claimed the write and only the first `n` bytes (possibly
+    /// zero, possibly with a torn sector) may land; `None` means no
+    /// switch governs this injector.
+    fn crash_cut(&self, data: &[u8], offset: u64) -> Option<io::Result<()>> {
+        let switch = self.switch.as_ref()?;
+        let keep = switch.claim(data.len() as u64);
+        if keep >= data.len() as u64 {
+            return None; // Entirely before the cut: write normally.
+        }
+        self.crash_cut_writes.fetch_add(1, Ordering::Relaxed);
+        if keep > 0 {
+            // The prefix made it to the platter before power died.
+            let _ = self.inner.write_at(&data[..keep as usize], offset);
+        }
+        if switch.tear.load(Ordering::SeqCst) && keep > 0 {
+            // Scribble the rest of the in-flight sector: a drive that
+            // doesn't cut cleanly leaves garbage the CRC must catch.
+            let sector_end = (keep.div_ceil(TEAR_SECTOR) * TEAR_SECTOR).min(data.len() as u64);
+            if sector_end > keep {
+                let garbage: Vec<u8> = data[keep as usize..sector_end as usize]
+                    .iter()
+                    .map(|b| b ^ 0xA5)
+                    .collect();
+                let _ = self.inner.write_at(&garbage, offset + keep);
+            }
+        }
+        // The dying machine reports nothing: the caller sees success.
+        Some(Ok(()))
     }
 
     fn decide(&self, idx: u64, read: bool) -> Option<Fault> {
@@ -307,6 +548,9 @@ impl<M: SpillMedium> SpillMedium for FaultInjector<M> {
     fn write_at(&self, data: &[u8], offset: u64) -> io::Result<()> {
         let idx = self.ops.fetch_add(1, Ordering::Relaxed);
         let widx = self.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(result) = self.crash_cut(data, offset) {
+            return result;
+        }
         if let Some(outage) = &self.plan.write_outage {
             if outage.contains(&widx) {
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
@@ -343,10 +587,16 @@ impl<M: SpillMedium> SpillMedium for FaultInjector<M> {
     }
 
     fn flush(&self) -> io::Result<()> {
+        if self.switch.as_ref().is_some_and(|s| s.is_cut()) {
+            return Ok(()); // Power is out; nothing reaches the platter.
+        }
         self.inner.flush()
     }
 
     fn set_len(&self, len: u64) -> io::Result<()> {
+        if self.switch.as_ref().is_some_and(|s| s.is_cut()) {
+            return Ok(());
+        }
         self.inner.set_len(len)
     }
 }
@@ -354,52 +604,6 @@ impl<M: SpillMedium> SpillMedium for FaultInjector<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
-
-    /// An in-memory medium for exercising the injector.
-    struct MemMedium {
-        data: Mutex<Vec<u8>>,
-    }
-
-    impl MemMedium {
-        fn new() -> MemMedium {
-            MemMedium {
-                data: Mutex::new(Vec::new()),
-            }
-        }
-    }
-
-    impl SpillMedium for MemMedium {
-        fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
-            let data = self.data.lock().unwrap();
-            let start = offset as usize;
-            let end = start + buf.len();
-            if end > data.len() {
-                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "past end"));
-            }
-            buf.copy_from_slice(&data[start..end]);
-            Ok(())
-        }
-
-        fn write_at(&self, src: &[u8], offset: u64) -> io::Result<()> {
-            let mut data = self.data.lock().unwrap();
-            let end = offset as usize + src.len();
-            if data.len() < end {
-                data.resize(end, 0);
-            }
-            data[offset as usize..end].copy_from_slice(src);
-            Ok(())
-        }
-
-        fn flush(&self) -> io::Result<()> {
-            Ok(())
-        }
-
-        fn set_len(&self, len: u64) -> io::Result<()> {
-            self.data.lock().unwrap().resize(len as usize, 0);
-            Ok(())
-        }
-    }
 
     #[test]
     fn quiet_plan_is_a_passthrough() {
@@ -513,5 +717,84 @@ mod tests {
         let a = count(42);
         assert_eq!(a, count(42), "replay must match");
         assert!(a > 40 && a < 200, "rate ~1/4 of 400: got {a}");
+    }
+
+    #[test]
+    fn crash_cut_silently_drops_everything_past_byte_n() {
+        let plan = FaultPlan {
+            crash_after_bytes: Some(10),
+            ..FaultPlan::default()
+        };
+        let disk = MemMedium::new();
+        let m = FaultInjector::new(disk.share(), plan);
+        m.write_at(&[0xAAu8; 8], 0).unwrap(); // bytes 0..8: land
+        m.write_at(&[0xBBu8; 8], 8).unwrap(); // bytes 8..16: 2 land
+        m.write_at(&[0xCCu8; 8], 16).unwrap(); // fully past cut, still "succeeds"
+        m.flush().unwrap(); // swallowed
+        m.set_len(4).unwrap(); // swallowed: must NOT shrink the platter
+        assert_eq!(m.injected().crash_cut_writes, 2);
+        assert!(m.switch().unwrap().is_cut());
+        // Reopen the "disk": only the first 10 bytes exist.
+        assert_eq!(disk.len(), 10);
+        let mut buf = [0u8; 10];
+        disk.read_at(&mut buf, 0).unwrap();
+        assert_eq!(&buf[..8], &[0xAAu8; 8]);
+        assert_eq!(&buf[8..], &[0xBBu8; 2]);
+    }
+
+    #[test]
+    fn shared_switch_cuts_both_media_at_one_instant() {
+        let switch = CrashSwitch::new();
+        let data_disk = MemMedium::new();
+        let map_disk = MemMedium::new();
+        let data =
+            FaultInjector::with_switch(data_disk.share(), FaultPlan::quiet(), switch.clone());
+        let map = FaultInjector::with_switch(map_disk.share(), FaultPlan::quiet(), switch.clone());
+        data.write_at(&[1u8; 4], 0).unwrap(); // stream 0..4
+        map.write_at(&[2u8; 4], 0).unwrap(); // stream 4..8
+        assert_eq!(switch.bytes_written(), 8);
+        switch.arm(8, false); // power dies now
+        data.write_at(&[3u8; 4], 4).unwrap(); // dropped
+        map.write_at(&[4u8; 4], 4).unwrap(); // dropped
+        assert_eq!(data_disk.len(), 4);
+        assert_eq!(map_disk.len(), 4);
+    }
+
+    #[test]
+    fn crash_tear_scribbles_the_torn_sector() {
+        let plan = FaultPlan {
+            crash_after_bytes: Some(100),
+            crash_tear: true,
+            ..FaultPlan::default()
+        };
+        let disk = MemMedium::new();
+        let m = FaultInjector::new(disk.share(), plan);
+        m.write_at(&[0x00u8; 256], 0).unwrap();
+        assert_eq!(disk.len(), 256, "torn sector scribble extends past cut");
+        let mut buf = [0u8; 256];
+        disk.read_at(&mut buf, 0).unwrap();
+        assert!(buf[..100].iter().all(|&b| b == 0x00), "prefix intact");
+        assert!(buf[100..].iter().all(|&b| b == 0xA5), "tail scribbled");
+    }
+
+    #[test]
+    fn cut_now_replays_from_recorded_byte_position() {
+        // First run: no cut, record the stream position at a barrier.
+        let run = |cut_at: Option<u64>| {
+            let switch = CrashSwitch::new();
+            if let Some(at) = cut_at {
+                switch.arm(at, false);
+            }
+            let disk = MemMedium::new();
+            let m = FaultInjector::with_switch(disk.share(), FaultPlan::quiet(), switch.clone());
+            m.write_at(&[7u8; 33], 0).unwrap();
+            let barrier = switch.bytes_written();
+            m.write_at(&[9u8; 19], 33).unwrap();
+            (disk.len(), barrier)
+        };
+        let (full, barrier) = run(None);
+        assert_eq!(full, 52);
+        let (cut, _) = run(Some(barrier));
+        assert_eq!(cut, 33, "replayed cut lands exactly at the barrier");
     }
 }

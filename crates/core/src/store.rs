@@ -117,6 +117,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::medium::{FileMedium, SpillMedium};
+use crate::persist::{
+    self, jkind, JournalRecord, Persist, PersistState, RecoverError, Superblock,
+    SUPERBLOCK_RESERVED,
+};
 use crate::tier::{PlacementQuery, TierDecision, TierPolicy};
 use cc_compress::{
     expand_same_filled, probe_bdi, same_filled_pattern, CodecId, CodecPolicy, CodecSet,
@@ -161,6 +165,14 @@ mod tstat {
     pub const DEMOTED_HOT: usize = 28;
     pub const DEMOTED_WARM: usize = 29;
     pub const DEMOTER_PASSES: usize = 30;
+    pub const EXTENTS_RECOVERED: usize = 31;
+    pub const JOURNAL_RECORDS_REPLAYED: usize = 32;
+    pub const TORN_TAIL_DISCARDED: usize = 33;
+    pub const STALE_GENERATION_DROPPED: usize = 34;
+    pub const RECOVERY_EXTENTS_VERIFIED: usize = 35;
+    pub const JOURNAL_RECORDS_WRITTEN: usize = 36;
+    pub const JOURNAL_COMPACTIONS: usize = 37;
+    pub const CLEAN_RECOVERIES: usize = 38;
     pub const NAMES: &[&str] = &[
         "compressed",
         "stored_raw",
@@ -193,6 +205,14 @@ mod tstat {
         "demoted_hot",
         "demoted_warm",
         "demoter_passes",
+        "extents_recovered",
+        "journal_records_replayed",
+        "torn_tail_discarded",
+        "stale_generation_dropped",
+        "recovery_extents_verified",
+        "journal_records_written",
+        "journal_compactions",
+        "clean_recoveries",
     ];
 }
 
@@ -212,6 +232,7 @@ mod top {
     pub const GET_HOT: usize = 11;
     pub const PROMOTE: usize = 12;
     pub const DEMOTE_PAUSE: usize = 13;
+    pub const RECOVERY: usize = 14;
     pub const NAMES: &[&str] = &[
         "put",
         "get_memory",
@@ -227,6 +248,7 @@ mod top {
         "get_hot",
         "promote",
         "demote_pause",
+        "recovery_duration",
     ];
 }
 
@@ -257,6 +279,9 @@ mod tevent {
     pub const PROMOTE: usize = 9;
     /// `a` = pages demoted by one demoter pass, `b` = pass nanoseconds.
     pub const DEMOTE: usize = 10;
+    /// Warm restart: `a` = extents recovered from the spill file,
+    /// `b` = recovery duration in nanoseconds.
+    pub const RECOVERY: usize = 11;
     pub const NAMES: &[&str] = &[
         "batch_commit",
         "gc_run",
@@ -269,6 +294,7 @@ mod tevent {
         "corrupt",
         "promote",
         "demote",
+        "recovery",
     ];
 }
 
@@ -351,6 +377,14 @@ pub struct StoreConfig {
     /// budget-pressure evictions also nudge it awake early). Default
     /// 5 ms.
     pub demote_interval: Duration,
+    /// Make the spill tier crash-safe and warm-restartable: a
+    /// checksummed superblock heads the spill file and every durable
+    /// spill batch group-commits its locations to a sibling
+    /// `<spill_path>.map` journal, so [`CompressedStore::open_existing`]
+    /// can rebuild the cold tier after a crash or restart. Default
+    /// `false` (the spill file is scratch space that dies with the
+    /// process).
+    pub persistent: bool,
 }
 
 /// The paper's §4.3 write-back batch size.
@@ -390,6 +424,7 @@ impl StoreConfig {
             tracer: None,
             tier_policy: crate::tier::default_policy(),
             demote_interval: DEFAULT_DEMOTE_INTERVAL,
+            persistent: false,
         }
     }
 
@@ -399,6 +434,14 @@ impl StoreConfig {
             spill_path: Some(path.into()),
             ..StoreConfig::in_memory(memory_budget)
         }
+    }
+
+    /// Make the spill tier crash-safe (see [`StoreConfig::persistent`]).
+    /// Open a fresh store with [`CompressedStore::new`] and a restart
+    /// survivor with [`CompressedStore::open_existing`].
+    pub fn with_persistent(mut self, on: bool) -> Self {
+        self.persistent = on;
+        self
     }
 
     /// Override the codec-selection policy (see
@@ -671,6 +714,30 @@ pub struct StoreStats {
     /// Sealed bytes currently resident in the warm tier (gauge;
     /// included in [`StoreStats::resident_bytes`]).
     pub warm_bytes: u64,
+    /// Cold extents recovered from the spill file at open
+    /// ([`CompressedStore::open_existing`]) and served without re-PUT.
+    pub extents_recovered: u64,
+    /// Location-map journal records replayed during recovery.
+    pub journal_records_replayed: u64,
+    /// Torn journal tails and unverifiable extents discarded by
+    /// recovery (each one would have been garbage if served).
+    pub torn_tail_discarded: u64,
+    /// Journal records dropped by generation arbitration during replay
+    /// (superseded puts, out-of-date relocations).
+    pub stale_generation_dropped: u64,
+    /// Extents re-read and CRC-verified during recovery. Zero after a
+    /// clean shutdown — the fast warm start skipped the scan.
+    pub recovery_extents_verified: u64,
+    /// Location records group-committed to the journal since open.
+    pub journal_records_written: u64,
+    /// Journal compaction passes (epoch flips) since open.
+    pub journal_compactions: u64,
+    /// Opens that took the clean-shutdown fast path (0 or 1 for this
+    /// store; summable across restarts by an aggregator).
+    pub clean_recoveries: u64,
+    /// Wall-clock nanoseconds the recovery replay + verification took
+    /// at open (0 when this store was not opened from existing media).
+    pub recovery_ns: u64,
 }
 
 enum Residence {
@@ -727,6 +794,12 @@ struct Entry {
     /// op per clock tick a 32-bit window is ~4 billion operations deep,
     /// far past any policy's idle threshold.
     last_touch: u32,
+    /// Whether this key has a location record in the persistence
+    /// journal (set when a spill job is queued, kept across promotion).
+    /// Removing or replacing a journaled key must enqueue a tombstone,
+    /// or recovery would resurrect it. Always `false` on
+    /// non-persistent stores.
+    journaled: bool,
 }
 
 /// Entry probe-byte encoding of the put path's `Option<bool>` verdict.
@@ -821,6 +894,9 @@ struct SpillJob {
     gen: u64,
     /// Codec id byte, sealed into the extent header alongside the data.
     codec: u8,
+    /// Uncompressed page length, journaled so recovery can restore the
+    /// entry (and re-learn the store's page size) without decoding.
+    orig_len: u32,
     data: Arc<Vec<u8>>,
     /// Trace context of the sampled put that queued this job
     /// ([`TraceCtx::NONE`] for background eviction / unsampled puts):
@@ -863,7 +939,7 @@ const EXTENT_MAGIC: u32 = 0xCC5E_E002;
 /// [`EXTENT_CRC_OFFSET`] header bytes *and* the payload, so a flipped
 /// codec id is a verification failure — decoding with the wrong codec is
 /// impossible by construction, not merely unlikely.
-const EXTENT_HEADER: usize = 24;
+pub(crate) const EXTENT_HEADER: usize = 24;
 
 /// Offset of the CRC field inside the header; everything before it is
 /// covered by the CRC.
@@ -872,7 +948,7 @@ const EXTENT_CRC_OFFSET: usize = 20;
 /// Append `payload`'s extent (header + payload) to `buf`. The CRC is
 /// computed here, at batch-commit time — the last moment the writer
 /// still holds the payload bytes it is about to trust to the medium.
-fn encode_extent(buf: &mut Vec<u8>, gen: u64, codec: u8, payload: &[u8]) {
+pub(crate) fn encode_extent(buf: &mut Vec<u8>, gen: u64, codec: u8, payload: &[u8]) {
     let start = buf.len();
     buf.extend_from_slice(&EXTENT_MAGIC.to_le_bytes());
     buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -893,7 +969,7 @@ fn encode_extent(buf: &mut Vec<u8>, gen: u64, codec: u8, payload: &[u8]) {
 /// header byte must equal the entry's recorded id, *and* the CRC covers
 /// that byte, so neither a flipped header nor a stale entry can route
 /// the payload to the wrong decoder.
-fn verify_extent(ext: &[u8], gen: u64, codec: u8) -> bool {
+pub(crate) fn verify_extent(ext: &[u8], gen: u64, codec: u8) -> bool {
     if ext.len() < EXTENT_HEADER {
         return false;
     }
@@ -1013,6 +1089,10 @@ struct StoreCore {
     /// racing a compaction) but self-correcting: GC subtracts exactly
     /// what it physically reclaimed.
     spill_dead_bytes: AtomicU64,
+    /// Persistence state (`Some` iff [`StoreConfig::persistent`]): the
+    /// location-map journal and its append position. The superblock
+    /// lives at the head of the spill medium itself.
+    persist: Option<Persist>,
 }
 
 /// The thread-safe compressed page store. Cloneable handles are not
@@ -1023,27 +1103,198 @@ pub struct CompressedStore {
     demoter: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
+/// The location-map journal lives beside the spill file: `<spill>.map`.
+fn journal_path(path: &std::path::Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".map");
+    PathBuf::from(os)
+}
+
+/// Everything a persistent open hands to [`CompressedStore::build`]: the
+/// journal medium, the resume position, and (for an existing file) the
+/// recovered entry set with how long recovery took.
+struct PersistSetup {
+    journal: Arc<dyn SpillMedium>,
+    state: PersistState,
+    recovery: Option<(persist::Recovery, Duration)>,
+}
+
 impl CompressedStore {
     /// Open a store.
     ///
+    /// With [`StoreConfig::persistent`], the spill file gains a
+    /// superblock and a `<spill_path>.map` location journal; both are
+    /// created fresh (truncating any previous state — use
+    /// [`CompressedStore::open_existing`] to warm-restart instead).
+    ///
     /// # Panics
     ///
-    /// Panics if the spill file cannot be created.
+    /// Panics if the spill file (or, when persistent, the journal file
+    /// or initial superblock) cannot be created.
     pub fn new(cfg: StoreConfig) -> Self {
         let medium = cfg.spill_path.as_ref().map(|path| {
             Arc::new(FileMedium::create(path).expect("create spill file")) as Arc<dyn SpillMedium>
         });
-        Self::build(cfg, medium)
+        if cfg.persistent {
+            let path = cfg
+                .spill_path
+                .clone()
+                .expect("persistent store needs a spill path");
+            let journal =
+                Arc::new(FileMedium::create(journal_path(&path)).expect("create spill journal"))
+                    as Arc<dyn SpillMedium>;
+            let medium = medium.expect("persistent store needs a spill medium");
+            let state = Self::init_persistent(&*medium).expect("write initial superblock");
+            return Self::build(
+                cfg,
+                Some(medium),
+                Some(PersistSetup {
+                    journal,
+                    state,
+                    recovery: None,
+                }),
+            );
+        }
+        Self::build(cfg, medium, None)
     }
 
     /// Open a store over an explicit [`SpillMedium`] — a fault injector,
     /// an in-memory medium, anything. `cfg.spill_path` is ignored (the
     /// medium *is* the spill backing); everything else applies as usual.
+    /// Non-persistent; see [`CompressedStore::with_persistent_media`].
     pub fn with_medium(cfg: StoreConfig, medium: Arc<dyn SpillMedium>) -> Self {
-        Self::build(cfg, Some(medium))
+        Self::build(cfg, Some(medium), None)
     }
 
-    fn build(cfg: StoreConfig, medium: Option<Arc<dyn SpillMedium>>) -> Self {
+    /// Reopen a persistent store from its existing spill file and
+    /// journal, recovering every durably-committed cold extent: replay
+    /// the location journal, arbitrate generations, re-verify extents
+    /// (skipped entirely after a clean shutdown), and serve GETs for
+    /// the survivors immediately — no re-PUT. `cfg.persistent` is
+    /// implied. Fails with [`StoreError::Corrupt`] if no superblock
+    /// slot decodes or the file was written under a different
+    /// codec/format fingerprint.
+    pub fn open_existing(mut cfg: StoreConfig) -> Result<Self, StoreError> {
+        cfg.persistent = true;
+        let path = cfg
+            .spill_path
+            .clone()
+            .expect("persistent store needs a spill path");
+        let medium = Arc::new(FileMedium::open(&path)?) as Arc<dyn SpillMedium>;
+        let journal = Arc::new(FileMedium::open(journal_path(&path))?) as Arc<dyn SpillMedium>;
+        Self::open_with(cfg, medium, journal)
+    }
+
+    /// Open a *fresh* persistent store over explicit media (the spill
+    /// data medium and the location-journal medium) — fault injectors,
+    /// in-memory media, anything. `cfg.spill_path` is ignored.
+    pub fn with_persistent_media(
+        mut cfg: StoreConfig,
+        data: Arc<dyn SpillMedium>,
+        journal: Arc<dyn SpillMedium>,
+    ) -> Result<Self, StoreError> {
+        cfg.persistent = true;
+        let state = Self::init_persistent(&*data)?;
+        Ok(Self::build(
+            cfg,
+            Some(data),
+            Some(PersistSetup {
+                journal,
+                state,
+                recovery: None,
+            }),
+        ))
+    }
+
+    /// [`CompressedStore::open_existing`] over explicit media: recover
+    /// whatever the media already hold. This is the crash-recovery
+    /// test entry point — cut the media mid-run, then reopen them here.
+    pub fn open_existing_with_media(
+        mut cfg: StoreConfig,
+        data: Arc<dyn SpillMedium>,
+        journal: Arc<dyn SpillMedium>,
+    ) -> Result<Self, StoreError> {
+        cfg.persistent = true;
+        Self::open_with(cfg, data, journal)
+    }
+
+    /// Write the initial superblock of a fresh persistent store.
+    fn init_persistent(data: &dyn SpillMedium) -> Result<PersistState, StoreError> {
+        let sb = Superblock {
+            seq: 1,
+            page_size: 0,
+            codec_fpr: persist::codec_fingerprint(),
+            clean: false,
+            epoch: 0,
+            journal_start: 0,
+            data_cursor: SUPERBLOCK_RESERVED,
+            journal_tail: 0,
+        };
+        persist::write_superblock(data, &sb)?;
+        Ok(PersistState {
+            tail: 0,
+            epoch: 0,
+            start: 0,
+            sb_seq: 1,
+            pending: Vec::new(),
+        })
+    }
+
+    fn open_with(
+        cfg: StoreConfig,
+        data: Arc<dyn SpillMedium>,
+        journal: Arc<dyn SpillMedium>,
+    ) -> Result<Self, StoreError> {
+        let t0 = Instant::now();
+        let rec = persist::recover(&*data, &*journal).map_err(|e| match e {
+            RecoverError::Io(e) => StoreError::Io(e),
+            other => {
+                // Not an I/O problem: the file itself is unusable
+                // (missing/destroyed superblock or format mismatch).
+                // Surface it as corruption rather than guessing.
+                let _ = other;
+                StoreError::Corrupt
+            }
+        })?;
+        // Mark the file dirty *before* serving: if we crash from here
+        // on, the next open must not trust the old clean seal.
+        let sb_seq = rec.sb_seq + 1;
+        persist::write_superblock(
+            &*data,
+            &Superblock {
+                seq: sb_seq,
+                page_size: rec.page_size,
+                codec_fpr: persist::codec_fingerprint(),
+                clean: false,
+                epoch: rec.epoch,
+                journal_start: rec.journal_start,
+                data_cursor: rec.data_cursor,
+                journal_tail: rec.journal_tail,
+            },
+        )?;
+        let state = PersistState {
+            tail: rec.journal_tail,
+            epoch: rec.epoch,
+            start: rec.journal_start,
+            sb_seq,
+            pending: Vec::new(),
+        };
+        Ok(Self::build(
+            cfg,
+            Some(data),
+            Some(PersistSetup {
+                journal,
+                state,
+                recovery: Some((rec, t0.elapsed())),
+            }),
+        ))
+    }
+
+    fn build(
+        cfg: StoreConfig,
+        medium: Option<Arc<dyn SpillMedium>>,
+        psetup: Option<PersistSetup>,
+    ) -> Self {
         let (tx, rx) = match &medium {
             Some(_) => {
                 let (tx, rx): (Sender<SpillJob>, Receiver<SpillJob>) = channel();
@@ -1070,6 +1321,17 @@ impl CompressedStore {
             cc_telemetry::DEFAULT_RING_CAPACITY,
             cfg.telemetry,
         );
+        let (persist_handle, recovery) = match psetup {
+            Some(p) => (Some(Persist::new(p.journal, p.state)), p.recovery),
+            None => (None, None),
+        };
+        // Extent space starts past the superblock region on persistent
+        // media; the legacy scratch layout keeps its base of 0.
+        let init_cursor = match (&recovery, &persist_handle) {
+            (Some((rec, _)), _) => rec.data_cursor,
+            (None, Some(_)) => SUPERBLOCK_RESERVED,
+            (None, None) => 0,
+        };
         let core = Arc::new(StoreCore {
             cfg,
             shards,
@@ -1087,9 +1349,70 @@ impl CompressedStore {
             writer_dead: AtomicBool::new(false),
             done: Mutex::new(Vec::new()),
             tel,
-            spill_file_bytes: AtomicU64::new(0),
+            spill_file_bytes: AtomicU64::new(init_cursor),
             spill_dead_bytes: AtomicU64::new(0),
+            persist: persist_handle,
         });
+        if let Some((rec, took)) = recovery {
+            let mut live_bytes = 0u64;
+            for e in &rec.entries {
+                let idx = core.shard_index(e.key);
+                let mut shard = core.shards[idx].0.lock().expect("shard poisoned");
+                shard.entries.insert(
+                    e.key,
+                    Entry {
+                        residence: Residence::Spilled {
+                            offset: e.offset,
+                            len: e.len,
+                            gen: e.gen,
+                        },
+                        orig_len: e.orig_len,
+                        codec: e.codec,
+                        probe: 0,
+                        gets: 0,
+                        last_touch: 0,
+                        journaled: true,
+                    },
+                );
+                live_bytes += e.len as u64;
+            }
+            // Resume generations above everything the journal has seen
+            // (ABA safety across the restart) and restore the gauges.
+            core.next_gen.store(rec.max_lsn + 1, Ordering::Relaxed);
+            if rec.page_size != 0 {
+                core.page_size
+                    .store(rec.page_size as usize, Ordering::Relaxed);
+            }
+            core.spill_dead_bytes.store(
+                rec.data_cursor
+                    .saturating_sub(SUPERBLOCK_RESERVED)
+                    .saturating_sub(live_bytes),
+                Ordering::Relaxed,
+            );
+            let c = &rec.counts;
+            core.tel
+                .count(0, tstat::EXTENTS_RECOVERED, c.extents_recovered);
+            core.tel.count(
+                0,
+                tstat::JOURNAL_RECORDS_REPLAYED,
+                c.journal_records_replayed,
+            );
+            core.tel
+                .count(0, tstat::TORN_TAIL_DISCARDED, c.torn_tail_discarded);
+            core.tel.count(
+                0,
+                tstat::STALE_GENERATION_DROPPED,
+                c.stale_generation_dropped,
+            );
+            core.tel
+                .count(0, tstat::RECOVERY_EXTENTS_VERIFIED, c.extents_verified);
+            if rec.clean {
+                core.tel.count(0, tstat::CLEAN_RECOVERIES, 1);
+            }
+            let ns = took.as_nanos() as u64;
+            core.tel.record(top::RECOVERY, ns);
+            let _ = core.tel.event(tevent::RECOVERY, c.extents_recovered, ns);
+        }
         let writer = match (&core.medium, rx) {
             (Some(medium), Some(rx)) => {
                 let writer_core = Arc::clone(&core);
@@ -1109,7 +1432,7 @@ impl CompressedStore {
                                 SpillWriter {
                                     core: writer_core,
                                     medium,
-                                    cursor: 0,
+                                    cursor: init_cursor,
                                     consecutive_failures: 0,
                                     probes: 0,
                                 }
@@ -1186,6 +1509,22 @@ impl CompressedStore {
     /// same-filled fast path, or the spill file.
     pub fn get_tier(&self, key: u64, out: &mut [u8]) -> Result<Option<HitTier>, StoreError> {
         self.core.get(key, out, TraceCtx::NONE)
+    }
+
+    /// Which tier `key` currently resides in, without reading the page
+    /// or touching any recency state. `None` if the key is unknown.
+    /// Recovery tests use this to prove a warm restart serves from the
+    /// spill tier (no re-PUT happened); `Spilling` reports as
+    /// [`HitTier::Memory`] since that is where a read would be served.
+    pub fn peek_tier(&self, key: u64) -> Option<HitTier> {
+        self.core.absorb_completed_spills();
+        let shard = self.core.shard(key);
+        shard.entries.get(&key).map(|e| match e.residence {
+            Residence::Hot { .. } => HitTier::Hot,
+            Residence::Memory { .. } | Residence::Spilling { .. } => HitTier::Memory,
+            Residence::SameFilled { .. } => HitTier::SameFilled,
+            Residence::Spilled { .. } => HitTier::Spill,
+        })
     }
 
     /// The configured request tracer, if any (see
@@ -1545,6 +1884,7 @@ impl StoreCore {
                     probe: 0,
                     gets: 0,
                     last_touch: now,
+                    journaled: false,
                 },
             );
             drop(shard);
@@ -1794,6 +2134,7 @@ impl StoreCore {
                         key,
                         gen,
                         codec: sel.codec.as_u8(),
+                        orig_len: page.len() as u32,
                         data: Arc::clone(&data),
                         ctx,
                         queued: ctx.sampled().then(Instant::now),
@@ -1818,6 +2159,10 @@ impl StoreCore {
             }
         };
         let hot = matches!(residence, Residence::Hot { .. });
+        // A straight-to-spill entry is already in the writer's queue,
+        // so its location will hit the journal: it must tombstone on
+        // removal.
+        let journaled = matches!(residence, Residence::Spilling { .. });
         shard.entries.insert(
             key,
             Entry {
@@ -1833,6 +2178,7 @@ impl StoreCore {
                 probe: probe_code(hint),
                 gets: 0,
                 last_touch: now,
+                journaled,
             },
         );
         drop(shard);
@@ -2124,6 +2470,15 @@ impl StoreCore {
             resident_bytes: resident,
             hot_bytes: self.hot_resident.load(Ordering::Relaxed) as u64,
             warm_bytes: self.warm_resident.load(Ordering::Relaxed) as u64,
+            extents_recovered: self.tel.counter_sum(tstat::EXTENTS_RECOVERED),
+            journal_records_replayed: self.tel.counter_sum(tstat::JOURNAL_RECORDS_REPLAYED),
+            torn_tail_discarded: self.tel.counter_sum(tstat::TORN_TAIL_DISCARDED),
+            stale_generation_dropped: self.tel.counter_sum(tstat::STALE_GENERATION_DROPPED),
+            recovery_extents_verified: self.tel.counter_sum(tstat::RECOVERY_EXTENTS_VERIFIED),
+            journal_records_written: self.tel.counter_sum(tstat::JOURNAL_RECORDS_WRITTEN),
+            journal_compactions: self.tel.counter_sum(tstat::JOURNAL_COMPACTIONS),
+            clean_recoveries: self.tel.counter_sum(tstat::CLEAN_RECOVERIES),
+            recovery_ns: self.tel.op_summary(top::RECOVERY).max,
         }
     }
 
@@ -2204,9 +2559,26 @@ impl StoreCore {
         self.record_decompress(id, t0);
     }
 
+    /// Persistence hook for every path that removes (or supersedes) an
+    /// entry: if the key has a location record in the journal, queue a
+    /// tombstone with a fresh LSN so recovery cannot resurrect it. The
+    /// LSN is allocated while the caller still holds the key's shard
+    /// lock, which is what makes the per-key LSN order exact even when
+    /// the tombstone reaches the journal before the PUT it supersedes.
+    fn tombstone_if_journaled(&self, journaled: bool, key: u64) {
+        if !journaled {
+            return;
+        }
+        if let Some(p) = &self.persist {
+            let lsn = self.next_gen.fetch_add(1, Ordering::Relaxed);
+            p.enqueue_tombstone(key, lsn);
+        }
+    }
+
     fn remove_locked(&self, shard: &mut Shard, key: u64) -> bool {
         match shard.entries.remove(&key) {
             Some(e) => {
+                self.tombstone_if_journaled(e.journaled, key);
                 match e.residence {
                     Residence::Hot { data, handle } => {
                         self.resident.fetch_sub(data.len(), Ordering::Relaxed);
@@ -2316,6 +2688,8 @@ impl StoreCore {
         };
         let entry = shard.entries.get_mut(&victim).expect("lru/map sync");
         let codec = entry.codec;
+        let orig_len = entry.orig_len;
+        let was_journaled = entry.journaled;
         let Residence::Memory { data, handle } = &mut entry.residence else {
             unreachable!("LRU entry not in memory")
         };
@@ -2326,6 +2700,7 @@ impl StoreCore {
             data: Arc::clone(&data),
             gen,
         };
+        entry.journaled = self.persist.is_some();
         shard.lru.remove(handle);
         self.resident.fetch_sub(data.len(), Ordering::Relaxed);
         self.warm_resident.fetch_sub(data.len(), Ordering::Relaxed);
@@ -2335,6 +2710,7 @@ impl StoreCore {
                 key: victim,
                 gen,
                 codec,
+                orig_len,
                 data,
                 ctx: TraceCtx::NONE,
                 queued: None,
@@ -2347,6 +2723,9 @@ impl StoreCore {
             self.writer_dead.store(true, Ordering::Relaxed);
             self.enter_degraded(0);
             shard.entries.remove(&victim);
+            // The job never reached the journal, but an older location
+            // record for this key may still be live there.
+            self.tombstone_if_journaled(was_journaled, victim);
             let idx = self.shard_index(victim);
             self.tel.count(idx, tstat::SHED_PAGES, 1);
             if self.tel.timing_enabled() {
@@ -2375,6 +2754,7 @@ impl StoreCore {
             },
         };
         let entry = shard.entries.remove(&victim).expect("lru/map sync");
+        self.tombstone_if_journaled(entry.journaled, victim);
         let data = match entry.residence {
             Residence::Memory { data, handle } => {
                 self.warm_resident.fetch_sub(data.len(), Ordering::Relaxed);
@@ -2576,6 +2956,8 @@ impl StoreCore {
                 gen,
             };
             e.codec = sel.codec.as_u8();
+            let was_journaled = e.journaled;
+            e.journaled = self.persist.is_some();
             shard.entries.insert(key, e);
             shard.release_buf(data);
             self.resident.fetch_sub(orig_len, Ordering::Relaxed);
@@ -2585,6 +2967,7 @@ impl StoreCore {
                     key,
                     gen,
                     codec: sel.codec.as_u8(),
+                    orig_len: orig_len as u32,
                     data: sealed,
                     ctx: TraceCtx::NONE,
                     queued: None,
@@ -2596,6 +2979,7 @@ impl StoreCore {
                 self.writer_dead.store(true, Ordering::Relaxed);
                 self.enter_degraded(0);
                 shard.entries.remove(&key);
+                self.tombstone_if_journaled(was_journaled, key);
                 self.tel.count(shard_idx, tstat::SHED_PAGES, 1);
                 if self.tel.timing_enabled() {
                     self.tel.event(tevent::SHED, key, sel.len as u64);
@@ -2850,6 +3234,16 @@ impl StoreCore {
                     .any(|e| matches!(e.residence, Residence::Spilling { .. }))
             });
             if !pending {
+                // Durability barrier for the journal too: any tombstones
+                // queued by removes ride out with the flush, so a crash
+                // after a successful flush can never resurrect a key the
+                // caller saw removed before the barrier.
+                if let Some(p) = &self.persist {
+                    let n = p.commit_pending().map_err(StoreError::Io)?;
+                    if n > 0 {
+                        self.tel.count(0, tstat::JOURNAL_RECORDS_WRITTEN, n);
+                    }
+                }
                 return Ok(());
             }
             if self.writer_dead.load(Ordering::Relaxed) {
@@ -2957,6 +3351,8 @@ struct StagedJob {
     rel: usize,
     len: usize,
     codec: u8,
+    /// Uncompressed page length, carried into the journal PUT record.
+    orig_len: u32,
     /// Trace context carried over from the [`SpillJob`] (sampled
     /// straight-to-spill puts only).
     ctx: TraceCtx,
@@ -2965,6 +3361,34 @@ struct StagedJob {
 
 impl SpillWriter {
     fn run(mut self, rx: Receiver<SpillJob>) {
+        self.run_loop(rx);
+        // Channel closed: every queued job has been committed (mpsc
+        // drains before disconnecting). Seal the clean-shutdown bit —
+        // after the final batch and its journal records are durable,
+        // never before.
+        self.seal();
+    }
+
+    /// Orderly-exit seal: commit any pending tombstones, then write the
+    /// superblock with the clean bit, final cursor, and journal tail so
+    /// the next open can trust the journal without re-scanning extents.
+    /// Best-effort — any failure leaves the file unclean, which is
+    /// always safe (recovery just takes the verifying path).
+    fn seal(&mut self) {
+        let Some(p) = &self.core.persist else { return };
+        match p.commit_pending() {
+            Ok(n) => {
+                if n > 0 {
+                    self.core.tel.count(0, tstat::JOURNAL_RECORDS_WRITTEN, n);
+                }
+            }
+            Err(_) => return,
+        }
+        let page_size = self.core.page_size.load(Ordering::Relaxed) as u32;
+        let _ = p.seal_clean(&*self.medium, self.cursor, page_size);
+    }
+
+    fn run_loop(&mut self, rx: Receiver<SpillJob>) {
         let target = self.core.cfg.spill_batch_bytes.max(1);
         let mut buf: Vec<u8> = Vec::with_capacity(target * 2);
         let mut staged: Vec<StagedJob> = Vec::new();
@@ -3033,6 +3457,7 @@ impl SpillWriter {
             rel,
             len: buf.len() - rel,
             codec: job.codec,
+            orig_len: job.orig_len,
             ctx: job.ctx,
             queued: job.queued,
         });
@@ -3094,7 +3519,15 @@ impl SpillWriter {
         // Always timed: this thread is off the data path, and the write
         // histogram is what the bench gates sanity-check.
         let t0 = Instant::now();
-        let ok = self.write_with_retry(buf, base);
+        let mut ok = self.write_with_retry(buf, base);
+        if ok {
+            // Group-commit the location records *after* the data is
+            // durable: a journal record must never point at bytes that
+            // were not written. If the journal append fails the whole
+            // batch fails — the data bytes are orphaned at an
+            // unadvanced cursor and the next batch overwrites them.
+            ok = self.journal_batch(base, staged);
+        }
         if ok {
             self.consecutive_failures = 0;
             self.cursor += buf.len() as u64;
@@ -3160,17 +3593,60 @@ impl SpillWriter {
         }
     }
 
+    /// Append one journal PUT record per staged job, plus any tombstones
+    /// queued by foreground removes, in a single group-committed write.
+    /// Returns `true` on success (or when the store is not persistent).
+    fn journal_batch(&self, base: u64, staged: &[StagedJob]) -> bool {
+        let Some(p) = &self.core.persist else {
+            return true;
+        };
+        let puts: Vec<JournalRecord> = staged
+            .iter()
+            .map(|j| JournalRecord {
+                kind: jkind::PUT,
+                lsn: j.gen,
+                key: j.key,
+                offset: base + j.rel as u64,
+                len: j.len as u32,
+                orig_len: j.orig_len,
+                codec: j.codec,
+            })
+            .collect();
+        match p.append_commit(&puts) {
+            Ok(n) => {
+                self.core.tel.count(0, tstat::JOURNAL_RECORDS_WRITTEN, n);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// Compact the spill file if enough of it is dead. Runs between
     /// batches on this thread — the sole producer of completions and the
     /// sole writer of the file — which is what makes the live-extent
     /// snapshot complete and the cursor reset safe.
+    ///
+    /// Persistent stores add a crash discipline on top: each move
+    /// journals a relocation record *before* the copy that might clobber
+    /// an earlier extent's old home, a destination is never allowed to
+    /// overlap its own source (the old copy stays the fallback until the
+    /// new one is provably complete), and the file is truncated only
+    /// after every relocation is journaled. A crash at any byte of the
+    /// sweep therefore resolves every extent to exactly one valid copy.
     fn maybe_gc(&mut self) {
         let dead = self.core.spill_dead_bytes.load(Ordering::Relaxed);
         let min_dead = self.core.cfg.spill_batch_bytes.max(1) as u64;
-        if self.cursor == 0 || dead < min_dead {
+        // Persistent files reserve the superblock region below the data;
+        // compaction packs down to that floor, never into it.
+        let floor = if self.core.persist.is_some() {
+            SUPERBLOCK_RESERVED
+        } else {
+            0
+        };
+        if self.cursor <= floor || dead < min_dead {
             return;
         }
-        if (dead as f64) < self.core.cfg.gc_dead_ratio * self.cursor as f64 {
+        if (dead as f64) < self.core.cfg.gc_dead_ratio * (self.cursor - floor) as f64 {
             return;
         }
         // Absorb pending completions first: entries only become `Spilled`
@@ -3183,23 +3659,46 @@ impl SpillWriter {
         // modern system's GC stall. Always timed (writer thread).
         let t0 = Instant::now();
         let mut moved = 0u64;
-        let mut extents: Vec<(u64, u64, u32, u64)> = Vec::new();
+        let mut extents: Vec<(u64, u64, u32, u64, u8, u32)> = Vec::new();
         for s in &self.core.shards {
             let guard = s.0.lock().expect("shard poisoned");
             for (&k, e) in &guard.entries {
                 if let Residence::Spilled { offset, len, gen } = e.residence {
-                    extents.push((k, offset, len, gen));
+                    extents.push((k, offset, len, gen, e.codec, e.orig_len));
                 }
             }
         }
-        extents.sort_unstable_by_key(|&(_, off, _, _)| off);
+        extents.sort_unstable_by_key(|&(_, off, ..)| off);
         let old_len = self.cursor;
-        let mut new_cursor = 0u64;
+        let mut new_cursor = floor;
         let mut buf = Vec::new();
-        for (key, old_off, len, gen) in extents {
+        // Post-sweep location of every surviving extent — the snapshot a
+        // journal compaction rewrites the map file from.
+        let mut live: Vec<JournalRecord> = Vec::new();
+        for (key, old_off, len, gen, codec, orig_len) in extents {
+            let record = |offset: u64| JournalRecord {
+                kind: jkind::PUT,
+                lsn: gen,
+                key,
+                offset,
+                len,
+                orig_len,
+                codec,
+            };
             if old_off == new_cursor {
                 // Already compact; nothing to move.
                 new_cursor += len as u64;
+                live.push(record(old_off));
+                continue;
+            }
+            if floor != 0 && new_cursor + len as u64 > old_off {
+                // Persistent non-overlap rule: the destination would
+                // reach into the source, destroying the only valid copy
+                // before the new one is complete. Leave it in place and
+                // accept the gap — a later pass, with more dead space
+                // ahead of it, will move it cleanly.
+                new_cursor = old_off + len as u64;
+                live.push(record(old_off));
                 continue;
             }
             buf.resize(len as usize, 0);
@@ -3227,10 +3726,40 @@ impl SpillWriter {
                     // must keep a unique home (skipping it would let a
                     // later relocation clobber it), and the reader's
                     // verification is the integrity authority.
+                    //
+                    // Persistent: journal the relocation *before* the
+                    // copy. Writes hit the platter in issue order under
+                    // the power-loss model, so by the time this copy can
+                    // clobber an earlier extent's old home, that earlier
+                    // extent's own copy and RELOC record are both ahead
+                    // of it in the stream — recovery always finds one
+                    // valid copy (new if the copy landed, old otherwise,
+                    // via the record's previous-offset fallback).
+                    if let Some(p) = &self.core.persist {
+                        let reloc = JournalRecord {
+                            kind: jkind::RELOC,
+                            lsn: gen,
+                            key,
+                            offset: new_cursor,
+                            len,
+                            orig_len,
+                            codec,
+                        };
+                        match p.append_commit(&[reloc]) {
+                            Ok(n) => {
+                                self.core.tel.count(0, tstat::JOURNAL_RECORDS_WRITTEN, n);
+                            }
+                            // Journal down: stop relocating. Everything
+                            // moved so far is journaled and republished;
+                            // the rest stays put. No truncation.
+                            Err(_) => return,
+                        }
+                    }
                     if self.medium.write_at(&buf, new_cursor).is_err() {
                         return;
                     }
                     *offset = new_cursor;
+                    live.push(record(new_cursor));
                     new_cursor += len as u64;
                     moved += len as u64;
                 }
@@ -3278,6 +3807,16 @@ impl SpillWriter {
             );
             if pause > tr.gc_pause_threshold().as_nanos() as u64 {
                 tr.anomaly(AnomalyKind::GcPause, 0, moved, pause);
+            }
+        }
+        // The sweep shrank the data file and `live` is a complete
+        // post-sweep location snapshot — the one moment a journal
+        // compaction (rewriting the map file from the snapshot instead
+        // of its full history) is both cheap and obviously correct.
+        if let Some(p) = &self.core.persist {
+            let page_size = self.core.page_size.load(Ordering::Relaxed) as u32;
+            if let Ok(true) = p.maybe_compact(&*self.medium, new_cursor, page_size, &live) {
+                self.core.tel.count(0, tstat::JOURNAL_COMPACTIONS, 1);
             }
         }
     }

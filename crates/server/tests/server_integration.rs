@@ -722,6 +722,22 @@ fn stats_is_scrapeable_prometheus() {
         .and_then(|v| v.parse::<u64>().ok())
         .expect("cc_store_puts_lzrw1_total missing");
     assert!(puts_lzrw1 > 0, "no puts routed to lzrw1: {text}");
+    // The recovery telemetry surface is part of the schema even on a
+    // non-persistent store (all zero here, live after a warm restart).
+    for series in [
+        "cc_store_extents_recovered_total",
+        "cc_store_journal_records_replayed_total",
+        "cc_store_torn_tail_discarded_total",
+        "cc_store_stale_generation_dropped_total",
+        "cc_store_journal_records_written_total",
+        "cc_store_clean_recoveries_total",
+        "cc_store_recovery_duration_latency_ns",
+    ] {
+        assert!(
+            text.contains(series),
+            "missing recovery series {series}: {text}"
+        );
+    }
     for line in text
         .lines()
         .filter(|l| !l.starts_with('#') && !l.is_empty())
@@ -750,6 +766,110 @@ fn stats_is_scrapeable_prometheus() {
     assert_eq!(names(&text), names(&local), "STATS schema drifted");
     drop(client);
     shutdown_and_check_gauge(server, "stats");
+}
+
+/// Warm restart over the wire: a persistent store is filled through
+/// one server, sealed by an orderly shutdown, reopened with
+/// [`CompressedStore::open_existing`], and a *fresh* server over the
+/// recovered store answers GETs for every spilled key byte-for-byte —
+/// zero PUTs issued to the second server, and the clean fast path
+/// (no extent re-scan) taken on open. The recovery counters are live
+/// in the warm server's STATS payload.
+#[test]
+fn warm_restarted_server_serves_gets_without_reput() {
+    use cc_core::store::HitTier;
+    const BUDGET: usize = 16 << 10; // tiny: most of the working set spills
+    const KEYS: u64 = 96;
+    let path = std::env::temp_dir().join(format!("cc-server-test-warm-{}.bin", std::process::id()));
+    let map = path.with_extension("bin.map");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&map);
+
+    // Cold run: fill through the wire, flush, snapshot the spill set.
+    let store = Arc::new(CompressedStore::new(
+        StoreConfig::with_spill(BUDGET, &path).with_persistent(true),
+    ));
+    let server = Server::spawn(
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(2),
+    )
+    .expect("spawn cold server");
+    let mut client = Client::connect(server.local_addr()).expect("connect cold");
+    let mut page = vec![0u8; PAGE];
+    for key in 0..KEYS {
+        fill_page(key, key + 7, &mut page);
+        client.put(key, &page).expect("cold put");
+    }
+    client.flush().expect("cold flush");
+    let durable: Vec<u64> = (0..KEYS)
+        .filter(|&k| store.peek_tier(k) == Some(HitTier::Spill))
+        .collect();
+    assert!(
+        durable.len() > KEYS as usize / 2,
+        "budget too generous — only {} of {KEYS} keys spilled",
+        durable.len()
+    );
+    drop(client);
+    shutdown_and_check_gauge(server, "warm-restart cold phase");
+    drop(store); // last reference: the spill writer drains and seals clean
+
+    // Warm run: recover from the files alone and serve immediately.
+    let reopened = Arc::new(
+        CompressedStore::open_existing(StoreConfig::with_spill(BUDGET, &path)).expect("warm open"),
+    );
+    let stats = reopened.stats();
+    assert_eq!(
+        stats.clean_recoveries, 1,
+        "orderly shutdown did not seal clean"
+    );
+    assert_eq!(
+        stats.recovery_extents_verified, 0,
+        "clean start took the slow extent scan"
+    );
+    assert!(
+        stats.extents_recovered >= durable.len() as u64,
+        "recovered {} extents, expected at least {}",
+        stats.extents_recovered,
+        durable.len()
+    );
+    let server = Server::spawn(
+        Arc::clone(&reopened),
+        "127.0.0.1:0",
+        ServerConfig::default().with_workers(2),
+    )
+    .expect("spawn warm server");
+    let mut client = Client::connect(server.local_addr()).expect("connect warm");
+    let mut out = Vec::new();
+    let mut expect = vec![0u8; PAGE];
+    for &key in &durable {
+        fill_page(key, key + 7, &mut expect);
+        assert!(
+            client.get(key, &mut out).expect("warm get"),
+            "durable key {key} missing after warm restart"
+        );
+        assert_eq!(out, expect, "warm restart served wrong bytes for key {key}");
+    }
+    let text = client.stats().expect("warm stats");
+    let recovered = text
+        .lines()
+        .find_map(|l| l.strip_prefix("cc_store_extents_recovered_total "))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("cc_store_extents_recovered_total missing");
+    assert!(recovered >= durable.len() as u64, "{text}");
+    assert!(text.contains("cc_store_clean_recoveries_total 1"), "{text}");
+    let snap = server.service().snapshot();
+    assert_eq!(snap.counter("req_put"), Some(0), "warm server saw a re-PUT");
+    assert_eq!(
+        snap.counter("req_get"),
+        Some(durable.len() as u64),
+        "GET count drifted"
+    );
+    drop(client);
+    shutdown_and_check_gauge(server, "warm-restart warm phase");
+    drop(reopened);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&map);
 }
 
 /// Graceful shutdown drains the spill writer on both engines: every
